@@ -1,0 +1,43 @@
+# CRONUS reproduction — stdlib-only Go; everything runs offline.
+
+GO ?= go
+
+.PHONY: all build test vet bench examples tools figures attack loc clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... -count=1
+
+# Regenerate every table and figure as testing.B benchmarks with metrics.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
+
+# Pretty-printed tables for all experiments.
+figures:
+	$(GO) run ./cmd/cronus-bench
+
+attack:
+	$(GO) run ./cmd/cronus-attack
+
+loc:
+	$(GO) run ./cmd/cronus-loc
+
+tools:
+	$(GO) build -o bin/ ./cmd/...
+
+examples:
+	@for e in quickstart dnn-training npu-inference fault-recovery spatial-sharing secure-data hetero-pipeline; do \
+		echo "== examples/$$e =="; \
+		$(GO) run ./examples/$$e || exit 1; \
+		echo; \
+	done
+
+clean:
+	rm -rf bin

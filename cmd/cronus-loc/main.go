@@ -1,0 +1,20 @@
+// Command cronus-loc prints the Table III TCB accounting: lines of code per
+// mOS / mEnclave component, counted from this repository's sources,
+// alongside the monolithic total a single-TEE-OS design would carry.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cronus/internal/experiments"
+)
+
+func main() {
+	t, err := experiments.Table3()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cronus-loc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(t.String())
+}

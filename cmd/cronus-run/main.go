@@ -1,0 +1,145 @@
+// Command cronus-run executes one workload on one system and reports the
+// virtual-time result — the artifact-evaluation style entry point:
+//
+//	cronus-run -list
+//	cronus-run -workload gaussian -system cronus
+//	cronus-run -workload gaussian -system all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cronus/internal/accel"
+	"cronus/internal/baseline"
+	"cronus/internal/core"
+	"cronus/internal/gpu"
+	"cronus/internal/sim"
+	"cronus/internal/trace"
+	"cronus/internal/workload/rodinia"
+)
+
+func runOn(system baseline.System, b rodinia.Benchmark) (sim.Duration, error) {
+	var elapsed sim.Duration
+	if system == baseline.CRONUS {
+		err := core.Run(core.DefaultConfig(), func(pl *core.Platform, p *sim.Proc) error {
+			rodinia.RegisterKernels(pl.GPUs[0].Dev.SMs())
+			s, err := pl.NewSession(p, "run")
+			if err != nil {
+				return err
+			}
+			ops, err := s.OpenCUDA(p, core.CUDAOptions{Cubin: b.Cubin(), RingPages: 65})
+			if err != nil {
+				return err
+			}
+			defer ops.Close(p)
+			start := p.Now()
+			if err := b.Run(p, ops); err != nil {
+				return err
+			}
+			elapsed = sim.Duration(p.Now() - start)
+			return nil
+		})
+		return elapsed, err
+	}
+	k := sim.NewKernel()
+	var fail error
+	k.Spawn("main", func(p *sim.Proc) {
+		defer k.Stop()
+		costs := sim.DefaultCosts()
+		dev := gpu.New(k, costs, gpu.Config{Name: "gpu0", MemBytes: 1 << 30, SMs: 46, CopyEngs: 2, MPS: true, KeySeed: "run"})
+		gpu.RegisterStdKernels(dev.SMs())
+		rodinia.RegisterKernels(dev.SMs())
+		var ops accel.CUDA
+		var err error
+		switch system {
+		case baseline.Native:
+			ops, err = baseline.NewNativeCUDA(dev, costs, b.Cubin())
+		case baseline.TrustZone:
+			ops, err = baseline.NewTrustZoneCUDA(dev, costs, b.Cubin())
+		case baseline.HIX:
+			ops, err = baseline.NewHIXCUDA(dev, costs, b.Cubin())
+		default:
+			err = fmt.Errorf("unknown system %q", system)
+		}
+		if err != nil {
+			fail = err
+			return
+		}
+		start := p.Now()
+		if err := b.Run(p, ops); err != nil {
+			fail = err
+			return
+		}
+		elapsed = sim.Duration(p.Now() - start)
+	})
+	if err := k.Run(); err != nil {
+		return 0, err
+	}
+	return elapsed, fail
+}
+
+func main() {
+	workload := flag.String("workload", "", "rodinia workload name")
+	system := flag.String("system", "all", "linux | trustzone | hix-trustzone | cronus | all")
+	traceOut := flag.String("trace", "", "write a Chrome trace JSON of the run to this file")
+	list := flag.Bool("list", false, "list workloads and systems")
+	flag.Parse()
+
+	if *traceOut != "" {
+		trace.Default.Enable()
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cronus-run:", err)
+				return
+			}
+			defer f.Close()
+			if err := trace.Default.WriteChromeTrace(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cronus-run:", err)
+				return
+			}
+			fmt.Printf("%s -> %s (open in chrome://tracing or Perfetto)\n", trace.Default.Summary(), *traceOut)
+		}()
+	}
+
+	if *list {
+		var names []string
+		for _, b := range rodinia.AllExtended() {
+			names = append(names, b.Name)
+		}
+		fmt.Println("workloads:", strings.Join(names, ", "))
+		fmt.Println("systems:  linux, trustzone, hix-trustzone, cronus, all")
+		return
+	}
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "cronus-run: -workload required (see -list)")
+		os.Exit(2)
+	}
+	b, err := rodinia.ByName(*workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cronus-run: %v\n", err)
+		os.Exit(2)
+	}
+	systems := []baseline.System{baseline.Native, baseline.TrustZone, baseline.HIX, baseline.CRONUS}
+	if *system != "all" {
+		systems = []baseline.System{baseline.System(*system)}
+	}
+	var native sim.Duration
+	for _, s := range systems {
+		d, err := runOn(s, b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cronus-run: %s on %s: %v\n", b.Name, s, err)
+			os.Exit(1)
+		}
+		norm := ""
+		if s == baseline.Native {
+			native = d
+		} else if native > 0 {
+			norm = fmt.Sprintf("  (%.3fx native)", float64(d)/float64(native))
+		}
+		fmt.Printf("%-14s %-14s %12v%s\n", b.Name, s, d, norm)
+	}
+}

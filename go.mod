@@ -1,0 +1,3 @@
+module cronus
+
+go 1.22

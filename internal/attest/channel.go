@@ -1,0 +1,151 @@
+package attest
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file implements the two communication-security building blocks of
+// §IV-A/§IV-C: the Diffie-Hellman secret (secret_dhke) established at
+// mEnclave creation, and MAC-protected sequenced messages for everything
+// that travels through untrusted memory before trusted shared memory exists.
+
+// DHKey is one side of an X25519 exchange.
+type DHKey struct {
+	priv *ecdh.PrivateKey
+	Pub  []byte
+}
+
+// NewDHKey derives a deterministic X25519 key from seed material.
+func NewDHKey(seed []byte) (*DHKey, error) {
+	h := sha256.Sum256(append([]byte("dhke/"), seed...))
+	priv, err := ecdh.X25519().NewPrivateKey(h[:])
+	if err != nil {
+		return nil, fmt.Errorf("attest: dh key: %w", err)
+	}
+	return &DHKey{priv: priv, Pub: priv.PublicKey().Bytes()}, nil
+}
+
+// Shared computes the shared secret with the peer's public key.
+func (k *DHKey) Shared(peerPub []byte) ([]byte, error) {
+	pub, err := ecdh.X25519().NewPublicKey(peerPub)
+	if err != nil {
+		return nil, fmt.Errorf("attest: peer dh key: %w", err)
+	}
+	s, err := k.priv.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("attest: dh agree: %w", err)
+	}
+	d := sha256.Sum256(s) // KDF
+	return d[:], nil
+}
+
+// SealedMsg is a MAC'd, sequence-numbered message for untrusted channels.
+type SealedMsg struct {
+	Seq     uint64
+	Payload []byte
+	MAC     []byte
+}
+
+// Channel provides ordered, integrity-protected messaging over an untrusted
+// transport using secret_dhke. It defeats the §III-B attacks on untrusted
+// memory: tampering (MAC), replay and reorder (strictly increasing sequence
+// numbers), and cross-channel splicing (per-direction labels).
+type Channel struct {
+	key     []byte
+	label   string
+	sendSeq uint64
+	recvSeq uint64
+}
+
+// NewChannel builds a directional channel. Both sides must construct the
+// send direction with the same label the receiver uses for its receive
+// direction; conventionally "a->b" and "b->a".
+func NewChannel(secret []byte, label string) *Channel {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte("channel/" + label))
+	return &Channel{key: mac.Sum(nil), label: label}
+}
+
+func (c *Channel) mac(seq uint64, payload []byte) []byte {
+	m := hmac.New(sha256.New, c.key)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seq)
+	m.Write(b[:])
+	m.Write(payload)
+	return m.Sum(nil)
+}
+
+// Seal wraps a payload for sending.
+func (c *Channel) Seal(payload []byte) SealedMsg {
+	c.sendSeq++
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	return SealedMsg{Seq: c.sendSeq, Payload: cp, MAC: c.mac(c.sendSeq, cp)}
+}
+
+// ErrTampered reports a MAC failure.
+var ErrTampered = errors.New("attest: message MAC invalid (tampered or wrong peer)")
+
+// ErrReplayed reports a sequence violation (replayed, reordered or dropped
+// traffic).
+var ErrReplayed = errors.New("attest: message sequence violation (replay/reorder/drop)")
+
+// Open verifies and unwraps a received message, enforcing exactly-once
+// in-order delivery.
+func (c *Channel) Open(m SealedMsg) ([]byte, error) {
+	if !hmac.Equal(m.MAC, c.mac(m.Seq, m.Payload)) {
+		return nil, ErrTampered
+	}
+	if m.Seq != c.recvSeq+1 {
+		return nil, fmt.Errorf("%w: got seq %d, want %d", ErrReplayed, m.Seq, c.recvSeq+1)
+	}
+	c.recvSeq = m.Seq
+	return m.Payload, nil
+}
+
+// LocalSealer is the SPM-held local seal key (LSK) used for local
+// attestation between mEnclaves on the same machine (§IV-A). Only code
+// running in the secure world ever holds a *LocalSealer.
+type LocalSealer struct {
+	key []byte
+}
+
+// NewLocalSealer derives the LSK from platform fuse material.
+func NewLocalSealer(seed []byte) *LocalSealer {
+	h := sha256.Sum256(append([]byte("lsk/"), seed...))
+	return &LocalSealer{key: h[:]}
+}
+
+// LocalReport identifies an mEnclave to a co-located challenger.
+type LocalReport struct {
+	EnclaveID   uint32
+	EnclaveHash Measurement
+	MOSHash     Measurement
+	Nonce       uint64
+}
+
+func (r *LocalReport) encode() []byte {
+	buf := make([]byte, 4+32+32+8)
+	binary.LittleEndian.PutUint32(buf[0:], r.EnclaveID)
+	copy(buf[4:], r.EnclaveHash[:])
+	copy(buf[36:], r.MOSHash[:])
+	binary.LittleEndian.PutUint64(buf[68:], r.Nonce)
+	return buf
+}
+
+// Seal MACs a local report with the LSK.
+func (s *LocalSealer) Seal(r LocalReport) []byte {
+	m := hmac.New(sha256.New, s.key)
+	m.Write(r.encode())
+	return m.Sum(nil)
+}
+
+// Verify checks that a local report was sealed by this machine's SPM.
+func (s *LocalSealer) Verify(r LocalReport, mac []byte) bool {
+	return hmac.Equal(mac, s.Seal(r))
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"cronus/internal/accel"
+	"cronus/internal/attest"
+	"cronus/internal/enclave"
+	"cronus/internal/gpu"
+	"cronus/internal/mos/driver"
+	"cronus/internal/sim"
+	"cronus/internal/spm"
+	"cronus/internal/srpc"
+)
+
+// CUDAOptions configures a CUDA mEnclave connection.
+type CUDAOptions struct {
+	// Cubin is the module image (gpu.BuildCubin). Required.
+	Cubin []byte
+	// Memory is the manifest resource cap (default "128M").
+	Memory string
+	// RingPages sizes the sRPC shared-memory region (default 17 pages).
+	RingPages int
+	// Partition pins the enclave to a named GPU partition (default:
+	// dispatcher round-robin across GPU partitions).
+	Partition string
+	// Name labels the enclave (default derived from the session).
+	Name string
+}
+
+// CUDAConn is a connected CUDA mEnclave: the session's typed handle over
+// the sRPC stream. It implements accel.CUDA, chunking transfers larger than
+// the ring.
+type CUDAConn struct {
+	sess   *Session
+	client *srpc.Client
+	EID    uint32
+	chunk  int
+}
+
+var _ accel.CUDA = (*CUDAConn)(nil)
+
+// OpenCUDA creates a CUDA mEnclave (the session's CPU enclave is the owner)
+// and establishes the sRPC stream to it: manifest build, dispatch, local
+// attestation, smem sharing, dCheck, executor creation (§III-D, §IV-C).
+func (s *Session) OpenCUDA(p *sim.Proc, opts CUDAOptions) (*CUDAConn, error) {
+	if len(opts.Cubin) == 0 {
+		return nil, fmt.Errorf("core: OpenCUDA requires a cubin image")
+	}
+	if opts.Memory == "" {
+		opts.Memory = "128M"
+	}
+	if opts.Name == "" {
+		opts.Name = s.Name + "/cuda"
+	}
+	files := map[string][]byte{
+		"cuda.edl":  driver.CUDAEDL(),
+		"app.cubin": opts.Cubin,
+	}
+	man := enclave.NewManifest("gpu", "cuda.edl", "app.cubin", files, enclave.Resources{Memory: opts.Memory})
+	dh, err := attest.NewDHKey([]byte(s.Name + "/" + opts.Name))
+	if err != nil {
+		return nil, err
+	}
+	var res *createResult
+	if opts.Partition != "" {
+		r, err := s.Platform.D.CreateEnclaveAt(p, opts.Partition, opts.Name, man, files, dh.Pub)
+		if err != nil {
+			return nil, err
+		}
+		res = &createResult{r.EID, r.DHPub, r.Hash}
+	} else {
+		r, err := s.Platform.D.CreateEnclave(p, opts.Name, man, files, dh.Pub)
+		if err != nil {
+			return nil, err
+		}
+		res = &createResult{r.EID, r.DHPub, r.Hash}
+	}
+	secret, err := dh.Shared(res.dhPub)
+	if err != nil {
+		return nil, err
+	}
+	edl, err := enclave.ParseEDL(files["cuda.edl"])
+	if err != nil {
+		return nil, err
+	}
+	part, ok := s.Platform.SPM.Partition(spm.PartitionID(res.eid >> 24))
+	if !ok {
+		return nil, fmt.Errorf("core: partition vanished for eid %#x", res.eid)
+	}
+	client, err := srpc.Connect(p, s.owner, res.eid, secret, edl,
+		srpc.Expected{EnclaveHash: man.Measure(files), MOSHash: part.MOSHash()},
+		s.Platform.D, opts.RingPages)
+	if err != nil {
+		return nil, err
+	}
+	s.manifests[opts.Name] = res.hash
+	pages := opts.RingPages
+	if pages < 2 {
+		pages = srpc.DefaultPages
+	}
+	// Chunk transfers to a quarter of the ring so streaming overlaps.
+	chunk := (pages - 1) * 4096 / 4
+	if chunk < srpc.SlotSize {
+		chunk = srpc.SlotSize
+	}
+	return &CUDAConn{sess: s, client: client, EID: res.eid, chunk: chunk}, nil
+}
+
+type createResult struct {
+	eid   uint32
+	dhPub []byte
+	hash  attest.Measurement
+}
+
+// Client exposes the underlying stream (stats, advanced use).
+func (c *CUDAConn) Client() *srpc.Client { return c.client }
+
+// MemAlloc implements accel.CUDA.
+func (c *CUDAConn) MemAlloc(p *sim.Proc, n uint64) (uint64, error) {
+	res, err := c.client.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(n))
+	if err != nil {
+		return 0, err
+	}
+	return driver.DecodePtr(res)
+}
+
+// MemFree implements accel.CUDA.
+func (c *CUDAConn) MemFree(p *sim.Proc, ptr uint64) error {
+	_, err := c.client.Call(p, driver.CallMemFree, driver.EncodeMemFree(ptr))
+	return err
+}
+
+// HtoD implements accel.CUDA: asynchronous, chunked to the ring size.
+func (c *CUDAConn) HtoD(p *sim.Proc, dst uint64, data []byte) error {
+	for off := 0; off < len(data); off += c.chunk {
+		end := off + c.chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := c.client.Call(p, driver.CallHtoD, driver.EncodeHtoD(dst+uint64(off), data[off:end])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DtoH implements accel.CUDA: synchronous, chunked.
+func (c *CUDAConn) DtoH(p *sim.Proc, src uint64, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for off := 0; off < n; off += c.chunk {
+		end := off + c.chunk
+		if end > n {
+			end = n
+		}
+		res, err := c.client.CallSyncCap(p, driver.CallDtoH,
+			driver.EncodeDtoH(src+uint64(off), uint64(end-off)), end-off+64)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := driver.DecodeBlob(res)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blob...)
+	}
+	return out, nil
+}
+
+// Launch implements accel.CUDA (asynchronous).
+func (c *CUDAConn) Launch(p *sim.Proc, kernel string, grid gpu.Dim, args ...uint64) error {
+	_, err := c.client.Call(p, driver.CallLaunch, driver.EncodeLaunch(kernel, grid, args...))
+	return err
+}
+
+// Sync implements accel.CUDA (streamCheck).
+func (c *CUDAConn) Sync(p *sim.Proc) error { return c.client.Barrier(p) }
+
+// Close implements accel.CUDA.
+func (c *CUDAConn) Close(p *sim.Proc) error { return c.client.Close(p) }

@@ -1,0 +1,226 @@
+// Package core is CRONUS's public API: it boots a complete MicroTEE
+// platform (machine, SPM, per-device partitions and mOSes, normal-world
+// dispatcher, attestation infrastructure) and gives applications the
+// Session abstraction from the paper's workflow (§III-D): a protected CPU
+// mEnclave that creates accelerator mEnclaves and drives them over sRPC.
+package core
+
+import (
+	"fmt"
+
+	"cronus/internal/attest"
+	"cronus/internal/gpu"
+	"cronus/internal/hw"
+	"cronus/internal/mos"
+	"cronus/internal/mos/driver"
+	"cronus/internal/normal"
+	"cronus/internal/npu"
+	"cronus/internal/sim"
+	"cronus/internal/spm"
+)
+
+// Config sizes a platform.
+type Config struct {
+	NormalMemBytes uint64
+	SecureMemBytes uint64
+
+	GPUs        int
+	GPUMemBytes uint64
+	GPUSMs      int
+	MPS         bool // spatial sharing on the GPUs
+
+	NPUs        int
+	NPUMemBytes uint64
+
+	// Costs overrides the virtual-time cost model (nil = DefaultCosts).
+	// Used by the ablation experiments to sweep architectural parameters.
+	Costs *sim.CostModel
+}
+
+// DefaultConfig mirrors the paper's testbed shape (Table II): one Turing
+// GPU, one VTA NPU, 4 GiB of secure memory (scaled down for simulation).
+func DefaultConfig() Config {
+	return Config{
+		NormalMemBytes: 256 << 20,
+		SecureMemBytes: 256 << 20,
+		GPUs:           1,
+		GPUMemBytes:    1 << 30,
+		GPUSMs:         46,
+		MPS:            true,
+		NPUs:           1,
+		NPUMemBytes:    256 << 20,
+	}
+}
+
+// GPUNode bundles one GPU with its partition and mOS.
+type GPUNode struct {
+	Dev  *gpu.Device
+	Part *spm.Partition
+	OS   *mos.MOS
+}
+
+// NPUNode bundles one NPU with its partition and mOS.
+type NPUNode struct {
+	Dev  *npu.Device
+	Part *spm.Partition
+	OS   *mos.MOS
+}
+
+// Platform is a booted CRONUS machine.
+type Platform struct {
+	K     *sim.Kernel
+	M     *hw.Machine
+	SPM   *spm.SPM
+	D     *normal.Dispatcher
+	Costs *sim.CostModel
+
+	CPUPart *spm.Partition
+	CPUOS   *mos.MOS
+	GPUs    []GPUNode
+	NPUs    []NPUNode
+
+	Service  *attest.Service
+	Verifier *attest.Verifier
+}
+
+// BuildPlatform boots a platform inside simulated process p: device tree
+// construction and validation, SPM boot (TZASC/TZPC/fuse lock-down), key
+// endorsement, partition creation, mOS boot, dispatcher registration.
+func BuildPlatform(p *sim.Proc, cfg Config) (*Platform, error) {
+	k := p.Kernel()
+	costs := cfg.Costs
+	if costs == nil {
+		costs = sim.DefaultCosts()
+	}
+	m := hw.NewMachine(hw.Config{NormalMemBytes: cfg.NormalMemBytes, SecureMemBytes: cfg.SecureMemBytes})
+	if err := m.Fuses.Burn("platform-rot", []byte("cronus-platform-rot")); err != nil {
+		return nil, err
+	}
+
+	var gdevs []*gpu.Device
+	for i := 0; i < cfg.GPUs; i++ {
+		name := fmt.Sprintf("gpu%d", i)
+		d := gpu.New(k, costs, gpu.Config{
+			Name: name, MemBytes: cfg.GPUMemBytes, SMs: cfg.GPUSMs, CopyEngs: 2,
+			MPS: cfg.MPS, KeySeed: "turing/" + name,
+		})
+		if i == 0 {
+			gpu.RegisterStdKernels(d.SMs())
+		}
+		if _, err := m.Bus.Attach(d, hw.DTNode{
+			Name: name, Compatible: "nvidia,turing", Vendor: "nvidia",
+			MMIOBase: 0x1000_0000 + uint64(i)*0x100_0000, MMIOSize: 0x100_0000,
+			IRQ: 32 + i, Secure: true,
+		}); err != nil {
+			return nil, err
+		}
+		gdevs = append(gdevs, d)
+	}
+	var ndevs []*npu.Device
+	for i := 0; i < cfg.NPUs; i++ {
+		name := fmt.Sprintf("npu%d", i)
+		d := npu.New(k, costs, npu.Config{Name: name, MemBytes: cfg.NPUMemBytes, KeySeed: "vta/" + name})
+		if _, err := m.Bus.Attach(d, hw.DTNode{
+			Name: name, Compatible: "vta,fsim", Vendor: "vta",
+			MMIOBase: 0x3000_0000 + uint64(i)*0x10_0000, MMIOSize: 0x10_0000,
+			IRQ: 64 + i, Secure: true,
+		}); err != nil {
+			return nil, err
+		}
+		ndevs = append(ndevs, d)
+	}
+
+	s, err := spm.Boot(k, m, costs)
+	if err != nil {
+		return nil, err
+	}
+
+	svc := attest.NewService([]byte("cronus-attestation-service"))
+	svc.RegisterPlatform(s.RoTPub())
+	atkCert, err := svc.EndorseAtK(s.RoTPub(), s.AtKPub, s.ProveAtK())
+	if err != nil {
+		return nil, err
+	}
+	s.InstallAtKCert(atkCert)
+	nvCA := attest.NewVendorCA("nvidia")
+	vtaCA := attest.NewVendorCA("vta")
+	verifier := attest.NewVerifier(svc.Identity)
+	verifier.TrustVendor("nvidia", nvCA.Identity)
+	verifier.TrustVendor("vta", vtaCA.Identity)
+
+	pl := &Platform{
+		K: k, M: m, SPM: s, Costs: costs,
+		Service: svc, Verifier: verifier,
+	}
+
+	pl.CPUPart, err = s.CreatePartition("cpu-part", "", []byte("optee-based CPU mOS image v1"))
+	if err != nil {
+		return nil, err
+	}
+	pl.CPUOS, err = mos.Boot(p, s, pl.CPUPart, driver.NewCPU(costs))
+	if err != nil {
+		return nil, err
+	}
+	pl.D = normal.NewDispatcher(s)
+	pl.D.RegisterMOS(pl.CPUOS)
+
+	for i, d := range gdevs {
+		part, err := s.CreatePartition(fmt.Sprintf("gpu-part%d", i), d.Name(), []byte("nouveau+gdev GPU mOS image v1"))
+		if err != nil {
+			return nil, err
+		}
+		os, err := mos.Boot(p, s, part, driver.NewGPU(d, costs, "nvidia", nvCA.EndorseDevice(d.PubKey())))
+		if err != nil {
+			return nil, err
+		}
+		pl.D.RegisterMOS(os)
+		pl.GPUs = append(pl.GPUs, GPUNode{Dev: d, Part: part, OS: os})
+	}
+	for i, d := range ndevs {
+		part, err := s.CreatePartition(fmt.Sprintf("npu-part%d", i), d.Name(), []byte("vta fsim NPU mOS image v1"))
+		if err != nil {
+			return nil, err
+		}
+		os, err := mos.Boot(p, s, part, driver.NewNPU(d, costs, "vta", vtaCA.EndorseDevice(d.PubKey())))
+		if err != nil {
+			return nil, err
+		}
+		pl.D.RegisterMOS(os)
+		pl.NPUs = append(pl.NPUs, NPUNode{Dev: d, Part: part, OS: os})
+	}
+	return pl, nil
+}
+
+// RemoteAttest runs the client-side remote attestation flow (§IV-A): the
+// client sends a fresh nonce, the platform returns the signed report, and
+// the client verifies the full chain against its trust anchors and pinned
+// measurements.
+func (pl *Platform) RemoteAttest(p *sim.Proc, nonce uint64, want attest.Expected) error {
+	sr := pl.D.BuildReport(p, nonce)
+	p.Sleep(pl.Costs.VerifyFixed * 2)
+	return pl.Verifier.VerifyReport(sr, want)
+}
+
+// Run is a convenience harness: it boots a platform inside a fresh
+// simulation, runs body, and stops the simulation when body returns.
+func Run(cfg Config, body func(pl *Platform, p *sim.Proc) error) error {
+	k := sim.NewKernel()
+	var bodyErr error
+	k.Spawn("main", func(p *sim.Proc) {
+		defer k.Stop()
+		pl, err := BuildPlatform(p, cfg)
+		if err != nil {
+			bodyErr = err
+			return
+		}
+		bodyErr = body(pl, p)
+	})
+	if err := k.Run(); err != nil {
+		k.Shutdown()
+		return err
+	}
+	// Unwind leftover service loops (executors, watchdogs) so repeated
+	// simulations do not accumulate goroutines.
+	k.Shutdown()
+	return bodyErr
+}

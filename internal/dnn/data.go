@@ -1,0 +1,59 @@
+package dnn
+
+import "math/rand"
+
+// Dataset is a deterministic synthetic dataset generator standing in for
+// MNIST / CIFAR-10 / ImageNet. Training-time measurements are independent of
+// pixel content; what matters is the per-sample byte volume crossing into
+// the enclave and onto the device each iteration, which the generator
+// preserves.
+type Dataset struct {
+	Name       string
+	SampleSize int // floats per sample
+	Classes    int
+	rng        *rand.Rand
+}
+
+// NewDataset creates a generator with a fixed seed.
+func NewDataset(name string, sampleSize, classes int, seed int64) *Dataset {
+	return &Dataset{
+		Name:       name,
+		SampleSize: sampleSize,
+		Classes:    classes,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// MNIST returns the MNIST stand-in (28×28×1, 10 classes).
+func MNIST() *Dataset { return NewDataset("MNIST", 28*28, 10, 1) }
+
+// CIFAR10 returns the CIFAR-10 stand-in (32×32×3, 10 classes).
+func CIFAR10() *Dataset { return NewDataset("CIFAR-10", 3*32*32, 10, 2) }
+
+// ImageNet returns the (scaled) ImageNet stand-in (64×64×3, 100 classes).
+func ImageNet() *Dataset { return NewDataset("ImageNet", 3*64*64, 100, 3) }
+
+// ForModel returns the dataset matching a model's declared dataset.
+func ForModel(m *Model) *Dataset {
+	switch m.Dataset {
+	case "MNIST":
+		return MNIST()
+	case "CIFAR-10":
+		return CIFAR10()
+	default:
+		return ImageNet()
+	}
+}
+
+// Batch produces one mini-batch: normalized inputs and integer labels.
+func (d *Dataset) Batch(n int) (inputs []float32, labels []int) {
+	inputs = make([]float32, n*d.SampleSize)
+	labels = make([]int, n)
+	for i := range inputs {
+		inputs[i] = d.rng.Float32()*2 - 1
+	}
+	for i := range labels {
+		labels[i] = d.rng.Intn(d.Classes)
+	}
+	return inputs, labels
+}

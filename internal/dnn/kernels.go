@@ -1,0 +1,191 @@
+// Package dnn is the minimal DNN training and inference framework used to
+// reproduce the paper's PyTorch workloads (§VI-C): structural definitions of
+// LeNet-2, ResNet50, VGG16 and DenseNet, a GPU trainer that emits the same
+// kind of kernel/memcpy streams per iteration (forward matmuls, activation
+// kernels, backward matmuls, SGD updates), and deterministic synthetic
+// datasets standing in for MNIST, CIFAR-10 and ImageNet.
+//
+// Convolutions are lowered to their im2col matmul shapes, and all model
+// dimensions are scaled down by a documented factor so simulations stay
+// laptop-sized; the *stream structure* per iteration (layer count, kernel
+// sizes relative to each other, sync points) is what the paper's overhead
+// measurements are sensitive to, and that is preserved.
+package dnn
+
+import (
+	"cronus/internal/gpu"
+	"cronus/internal/sim"
+)
+
+// kernelDemand models how many SMs a layer's kernel occupies: small layers
+// (LeNet) underfill the GPU — which is exactly why spatial sharing pays off
+// in Figure 11a — while large conv layers saturate it.
+func kernelDemand(sms float64, outElems int) float64 {
+	d := float64(outElems) / 96
+	if d < 10 {
+		d = 10
+	}
+	if d > sms {
+		d = sms
+	}
+	return d
+}
+
+// trainKernelFloor is the minimum execution time of a training kernel:
+// small-layer kernels are memory-latency bound, not FLOP bound.
+const trainKernelFloor = 40 * sim.Microsecond
+
+// trainCost builds the cost model for a backward/forward matmul-style
+// kernel: 2*M*N*K flops at a demand derived from the output size, floored
+// at the latency-bound minimum.
+func trainCost(sms float64, flops func(args []uint64) float64, outElems func(args []uint64) int) func(gpu.Dim, []uint64) gpu.LaunchCost {
+	return func(_ gpu.Dim, args []uint64) gpu.LaunchCost {
+		demand := kernelDemand(sms, outElems(args))
+		rate := 8000.0 * demand / sms // FLOPs per ns at this occupancy
+		work := sim.Duration(flops(args) / rate)
+		if work < trainKernelFloor {
+			work = trainKernelFloor
+		}
+		return gpu.LaunchCost{Work: work, SMDemand: demand}
+	}
+}
+
+// RegisterKernels installs the training kernels (in addition to the
+// standard library): transposed matmuls for the backward pass and the ReLU
+// gradient. sms is the target device's SM count.
+func RegisterKernels(sms float64) {
+	// matmul_f: C[M,N] = A[M,K] × B[K,N]; args a, b, c, M, N, K.
+	// Same semantics as the std "matmul" but with the occupancy model
+	// driven by layer size (used for both forward and backward passes).
+	mm := func(name string, aT, bT bool) {
+		gpu.Register(&gpu.Kernel{
+			Name: name,
+			Cost: trainCost(sms,
+				func(args []uint64) float64 {
+					return 2 * float64(args[3]) * float64(args[4]) * float64(args[5])
+				},
+				func(args []uint64) int { return int(args[3] * args[4]) },
+			),
+			Func: func(e *gpu.Exec) error {
+				m, n, k := int(e.Arg(3)), int(e.Arg(4)), int(e.Arg(5))
+				asz, bsz := m*k, k*n
+				if aT {
+					asz = k * m
+				}
+				if bT {
+					bsz = n * k
+				}
+				ab, err := e.Bytes(e.Arg(0), asz*4)
+				if err != nil {
+					return err
+				}
+				bb, err := e.Bytes(e.Arg(1), bsz*4)
+				if err != nil {
+					return err
+				}
+				cb, err := e.Bytes(e.Arg(2), m*n*4)
+				if err != nil {
+					return err
+				}
+				a, b := gpu.UnpackF32(ab), gpu.UnpackF32(bb)
+				c := make([]float32, m*n)
+				for i := 0; i < m; i++ {
+					for t := 0; t < k; t++ {
+						var av float32
+						if aT {
+							av = a[t*m+i] // A is stored K×M
+						} else {
+							av = a[i*k+t]
+						}
+						if av == 0 {
+							continue
+						}
+						ci := i * n
+						if bT {
+							// B stored N×K: walk the K-th column.
+							for j := 0; j < n; j++ {
+								c[ci+j] += av * b[j*k+t]
+							}
+						} else {
+							br := b[t*n : (t+1)*n]
+							for j := 0; j < n; j++ {
+								c[ci+j] += av * br[j]
+							}
+						}
+					}
+				}
+				copy(cb, gpu.PackF32(c))
+				return nil
+			},
+		})
+	}
+	mm("matmul_f", false, false) // forward: Y = X·W
+	mm("matmul_tn", true, false) // dW = Xᵀ·dY (X passed as K×M)
+	mm("matmul_nt", false, true) // dX = dY·Wᵀ (W passed as N×K)
+
+	// im2col: dst[i] = src[i mod srcN] — the layout shuffle between a
+	// layer's output and the next layer's im2col input (and its adjoint
+	// on the backward pass). args src, dst, srcN; grid [dstN].
+	gpu.Register(&gpu.Kernel{
+		Name: "im2col",
+		Cost: gpu.FlopCost(sms, sms*0.4, func(g gpu.Dim, _ []uint64) float64 { return float64(g.Elems()) }),
+		Func: func(e *gpu.Exec) error {
+			dstN := e.Grid.Elems()
+			srcN := int(e.Arg(2))
+			if srcN <= 0 {
+				return nil
+			}
+			sb, err := e.Bytes(e.Arg(0), srcN*4)
+			if err != nil {
+				return err
+			}
+			db, err := e.Bytes(e.Arg(1), dstN*4)
+			if err != nil {
+				return err
+			}
+			src, dst := gpu.F32(sb), gpu.F32(db)
+			for i := 0; i < dstN; i++ {
+				dst.Set(i, src.Get(i%srcN))
+			}
+			return nil
+		},
+	})
+
+	// relu_bwd: dx[i] = x[i] > 0 ? dy[i] : 0; args x, dy, dx; grid [n].
+	gpu.Register(&gpu.Kernel{
+		Name: "relu_bwd",
+		Cost: gpu.FlopCost(sms, sms*0.4, func(g gpu.Dim, _ []uint64) float64 { return float64(g.Elems()) }),
+		Func: func(e *gpu.Exec) error {
+			n := e.Grid.Elems()
+			xb, err := e.Bytes(e.Arg(0), n*4)
+			if err != nil {
+				return err
+			}
+			dyb, err := e.Bytes(e.Arg(1), n*4)
+			if err != nil {
+				return err
+			}
+			dxb, err := e.Bytes(e.Arg(2), n*4)
+			if err != nil {
+				return err
+			}
+			x, dy, dx := gpu.F32(xb), gpu.F32(dyb), gpu.F32(dxb)
+			for i := 0; i < n; i++ {
+				if x.Get(i) > 0 {
+					dx.Set(i, dy.Get(i))
+				} else {
+					dx.Set(i, 0)
+				}
+			}
+			return nil
+		},
+	})
+}
+
+// Cubin returns the module image for training enclaves.
+func Cubin() []byte {
+	return gpu.BuildCubin(
+		"matmul_f", "matmul_tn", "matmul_nt", "im2col",
+		"relu", "relu_bwd", "sub", "saxpy", "scale", "reduce_sum",
+	)
+}

@@ -1,0 +1,91 @@
+package enclave
+
+import (
+	"fmt"
+
+	"cronus/internal/sim"
+)
+
+// Model is the execution-model contract (§IV-A): the mEnclave is a black-box
+// executor ⟨mECalls, state⟩; the model defines how an image is loaded
+// (me_create) and how each mECall executes on the underlying device context.
+//
+// Implementations: the CPU model runs registered Go functions (standing in
+// for a dynamic library + libOS runtime), the CUDA model drives a GPU
+// context through the gdev-style driver API, and the NPU model drives a VTA
+// context.
+type Model interface {
+	// Create parses the image and initializes the executor (me_create).
+	Create(p *sim.Proc, image []byte) error
+	// Call executes one mECall with wire-encoded arguments.
+	Call(p *sim.Proc, name string, args []byte) ([]byte, error)
+	// Destroy releases device state (scrubbed).
+	Destroy(p *sim.Proc)
+}
+
+// CPUFunc is one entry point of a CPU mEnclave's "dynamic library".
+type CPUFunc func(p *sim.Proc, args []byte) ([]byte, error)
+
+// CPULibrary is the loadable content of a CPU mEnclave image: a named set of
+// entry points. In the paper this is a .so run on a musl/libOS runtime; in
+// the simulation the library is registered under a name and the image bytes
+// reference it (so the image is still measured and attested).
+type CPULibrary struct {
+	Name  string
+	Funcs map[string]CPUFunc
+}
+
+// cpuLibRegistry is the simulation's loader search path.
+var cpuLibRegistry = map[string]*CPULibrary{}
+
+// RegisterCPULibrary installs a library so images can reference it.
+func RegisterCPULibrary(lib *CPULibrary) {
+	if lib.Name == "" {
+		panic("enclave: CPU library needs a name")
+	}
+	cpuLibRegistry[lib.Name] = lib
+}
+
+// BuildCPUImage returns the image bytes referencing a registered library.
+func BuildCPUImage(libName string) []byte {
+	return []byte("CPULIB v1\n" + libName + "\n")
+}
+
+// CPUModel executes CPU mECalls from a registered library.
+type CPUModel struct {
+	lib   *CPULibrary
+	costs *sim.CostModel
+}
+
+// NewCPUModel creates an unloaded CPU model.
+func NewCPUModel(costs *sim.CostModel) *CPUModel { return &CPUModel{costs: costs} }
+
+// Create implements Model.
+func (m *CPUModel) Create(p *sim.Proc, image []byte) error {
+	var name string
+	if n, err := fmt.Sscanf(string(image), "CPULIB v1\n%s\n", &name); n != 1 || err != nil {
+		return fmt.Errorf("enclave: not a CPU library image")
+	}
+	lib, ok := cpuLibRegistry[name]
+	if !ok {
+		return fmt.Errorf("enclave: CPU library %q not found", name)
+	}
+	m.lib = lib
+	p.Sleep(m.costs.EnclaveEntry) // loader + relocation work
+	return nil
+}
+
+// Call implements Model.
+func (m *CPUModel) Call(p *sim.Proc, name string, args []byte) ([]byte, error) {
+	if m.lib == nil {
+		return nil, fmt.Errorf("enclave: CPU model not created")
+	}
+	fn, ok := m.lib.Funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("enclave: no entry point %q in library %q", name, m.lib.Name)
+	}
+	return fn(p, args)
+}
+
+// Destroy implements Model.
+func (m *CPUModel) Destroy(*sim.Proc) { m.lib = nil }

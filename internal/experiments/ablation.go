@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cronus/internal/baseline"
+	"cronus/internal/core"
+	"cronus/internal/gpu"
+	"cronus/internal/mos/driver"
+	"cronus/internal/sim"
+	"cronus/internal/workload/rodinia"
+)
+
+// This file holds the ablations for the design choices DESIGN.md calls out:
+// ① streaming (async EDL flags) vs forcing every mECall synchronous,
+// ② sRPC ring size vs large-transfer throughput,
+// ③ sensitivity of each system to the S-EL2 context-switch cost.
+
+// AblationStreamingRow compares sRPC with and without streaming on one
+// launch-heavy workload.
+type AblationStreamingRow struct {
+	Mode  string
+	Total sim.Duration
+}
+
+// syncForcedCUDA wraps a CUDAConn forcing every call onto the synchronous
+// path — ablating exactly the async EDL classification (§IV-C).
+type syncForcedCUDA struct {
+	inner *core.CUDAConn
+}
+
+func (s *syncForcedCUDA) MemAlloc(p *sim.Proc, n uint64) (uint64, error) {
+	return s.inner.MemAlloc(p, n)
+}
+func (s *syncForcedCUDA) MemFree(p *sim.Proc, ptr uint64) error {
+	_, err := s.inner.Client().CallSyncCap(p, driver.CallMemFree, driver.EncodeMemFree(ptr), 16)
+	return err
+}
+func (s *syncForcedCUDA) HtoD(p *sim.Proc, dst uint64, data []byte) error {
+	_, err := s.inner.Client().CallSyncCap(p, driver.CallHtoD, driver.EncodeHtoD(dst, data), 16)
+	return err
+}
+func (s *syncForcedCUDA) DtoH(p *sim.Proc, src uint64, n int) ([]byte, error) {
+	return s.inner.DtoH(p, src, n)
+}
+func (s *syncForcedCUDA) Launch(p *sim.Proc, kernel string, grid gpu.Dim, args ...uint64) error {
+	_, err := s.inner.Client().CallSyncCap(p, driver.CallLaunch, driver.EncodeLaunch(kernel, grid, args...), 16)
+	return err
+}
+func (s *syncForcedCUDA) Sync(p *sim.Proc) error  { return s.inner.Sync(p) }
+func (s *syncForcedCUDA) Close(p *sim.Proc) error { return s.inner.Close(p) }
+
+// AblationStreaming runs the launch-heaviest Rodinia workload (gaussian)
+// with streaming on and off.
+func AblationStreaming() ([]AblationStreamingRow, error) {
+	b, err := rodinia.ByName("gaussian")
+	if err != nil {
+		return nil, err
+	}
+	run := func(forceSync bool) (sim.Duration, error) {
+		var elapsed sim.Duration
+		err := core.Run(core.DefaultConfig(), func(pl *core.Platform, p *sim.Proc) error {
+			rodinia.RegisterKernels(pl.GPUs[0].Dev.SMs())
+			s, err := pl.NewSession(p, "ablate")
+			if err != nil {
+				return err
+			}
+			conn, err := s.OpenCUDA(p, core.CUDAOptions{Cubin: b.Cubin(), RingPages: 65})
+			if err != nil {
+				return err
+			}
+			defer conn.Close(p)
+			start := p.Now()
+			if forceSync {
+				err = b.Run(p, &syncForcedCUDA{inner: conn})
+			} else {
+				err = b.Run(p, conn)
+			}
+			if err != nil {
+				return err
+			}
+			elapsed = sim.Duration(p.Now() - start)
+			return nil
+		})
+		return elapsed, err
+	}
+	stream, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	forced, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationStreamingRow{
+		{Mode: "sRPC streaming (async EDL flags)", Total: stream},
+		{Mode: "sRPC forced lock-step (all sync)", Total: forced},
+	}, nil
+}
+
+// RenderAblationStreaming formats ablation ①.
+func RenderAblationStreaming(rows []AblationStreamingRow) *Table {
+	t := &Table{
+		Title:   "Ablation: streaming vs forced-synchronous sRPC (gaussian)",
+		Columns: []string{"mode", "total(ms)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Mode, ms(r.Total)})
+	}
+	return t
+}
+
+// AblationRingRow is one ring-size measurement.
+type AblationRingRow struct {
+	RingPages int
+	Transfer  sim.Duration // time to stream a fixed payload HtoD
+}
+
+// AblationRingSize sweeps the smem size against a 1 MiB streamed upload:
+// small rings stall on flow control; past the working set the ring stops
+// mattering (why DefaultPages is modest).
+func AblationRingSize() ([]AblationRingRow, error) {
+	const payload = 1 << 20
+	var rows []AblationRingRow
+	for _, pages := range []int{5, 17, 65, 257} {
+		var elapsed sim.Duration
+		pages := pages
+		err := core.Run(core.DefaultConfig(), func(pl *core.Platform, p *sim.Proc) error {
+			s, err := pl.NewSession(p, "ring")
+			if err != nil {
+				return err
+			}
+			conn, err := s.OpenCUDA(p, core.CUDAOptions{Cubin: gpu.BuildCubin("vec_add"), RingPages: pages})
+			if err != nil {
+				return err
+			}
+			defer conn.Close(p)
+			ptr, err := conn.MemAlloc(p, payload)
+			if err != nil {
+				return err
+			}
+			data := make([]byte, payload)
+			start := p.Now()
+			if err := conn.HtoD(p, ptr, data); err != nil {
+				return err
+			}
+			if err := conn.Sync(p); err != nil {
+				return err
+			}
+			elapsed = sim.Duration(p.Now() - start)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ring %d pages: %w", pages, err)
+		}
+		rows = append(rows, AblationRingRow{RingPages: pages, Transfer: elapsed})
+	}
+	return rows, nil
+}
+
+// RenderAblationRingSize formats ablation ②.
+func RenderAblationRingSize(rows []AblationRingRow) *Table {
+	t := &Table{
+		Title:   "Ablation: sRPC ring size vs 1 MiB streamed upload",
+		Columns: []string{"ring pages", "smem KiB", "transfer(ms)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.RingPages),
+			fmt.Sprintf("%d", r.RingPages*4),
+			ms(r.Transfer),
+		})
+	}
+	return t
+}
+
+// AblationSwitchRow is one context-switch-cost measurement.
+type AblationSwitchRow struct {
+	SwitchCost sim.Duration
+	CRONUS     sim.Duration
+	HIX        sim.Duration
+}
+
+// AblationSwitchCost sweeps the S-EL2 context-switch cost and measures one
+// gaussian pass on CRONUS and HIX-TrustZone: HIX pays the switches on every
+// hardware control message; sRPC's whole point is that streamed calls
+// don't (§IV-C).
+func AblationSwitchCost() ([]AblationSwitchRow, error) {
+	b, err := rodinia.ByName("gaussian")
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationSwitchRow
+	for _, mult := range []int{1, 2, 4, 8} {
+		costs := sim.DefaultCosts()
+		costs.ContextSwitchS2 *= sim.Duration(mult)
+		costs.WorldSwitch *= sim.Duration(mult)
+
+		// CRONUS with the inflated costs.
+		var cronus sim.Duration
+		cfg := core.DefaultConfig()
+		cfg.Costs = costs
+		err := core.Run(cfg, func(pl *core.Platform, p *sim.Proc) error {
+			rodinia.RegisterKernels(pl.GPUs[0].Dev.SMs())
+			s, err := pl.NewSession(p, "switch")
+			if err != nil {
+				return err
+			}
+			conn, err := s.OpenCUDA(p, core.CUDAOptions{Cubin: b.Cubin(), RingPages: 65})
+			if err != nil {
+				return err
+			}
+			defer conn.Close(p)
+			start := p.Now()
+			if err := b.Run(p, conn); err != nil {
+				return err
+			}
+			cronus = sim.Duration(p.Now() - start)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// HIX with the same inflated costs.
+		var hix sim.Duration
+		k := sim.NewKernel()
+		var fail error
+		k.Spawn("main", func(p *sim.Proc) {
+			defer k.Stop()
+			dev := gpu.New(k, costs, gpu.Config{Name: "gpu0", MemBytes: 1 << 30, SMs: 46, CopyEngs: 2, MPS: true, KeySeed: "abl"})
+			gpu.RegisterStdKernels(dev.SMs())
+			rodinia.RegisterKernels(dev.SMs())
+			ops, err := baseline.NewHIXCUDA(dev, costs, b.Cubin())
+			if err != nil {
+				fail = err
+				return
+			}
+			start := p.Now()
+			if err := b.Run(p, ops); err != nil {
+				fail = err
+				return
+			}
+			hix = sim.Duration(p.Now() - start)
+		})
+		if err := k.Run(); err != nil {
+			return nil, err
+		}
+		if fail != nil {
+			return nil, fail
+		}
+		rows = append(rows, AblationSwitchRow{
+			SwitchCost: costs.ContextSwitchS2,
+			CRONUS:     cronus,
+			HIX:        hix,
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblationSwitchCost formats ablation ③.
+func RenderAblationSwitchCost(rows []AblationSwitchRow) *Table {
+	t := &Table{
+		Title:   "Ablation: S-EL2 context-switch cost sensitivity (gaussian)",
+		Columns: []string{"switch cost(us)", "cronus(ms)", "hix-trustzone(ms)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", float64(r.SwitchCost)/1e3),
+			ms(r.CRONUS), ms(r.HIX),
+		})
+	}
+	return t
+}

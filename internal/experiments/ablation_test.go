@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationStreamingShowsTheWin(t *testing.T) {
+	rows, err := AblationStreaming()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, forced := rows[0].Total, rows[1].Total
+	if forced <= stream {
+		t.Fatalf("forced-sync (%v) not slower than streaming (%v)", forced, stream)
+	}
+	// gaussian issues ~190 launches; forcing each to wait must cost
+	// measurably (the executor round trip per call).
+	if float64(forced) < 1.005*float64(stream) {
+		t.Errorf("forced-sync only %.4fx streaming — ablation shows nothing", float64(forced)/float64(stream))
+	}
+	_ = RenderAblationStreaming(rows)
+}
+
+func TestAblationRingSizeMonotone(t *testing.T) {
+	rows, err := AblationRingSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// A tiny ring stalls on flow control; bigger rings cannot be slower.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Transfer > rows[i-1].Transfer {
+			t.Errorf("ring %d pages slower than %d pages (%v > %v)",
+				rows[i].RingPages, rows[i-1].RingPages, rows[i].Transfer, rows[i-1].Transfer)
+		}
+	}
+	// And the smallest ring must pay something for the stalls.
+	if rows[0].Transfer <= rows[len(rows)-1].Transfer {
+		t.Error("ring size had no effect at all")
+	}
+	_ = RenderAblationRingSize(rows)
+}
+
+func TestAblationSwitchCostSensitivity(t *testing.T) {
+	rows, err := AblationSwitchCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// HIX degrades with the switch cost; CRONUS barely moves.
+	hixGrowth := float64(rows[len(rows)-1].HIX) / float64(rows[0].HIX)
+	cronusGrowth := float64(rows[len(rows)-1].CRONUS) / float64(rows[0].CRONUS)
+	if hixGrowth < 1.5 {
+		t.Errorf("HIX grew only %.2fx across an 8x switch-cost sweep", hixGrowth)
+	}
+	if cronusGrowth > 1.1 {
+		t.Errorf("CRONUS grew %.2fx — streamed calls should not pay switches", cronusGrowth)
+	}
+	_ = RenderAblationSwitchCost(rows)
+}
+
+func TestSharingPoliciesOrdering(t *testing.T) {
+	rows, err := SharingPolicies(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(p string) int {
+		for _, r := range rows {
+			if r.Policy == p {
+				return r.Steps
+			}
+		}
+		t.Fatalf("missing policy %s", p)
+		return 0
+	}
+	mps := get("mps-spatial")
+	mig := get("mig-slices")
+	temporal := get("temporal")
+	reboot := get("hw-dedicated-reboot")
+	// Spatial sharing beats temporal; any CRONUS policy crushes the
+	// hardware approach's cold-reboot-per-switch temporal sharing.
+	if mps <= temporal {
+		t.Errorf("mps %d not above temporal %d", mps, temporal)
+	}
+	if mig <= temporal {
+		t.Errorf("mig %d not above temporal %d", mig, temporal)
+	}
+	if reboot*5 > temporal {
+		t.Errorf("cold-reboot sharing %d not dramatically below temporal %d", reboot, temporal)
+	}
+	_ = RenderSharingPolicies(rows)
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cronus/internal/accel"
+	"cronus/internal/baseline"
+	"cronus/internal/dnn"
+	"cronus/internal/sim"
+)
+
+// Fig8Row is one DNN training workload across the four systems.
+type Fig8Row struct {
+	Model    string
+	Dataset  string
+	Batch    int
+	Iters    int
+	Times    map[baseline.System]sim.Duration // total for Iters iterations
+	Overhead map[baseline.System]float64      // vs native
+}
+
+// Figure8 reproduces the DNN training comparison: per-iteration training
+// time of LeNet-2/MNIST, ResNet50/CIFAR-10, VGG16/CIFAR-10 and
+// DenseNet/ImageNet under PyTorch-style streams on the four systems.
+func Figure8(iters, batch int) ([]Fig8Row, error) {
+	if iters <= 0 {
+		iters = 3
+	}
+	if batch <= 0 {
+		batch = 16
+	}
+	var rows []Fig8Row
+	for _, model := range dnn.TrainingModels() {
+		row := Fig8Row{
+			Model:    model.Name,
+			Dataset:  model.Dataset,
+			Batch:    batch,
+			Iters:    iters,
+			Times:    make(map[baseline.System]sim.Duration),
+			Overhead: make(map[baseline.System]float64),
+		}
+		for _, system := range GPUSystems {
+			model := model
+			var stepTime sim.Duration // training iterations only, not setup
+			_, err := runOnSystem(system, dnn.Cubin(), dnn.RegisterKernels,
+				func(p *sim.Proc, ops accel.CUDA) error {
+					tr, err := dnn.NewTrainer(p, ops, model, batch)
+					if err != nil {
+						return err
+					}
+					start := p.Now()
+					for i := 0; i < iters; i++ {
+						if _, err := tr.Step(p); err != nil {
+							return err
+						}
+					}
+					stepTime = sim.Duration(p.Now() - start)
+					return nil
+				})
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s on %s: %w", model.Name, system, err)
+			}
+			row.Times[system] = stepTime
+		}
+		native := float64(row.Times[baseline.Native])
+		for s, d := range row.Times {
+			row.Overhead[s] = float64(d)/native - 1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure8 formats training times and overheads.
+func RenderFigure8(rows []Fig8Row) *Table {
+	t := &Table{
+		Title:   "Figure 8: DNN training time (PyTorch-style streams)",
+		Columns: []string{"model", "dataset", "native(ms)", "trustzone", "hix-trustzone", "cronus", "cronus overhead"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Model, r.Dataset,
+			ms(r.Times[baseline.Native]),
+			ms(r.Times[baseline.TrustZone]),
+			ms(r.Times[baseline.HIX]),
+			ms(r.Times[baseline.CRONUS]),
+			fmt.Sprintf("%+.2f%%", 100*r.Overhead[baseline.CRONUS]),
+		})
+	}
+	return t
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"cronus/internal/baseline"
+	"cronus/internal/core"
+	"cronus/internal/gpu"
+	"cronus/internal/sim"
+	"cronus/internal/spm"
+)
+
+// fig9Kernel is the matrix-computing task kernel: a fixed-cost launch
+// standing in for the FVP experiment's recorded GPU execution times (§VI-D).
+const fig9Kernel = "fig9_matrix_task"
+
+func registerFig9Kernel(sms float64) {
+	gpu.Register(&gpu.Kernel{
+		Name: fig9Kernel,
+		Cost: func(gpu.Dim, []uint64) gpu.LaunchCost {
+			return gpu.LaunchCost{Work: 2 * sim.Millisecond, SMDemand: sms * 0.6}
+		},
+		Func: func(e *gpu.Exec) error {
+			buf, err := e.Bytes(e.Arg(0), 64)
+			if err != nil {
+				return err
+			}
+			f := gpu.F32(buf)
+			f.Set(0, f.Get(0)+1)
+			return nil
+		},
+	})
+}
+
+// Fig9Result is the failover timeline: completions per bucket for the two
+// tasks, plus the measured recovery characteristics.
+type Fig9Result struct {
+	BucketMS     float64
+	Buckets      int
+	TaskA, TaskB []int
+	CrashAt      sim.Time
+	ReadyAt      sim.Time // partition recovered (r_f back to 0)
+	ResumedAt    sim.Time // task B's first completion after resubmission
+	MOSDowntime  sim.Duration
+	RebootTime   sim.Duration // what the monolithic systems would pay
+}
+
+// Figure9 reproduces the failover experiment: two matrix tasks in separate
+// S-EL2 partitions; one partition is crashed mid-run; CRONUS recovers only
+// that partition with the proceed-trap procedure while the other task is
+// undisturbed; the failed task is resubmitted once the mOS restarts.
+func Figure9() (*Fig9Result, error) {
+	const bucket = 50 * sim.Millisecond
+	const horizon = 1200 * sim.Millisecond
+	const crashAt = 300 * sim.Millisecond
+	res := &Fig9Result{
+		BucketMS: bucket.Milliseconds(),
+		Buckets:  int(horizon / bucket),
+	}
+	res.TaskA = make([]int, res.Buckets)
+	res.TaskB = make([]int, res.Buckets)
+
+	err := core.Run(func() core.Config {
+		cfg := core.DefaultConfig()
+		cfg.GPUs = 2
+		return cfg
+	}(), func(pl *core.Platform, p *sim.Proc) error {
+		registerFig9Kernel(pl.GPUs[0].Dev.SMs())
+		res.RebootTime = baseline.RecoveryTime(baseline.TrustZone, pl.Costs)
+		k := pl.K
+		wg := sim.NewWaitGroup(k)
+
+		runTask := func(name, partition string, series []int, restartable bool) {
+			wg.Add(1)
+			k.Spawn(name, func(tp *sim.Proc) {
+				defer wg.Done()
+				s, err := pl.NewSession(tp, name)
+				if err != nil {
+					return
+				}
+				connect := func() (*core.CUDAConn, uint64, error) {
+					c, err := s.OpenCUDA(tp, core.CUDAOptions{
+						Cubin: gpu.BuildCubin(fig9Kernel), Partition: partition,
+						Name: fmt.Sprintf("%s-%d", name, tp.Now()),
+					})
+					if err != nil {
+						return nil, 0, err
+					}
+					ptr, err := c.MemAlloc(tp, 64)
+					return c, ptr, err
+				}
+				conn, ptr, err := connect()
+				if err != nil {
+					return
+				}
+				for tp.Now() < sim.Time(horizon) {
+					err := conn.Launch(tp, fig9Kernel, gpu.Dim{1, 1, 1}, ptr)
+					if err == nil {
+						err = conn.Sync(tp)
+					}
+					if err != nil {
+						if !restartable {
+							return
+						}
+						// The partition failed: wait for the SPM to
+						// finish the mOS restart, then resubmit.
+						part := pl.GPUs[1].Part
+						pl.SPM.AwaitReady(tp, part)
+						tp.Sleep(time500us())
+						conn, ptr, err = connect()
+						if err != nil {
+							var pf *spm.PeerFault
+							if errors.As(err, &pf) {
+								continue
+							}
+							return
+						}
+						continue
+					}
+					b := int(tp.Now() / sim.Time(bucket))
+					if b >= 0 && b < len(series) {
+						series[b]++
+					}
+					if restartable && res.ResumedAt == 0 && tp.Now() > res.CrashAt && res.CrashAt > 0 {
+						res.ResumedAt = tp.Now()
+					}
+				}
+			})
+		}
+		runTask("task-a", "gpu-part0", res.TaskA, false)
+		runTask("task-b", "gpu-part1", res.TaskB, true)
+
+		// Crash injector.
+		k.Spawn("crash", func(cp *sim.Proc) {
+			cp.Sleep(crashAt)
+			res.CrashAt = cp.Now()
+			rec := pl.SPM.Fail(pl.GPUs[1].Part, spm.FailPanic)
+			if rec != nil {
+				pl.SPM.AwaitReady(cp, pl.GPUs[1].Part)
+				res.ReadyAt = cp.Now()
+				res.MOSDowntime = rec.Downtime()
+			}
+		})
+
+		wg.Wait(p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func time500us() sim.Duration { return 500 * sim.Microsecond }
+
+// RenderFigure9 formats the throughput timeline.
+func RenderFigure9(r *Fig9Result) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure 9: failover timeline (crash at %.0fms; mOS restart %.0fms vs reboot %.0fms)",
+			float64(r.CrashAt)/1e6, r.MOSDowntime.Milliseconds(), r.RebootTime.Milliseconds()),
+		Columns: []string{"bucket(ms)", "task-a completions", "task-b completions"},
+	}
+	for i := 0; i < r.Buckets; i++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f-%.0f", float64(i)*r.BucketMS, float64(i+1)*r.BucketMS),
+			fmt.Sprintf("%d", r.TaskA[i]),
+			fmt.Sprintf("%d", r.TaskB[i]),
+		})
+	}
+	return t
+}

@@ -1,0 +1,302 @@
+// Package gpu implements the functional GPU device model used by CRONUS's
+// CUDA mEnclaves: device memory with per-context virtual-address isolation,
+// a kernel execution engine modelling streaming-multiprocessor occupancy
+// (with MPS-style spatial sharing), DMA copy engines, PCIe peer-to-peer
+// copies, and a fused device key for hardware authenticity attestation.
+//
+// Kernels really execute: they are Go functions operating on device memory,
+// registered in a global registry and referenced from "cubin" module images,
+// so workloads produce verifiable numerical results while the engine charges
+// calibrated virtual time.
+package gpu
+
+import (
+	"fmt"
+	"sort"
+
+	"cronus/internal/attest"
+	"cronus/internal/sim"
+)
+
+// Device is one GPU. It implements hw.Device.
+type Device struct {
+	name    string
+	k       *sim.Kernel
+	costs   *sim.CostModel
+	memSize uint64
+	memUsed uint64
+
+	sms       *sim.PSEngine // compute engine (SM pool)
+	copyEng   *sim.Resource // DMA copy engines
+	exclusive *sim.Resource // whole-device lock when MPS is off
+	mps       bool          // spatial sharing enabled
+	migSlices int           // >0: MIG-style static SM slices
+	contexts  map[int]*Context
+	nextCtx   int
+	gen       uint64 // bumped on Reset; stale contexts die
+
+	priv attest.PrivateKey // fused device key (PvK_acc)
+}
+
+// Config sizes a GPU.
+type Config struct {
+	Name     string
+	MemBytes uint64
+	SMs      int
+	CopyEngs int
+	MPS      bool   // allow concurrent kernels from different contexts
+	KeySeed  string // device key fuse material
+}
+
+// TuringConfig approximates the paper's GTX 2080: 46 SMs, 8 GB, 2 copy
+// engines. The nouveau/gdev stack in the paper has no MIG, but the GPU model
+// supports MPS-style concurrent kernel execution (§VI-C).
+func TuringConfig(name string) Config {
+	return Config{Name: name, MemBytes: 8 << 30, SMs: 46, CopyEngs: 2, MPS: true, KeySeed: "turing/" + name}
+}
+
+// New creates a GPU device.
+func New(k *sim.Kernel, costs *sim.CostModel, cfg Config) *Device {
+	if cfg.SMs <= 0 {
+		cfg.SMs = 46
+	}
+	if cfg.CopyEngs <= 0 {
+		cfg.CopyEngs = 2
+	}
+	return &Device{
+		name:      cfg.Name,
+		k:         k,
+		costs:     costs,
+		memSize:   cfg.MemBytes,
+		sms:       sim.NewPSEngine(k, cfg.Name+"/sms", float64(cfg.SMs)),
+		copyEng:   sim.NewResource(k, cfg.Name+"/copy", cfg.CopyEngs),
+		exclusive: sim.NewResource(k, cfg.Name+"/excl", 1),
+		mps:       cfg.MPS,
+		contexts:  make(map[int]*Context),
+		priv:      attest.KeyFromSeed([]byte("gpu-device-key/" + cfg.KeySeed)),
+	}
+}
+
+// Name implements hw.Device.
+func (d *Device) Name() string { return d.name }
+
+// SMs returns the compute capacity in SM units.
+func (d *Device) SMs() float64 { return d.sms.Capacity() }
+
+// MemBytes returns total device memory.
+func (d *Device) MemBytes() uint64 { return d.memSize }
+
+// MemUsed returns allocated device memory.
+func (d *Device) MemUsed() uint64 { return d.memUsed }
+
+// SetMPS enables or disables spatial sharing (concurrent kernels from
+// different contexts).
+func (d *Device) SetMPS(on bool) { d.mps = on }
+
+// MPS reports whether spatial sharing is enabled.
+func (d *Device) MPS() bool { return d.mps }
+
+// ConfigureMIG statically partitions the SM pool into n equal slices
+// (NVIDIA MIG-style, the isolation mechanism §V-B notes CRONUS would use
+// when hardware provides it): every kernel's demand is capped to one
+// slice, so tenants can never contend — stronger isolation than MPS at the
+// cost of leaving capacity idle when a kernel could have used more.
+// n = 0 disables MIG.
+func (d *Device) ConfigureMIG(n int) {
+	d.migSlices = n
+}
+
+// MIGSlices returns the configured slice count (0 = disabled).
+func (d *Device) MIGSlices() int { return d.migSlices }
+
+// Reset implements hw.Device: it drops every context and scrubs all device
+// memory — the SPM's failure-clearing hook (A3).
+func (d *Device) Reset() {
+	for _, c := range d.contexts {
+		for _, s := range c.spans {
+			for i := range s.buf {
+				s.buf[i] = 0
+			}
+		}
+	}
+	d.contexts = make(map[int]*Context)
+	d.memUsed = 0
+	d.gen++
+	d.sms.Drain()
+}
+
+// PubKey returns the device's authenticity public key (PubK_acc).
+func (d *Device) PubKey() attest.PublicKey { return d.priv.Public().(attest.PublicKey) }
+
+// Authenticate signs a challenge, proving possession of the fused key — the
+// mOS uses this to verify the accelerator is genuine before registering it
+// for attestation (§IV-A).
+func (d *Device) Authenticate(challenge []byte) []byte {
+	return attest.Sign(d.priv, challenge)
+}
+
+// CreateContext makes an isolated GPU context (own VA space, own memory).
+func (d *Device) CreateContext() *Context {
+	d.nextCtx++
+	c := &Context{id: d.nextCtx, dev: d, gen: d.gen, modules: make(map[string]*Kernel)}
+	d.contexts[c.id] = c
+	return c
+}
+
+// DestroyContext frees all of a context's memory (scrubbed).
+func (d *Device) DestroyContext(c *Context) {
+	if d.contexts[c.id] != c {
+		return
+	}
+	for _, s := range c.spans {
+		for i := range s.buf {
+			s.buf[i] = 0
+		}
+		d.memUsed -= s.size
+	}
+	c.spans = nil
+	delete(d.contexts, c.id)
+}
+
+// ErrStaleContext reports use of a context from before a device reset.
+var ErrStaleContext = fmt.Errorf("gpu: context predates device reset")
+
+// span is one device memory allocation (contiguous VA and backing).
+type span struct {
+	va   uint64
+	size uint64
+	buf  []byte
+}
+
+// Context is a GPU context: an isolated VA space with its loaded modules.
+// Contexts are how CRONUS isolates co-resident CUDA mEnclaves on one GPU
+// (§V-B "GPU virtual address isolation").
+type Context struct {
+	id      int
+	dev     *Device
+	gen     uint64
+	spans   []*span // sorted by va
+	nextVA  uint64
+	modules map[string]*Kernel
+}
+
+// ID returns the context id.
+func (c *Context) ID() int { return c.id }
+
+func (c *Context) check() error {
+	if c.gen != c.dev.gen {
+		return ErrStaleContext
+	}
+	return nil
+}
+
+// MemAlloc allocates n bytes of device memory and returns its device VA.
+func (c *Context) MemAlloc(n uint64) (uint64, error) {
+	if err := c.check(); err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("gpu: zero-byte allocation")
+	}
+	if c.dev.memUsed+n > c.dev.memSize {
+		return 0, fmt.Errorf("gpu: out of device memory (%d used of %d)", c.dev.memUsed, c.dev.memSize)
+	}
+	// VA layout: context id in the top bits makes cross-context pointer
+	// forgery structurally impossible to resolve.
+	va := uint64(c.id)<<40 | (c.nextVA + 0x1000)
+	c.nextVA += (n + 0xfff) &^ 0xfff
+	s := &span{va: va, size: n, buf: make([]byte, n)}
+	c.spans = append(c.spans, s)
+	sort.Slice(c.spans, func(i, j int) bool { return c.spans[i].va < c.spans[j].va })
+	c.dev.memUsed += n
+	return va, nil
+}
+
+// MemFree releases an allocation (scrubbed).
+func (c *Context) MemFree(va uint64) error {
+	for i, s := range c.spans {
+		if s.va == va {
+			for j := range s.buf {
+				s.buf[j] = 0
+			}
+			c.dev.memUsed -= s.size
+			c.spans = append(c.spans[:i], c.spans[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("gpu: MemFree(%#x): no such allocation", va)
+}
+
+// resolve finds the span containing [ptr, ptr+n).
+func (c *Context) resolve(ptr uint64, n int) ([]byte, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	i := sort.Search(len(c.spans), func(i int) bool { return c.spans[i].va+c.spans[i].size > ptr })
+	if i < len(c.spans) {
+		s := c.spans[i]
+		if ptr >= s.va && ptr+uint64(n) <= s.va+s.size {
+			off := ptr - s.va
+			return s.buf[off : off+uint64(n)], nil
+		}
+	}
+	return nil, fmt.Errorf("gpu: invalid device pointer %#x (+%d) in context %d", ptr, n, c.id)
+}
+
+// HtoD copies host bytes to device memory, occupying a copy engine for the
+// PCIe transfer time.
+func (c *Context) HtoD(p *sim.Proc, dst uint64, src []byte) error {
+	buf, err := c.resolve(dst, len(src))
+	if err != nil {
+		return err
+	}
+	c.dev.copyEng.Use(p, 1, c.dev.costs.DMA(len(src)))
+	copy(buf, src)
+	return nil
+}
+
+// DtoH copies device memory to host bytes.
+func (c *Context) DtoH(p *sim.Proc, dst []byte, src uint64) error {
+	buf, err := c.resolve(src, len(dst))
+	if err != nil {
+		return err
+	}
+	c.dev.copyEng.Use(p, 1, c.dev.costs.DMA(len(dst)))
+	copy(dst, buf)
+	return nil
+}
+
+// DtoD copies within the device (no PCIe; modelled at memcpy bandwidth).
+func (c *Context) DtoD(p *sim.Proc, dst, src uint64, n int) error {
+	sb, err := c.resolve(src, n)
+	if err != nil {
+		return err
+	}
+	db, err := c.resolve(dst, n)
+	if err != nil {
+		return err
+	}
+	c.dev.copyEng.Use(p, 1, c.dev.costs.Memcpy(n))
+	copy(db, sb)
+	return nil
+}
+
+// CopyPeer copies between two devices over PCIe (GPU P2P, Figure 11b).
+func CopyPeer(p *sim.Proc, dst *Context, dstPtr uint64, src *Context, srcPtr uint64, n int) error {
+	sb, err := src.resolve(srcPtr, n)
+	if err != nil {
+		return err
+	}
+	db, err := dst.resolve(dstPtr, n)
+	if err != nil {
+		return err
+	}
+	// Both devices' copy engines are busy for the transfer.
+	src.dev.copyEng.Acquire(p, 1)
+	dst.dev.copyEng.Acquire(p, 1)
+	p.Sleep(src.dev.costs.DMA(n))
+	src.dev.copyEng.Release(1)
+	dst.dev.copyEng.Release(1)
+	copy(db, sb)
+	return nil
+}

@@ -1,0 +1,187 @@
+package gpu
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+
+	"cronus/internal/sim"
+	"cronus/internal/trace"
+)
+
+// Dim is a kernel launch grid (blocks × threads folded into three axes).
+type Dim [3]int
+
+// Elems returns the total number of launch elements.
+func (d Dim) Elems() int {
+	n := 1
+	for _, v := range d {
+		if v > 0 {
+			n *= v
+		}
+	}
+	return n
+}
+
+// LaunchCost is the execution model of one kernel launch: Work is the ideal
+// duration at full SM allocation, SMDemand is how many SMs the grid fills.
+type LaunchCost struct {
+	Work     sim.Duration
+	SMDemand float64
+}
+
+// Exec is the environment a kernel function executes in.
+type Exec struct {
+	Ctx  *Context
+	Grid Dim
+	Args []uint64
+}
+
+// Bytes resolves a device pointer argument into device memory.
+func (e *Exec) Bytes(ptr uint64, n int) ([]byte, error) { return e.Ctx.resolve(ptr, n) }
+
+// Arg returns the i-th launch argument.
+func (e *Exec) Arg(i int) uint64 { return e.Args[i] }
+
+// Kernel is a GPU kernel: a real computation plus its cost model.
+type Kernel struct {
+	Name string
+	// Func performs the computation on device memory.
+	Func func(e *Exec) error
+	// Cost models the launch duration and SM footprint.
+	Cost func(grid Dim, args []uint64) LaunchCost
+}
+
+// registry maps kernel names to implementations — the simulation's stand-in
+// for compiled SASS inside a cubin.
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]*Kernel)
+)
+
+// Register installs a kernel implementation. Re-registering the same name
+// replaces it (tests rely on this).
+func Register(k *Kernel) {
+	if k.Name == "" || k.Func == nil || k.Cost == nil {
+		panic("gpu: Register: kernel needs Name, Func and Cost")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[k.Name] = k
+}
+
+func lookup(name string) (*Kernel, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	k, ok := registry[name]
+	return k, ok
+}
+
+// BuildCubin serializes a module image referencing the named kernels. The
+// bytes are what manifests hash and attestation measures.
+func BuildCubin(names ...string) []byte {
+	var b bytes.Buffer
+	b.WriteString("CUBIN v1\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "kernel %s\n", n)
+	}
+	return b.Bytes()
+}
+
+// ParseCubin extracts the kernel names from a module image.
+func ParseCubin(image []byte) ([]string, error) {
+	sc := bufio.NewScanner(bytes.NewReader(image))
+	if !sc.Scan() || sc.Text() != "CUBIN v1" {
+		return nil, fmt.Errorf("gpu: not a cubin image")
+	}
+	var names []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		name, ok := strings.CutPrefix(line, "kernel ")
+		if !ok {
+			return nil, fmt.Errorf("gpu: bad cubin line %q", line)
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// LoadModule loads a cubin image into the context, binding each referenced
+// kernel. Loading fails if a kernel is not present in the "hardware"
+// registry (like a missing SASS section).
+func (c *Context) LoadModule(image []byte) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	names, err := ParseCubin(image)
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		k, ok := lookup(n)
+		if !ok {
+			return fmt.Errorf("gpu: cubin references unknown kernel %q", n)
+		}
+		c.modules[n] = k
+	}
+	return nil
+}
+
+// Launch executes a kernel synchronously at driver level: the caller's proc
+// occupies the SM engine for the modelled duration and the computation runs
+// on device memory. Streaming/asynchrony is provided above this layer by
+// sRPC (§IV-C).
+func (c *Context) Launch(p *sim.Proc, name string, grid Dim, args ...uint64) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	k, ok := c.modules[name]
+	if !ok {
+		return fmt.Errorf("gpu: kernel %q not loaded in context %d", name, c.id)
+	}
+	cost := k.Cost(grid, args)
+	if c.dev.migSlices > 0 {
+		// MIG: the kernel runs inside its context's static slice. Work
+		// stretches by the demand it loses; the engine never sees
+		// cross-tenant contention.
+		slice := c.dev.sms.Capacity() / float64(c.dev.migSlices)
+		if cost.SMDemand > slice {
+			cost.Work = sim.Duration(float64(cost.Work) * cost.SMDemand / slice)
+			cost.SMDemand = slice
+		}
+	}
+	p.Sleep(c.dev.costs.KernelDispatch)
+	endSpan := trace.Default.Span(p, "gpu", c.dev.name, name)
+	defer endSpan()
+	if c.dev.mps || c.dev.migSlices > 0 {
+		// Spatial sharing: kernels from different contexts share the
+		// SM pool concurrently.
+		c.dev.sms.Run(p, cost.SMDemand, cost.Work)
+	} else {
+		// Temporal sharing: one context owns the whole device at a time.
+		c.dev.exclusive.Acquire(p, 1)
+		c.dev.sms.Run(p, cost.SMDemand, cost.Work)
+		c.dev.exclusive.Release(1)
+	}
+	if err := c.check(); err != nil {
+		// The device was reset (partition failure) while we computed.
+		return err
+	}
+	return k.Func(&Exec{Ctx: c, Grid: grid, Args: args})
+}
+
+// LinearCost builds a common cost model: perElem ns of ideal work per grid
+// element, spread over demand SMs.
+func LinearCost(perElem float64, demand float64) func(Dim, []uint64) LaunchCost {
+	return func(grid Dim, _ []uint64) LaunchCost {
+		return LaunchCost{
+			Work:     sim.Duration(perElem * float64(grid.Elems())),
+			SMDemand: demand,
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cronus/internal/sim"
+)
+
+// F32 is a float32 view over device memory bytes.
+type F32 []byte
+
+// Len returns the number of float32 elements.
+func (f F32) Len() int { return len(f) / 4 }
+
+// Get reads element i.
+func (f F32) Get(i int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(f[i*4:]))
+}
+
+// Set writes element i.
+func (f F32) Set(i int, v float32) {
+	binary.LittleEndian.PutUint32(f[i*4:], math.Float32bits(v))
+}
+
+// PackF32 encodes a float32 slice into bytes (host-side staging helper).
+func PackF32(xs []float32) []byte {
+	out := make([]byte, 4*len(xs))
+	f := F32(out)
+	for i, x := range xs {
+		f.Set(i, x)
+	}
+	return out
+}
+
+// UnpackF32 decodes bytes into float32s.
+func UnpackF32(b []byte) []float32 {
+	f := F32(b)
+	out := make([]float32, f.Len())
+	for i := range out {
+		out[i] = f.Get(i)
+	}
+	return out
+}
+
+// Device-wide FMA throughput used by the FLOP-based cost model: ~8 TFLOP/s
+// across the full SM pool, i.e. 8000 FLOPs per virtual nanosecond.
+const flopsPerNsFullDevice = 8000.0
+
+// FlopCost models a launch by FLOP count: the ideal duration at `demand` SMs
+// for a kernel whose grid performs flops(grid, args) operations on a device
+// with `sms` total SMs.
+func FlopCost(sms float64, demand float64, flops func(grid Dim, args []uint64) float64) func(Dim, []uint64) LaunchCost {
+	return func(grid Dim, args []uint64) LaunchCost {
+		rate := flopsPerNsFullDevice * demand / sms
+		return LaunchCost{
+			Work:     sim.Duration(flops(grid, args) / rate),
+			SMDemand: demand,
+		}
+	}
+}
+
+// RegisterStdKernels installs the standard kernel library (vector add,
+// saxpy, matmul, relu, elementwise scale/sub, reductions) shared by the DNN
+// workloads and examples. sms is the device SM count the cost model is
+// calibrated against.
+func RegisterStdKernels(sms float64) {
+	// vec_add: c[i] = a[i] + b[i]; args: a, b, c; grid [n].
+	Register(&Kernel{
+		Name: "vec_add",
+		Cost: FlopCost(sms, sms*0.5, func(g Dim, _ []uint64) float64 { return float64(g.Elems()) }),
+		Func: func(e *Exec) error {
+			n := e.Grid.Elems()
+			a, err := e.Bytes(e.Arg(0), n*4)
+			if err != nil {
+				return err
+			}
+			b, err := e.Bytes(e.Arg(1), n*4)
+			if err != nil {
+				return err
+			}
+			c, err := e.Bytes(e.Arg(2), n*4)
+			if err != nil {
+				return err
+			}
+			fa, fb, fc := F32(a), F32(b), F32(c)
+			for i := 0; i < n; i++ {
+				fc.Set(i, fa.Get(i)+fb.Get(i))
+			}
+			return nil
+		},
+	})
+
+	// saxpy: y[i] += alpha*x[i]; args: x, y, alphaBits; grid [n].
+	Register(&Kernel{
+		Name: "saxpy",
+		Cost: FlopCost(sms, sms*0.5, func(g Dim, _ []uint64) float64 { return 2 * float64(g.Elems()) }),
+		Func: func(e *Exec) error {
+			n := e.Grid.Elems()
+			x, err := e.Bytes(e.Arg(0), n*4)
+			if err != nil {
+				return err
+			}
+			y, err := e.Bytes(e.Arg(1), n*4)
+			if err != nil {
+				return err
+			}
+			alpha := math.Float32frombits(uint32(e.Arg(2)))
+			fx, fy := F32(x), F32(y)
+			for i := 0; i < n; i++ {
+				fy.Set(i, fy.Get(i)+alpha*fx.Get(i))
+			}
+			return nil
+		},
+	})
+
+	// matmul: C[M×N] = A[M×K] × B[K×N]; args: a, b, c, M, N, K.
+	Register(&Kernel{
+		Name: "matmul",
+		Cost: FlopCost(sms, sms*0.75, func(_ Dim, args []uint64) float64 {
+			m, n, k := float64(args[3]), float64(args[4]), float64(args[5])
+			return 2 * m * n * k
+		}),
+		Func: func(e *Exec) error {
+			m, n, k := int(e.Arg(3)), int(e.Arg(4)), int(e.Arg(5))
+			ab, err := e.Bytes(e.Arg(0), m*k*4)
+			if err != nil {
+				return err
+			}
+			bb, err := e.Bytes(e.Arg(1), k*n*4)
+			if err != nil {
+				return err
+			}
+			cb, err := e.Bytes(e.Arg(2), m*n*4)
+			if err != nil {
+				return err
+			}
+			// Unpack once: the inner loop runs on raw float32 slices.
+			a, b := UnpackF32(ab), UnpackF32(bb)
+			c := make([]float32, m*n)
+			for i := 0; i < m; i++ {
+				ar := a[i*k : (i+1)*k]
+				cr := c[i*n : (i+1)*n]
+				for t := 0; t < k; t++ {
+					av := ar[t]
+					if av == 0 {
+						continue
+					}
+					br := b[t*n : (t+1)*n]
+					for j := range cr {
+						cr[j] += av * br[j]
+					}
+				}
+			}
+			copy(cb, PackF32(c))
+			return nil
+		},
+	})
+
+	// relu: y[i] = max(0, x[i]); args: x, y; grid [n].
+	Register(&Kernel{
+		Name: "relu",
+		Cost: FlopCost(sms, sms*0.4, func(g Dim, _ []uint64) float64 { return float64(g.Elems()) }),
+		Func: func(e *Exec) error {
+			n := e.Grid.Elems()
+			x, err := e.Bytes(e.Arg(0), n*4)
+			if err != nil {
+				return err
+			}
+			y, err := e.Bytes(e.Arg(1), n*4)
+			if err != nil {
+				return err
+			}
+			fx, fy := F32(x), F32(y)
+			for i := 0; i < n; i++ {
+				v := fx.Get(i)
+				if v < 0 {
+					v = 0
+				}
+				fy.Set(i, v)
+			}
+			return nil
+		},
+	})
+
+	// scale: x[i] *= alpha; args: x, alphaBits; grid [n].
+	Register(&Kernel{
+		Name: "scale",
+		Cost: FlopCost(sms, sms*0.4, func(g Dim, _ []uint64) float64 { return float64(g.Elems()) }),
+		Func: func(e *Exec) error {
+			n := e.Grid.Elems()
+			x, err := e.Bytes(e.Arg(0), n*4)
+			if err != nil {
+				return err
+			}
+			alpha := math.Float32frombits(uint32(e.Arg(1)))
+			fx := F32(x)
+			for i := 0; i < n; i++ {
+				fx.Set(i, fx.Get(i)*alpha)
+			}
+			return nil
+		},
+	})
+
+	// sub: c[i] = a[i] - b[i]; args: a, b, c; grid [n].
+	Register(&Kernel{
+		Name: "sub",
+		Cost: FlopCost(sms, sms*0.5, func(g Dim, _ []uint64) float64 { return float64(g.Elems()) }),
+		Func: func(e *Exec) error {
+			n := e.Grid.Elems()
+			a, err := e.Bytes(e.Arg(0), n*4)
+			if err != nil {
+				return err
+			}
+			b, err := e.Bytes(e.Arg(1), n*4)
+			if err != nil {
+				return err
+			}
+			c, err := e.Bytes(e.Arg(2), n*4)
+			if err != nil {
+				return err
+			}
+			fa, fb, fc := F32(a), F32(b), F32(c)
+			for i := 0; i < n; i++ {
+				fc.Set(i, fa.Get(i)-fb.Get(i))
+			}
+			return nil
+		},
+	})
+
+	// reduce_sum: out[0] = sum(x); args: x, out; grid [n].
+	Register(&Kernel{
+		Name: "reduce_sum",
+		Cost: FlopCost(sms, sms*0.6, func(g Dim, _ []uint64) float64 { return float64(g.Elems()) }),
+		Func: func(e *Exec) error {
+			n := e.Grid.Elems()
+			x, err := e.Bytes(e.Arg(0), n*4)
+			if err != nil {
+				return err
+			}
+			out, err := e.Bytes(e.Arg(1), 4)
+			if err != nil {
+				return err
+			}
+			fx := F32(x)
+			var s float32
+			for i := 0; i < n; i++ {
+				s += fx.Get(i)
+			}
+			F32(out).Set(0, s)
+			return nil
+		},
+	})
+}
+
+// FloatBits packs a float32 into a launch argument.
+func FloatBits(v float32) uint64 { return uint64(math.Float32bits(v)) }
+
+// CheckFinite validates that a device buffer holds finite float32s — a
+// debugging helper used by tests.
+func CheckFinite(buf []byte) error {
+	f := F32(buf)
+	for i := 0; i < f.Len(); i++ {
+		v := float64(f.Get(i))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("gpu: non-finite value %v at element %d", v, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package hw
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DTNode describes one platform device in the device tree.
+type DTNode struct {
+	Name       string // instance name, e.g. "gpu0"
+	Compatible string // driver binding string, e.g. "nvidia,turing"
+	MMIOBase   uint64
+	MMIOSize   uint64
+	IRQ        int  // <0 means none
+	Secure     bool // device assigned to the secure world
+	Vendor     string
+}
+
+// DeviceTree is the platform description handed to the SPM at boot. Per
+// §IV-A the SPM accepts only a valid tree, includes its hash in attestation
+// reports, and freezes it until reboot.
+type DeviceTree struct {
+	Nodes  []DTNode
+	frozen bool
+}
+
+// Add appends a node. Panics if the tree is frozen.
+func (dt *DeviceTree) Add(n DTNode) error {
+	if dt.frozen {
+		return fmt.Errorf("hw: device tree is frozen until reboot")
+	}
+	dt.Nodes = append(dt.Nodes, n)
+	return nil
+}
+
+// Freeze locks the tree (done once during SPM initialization).
+func (dt *DeviceTree) Freeze() { dt.frozen = true }
+
+// Frozen reports whether the tree is locked.
+func (dt *DeviceTree) Frozen() bool { return dt.frozen }
+
+// Find returns the node with the given name.
+func (dt *DeviceTree) Find(name string) (DTNode, bool) {
+	for _, n := range dt.Nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return DTNode{}, false
+}
+
+// Validate enforces the TrustPath-style properties from §IV-A: no overlapping
+// MMIO ranges (MMIO remapping attacks) and no duplicate IRQs (interrupt
+// spoofing attacks). Names must be unique so dispatch is unambiguous.
+func (dt *DeviceTree) Validate() error {
+	names := make(map[string]bool)
+	irqs := make(map[int]string)
+	type span struct {
+		lo, hi uint64
+		name   string
+	}
+	var spans []span
+	for _, n := range dt.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("hw: device tree node with empty name")
+		}
+		if names[n.Name] {
+			return fmt.Errorf("hw: duplicate device tree node %q", n.Name)
+		}
+		names[n.Name] = true
+		if n.IRQ >= 0 {
+			if other, dup := irqs[n.IRQ]; dup {
+				return fmt.Errorf("hw: IRQ %d claimed by both %q and %q", n.IRQ, other, n.Name)
+			}
+			irqs[n.IRQ] = n.Name
+		}
+		if n.MMIOSize > 0 {
+			spans = append(spans, span{lo: n.MMIOBase, hi: n.MMIOBase + n.MMIOSize, name: n.Name})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			return fmt.Errorf("hw: MMIO ranges of %q and %q overlap", spans[i-1].name, spans[i].name)
+		}
+	}
+	return nil
+}
+
+// Hash produces the canonical digest of the tree included in attestation
+// reports.
+func (dt *DeviceTree) Hash() [32]byte {
+	h := sha256.New()
+	nodes := make([]DTNode, len(dt.Nodes))
+	copy(nodes, dt.Nodes)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	for _, n := range nodes {
+		h.Write([]byte(n.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(n.Compatible))
+		h.Write([]byte{0})
+		h.Write([]byte(n.Vendor))
+		h.Write([]byte{0})
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], n.MMIOBase)
+		h.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], n.MMIOSize)
+		h.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], uint64(int64(n.IRQ)))
+		h.Write(b[:])
+		if n.Secure {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// FuseBank stores hardware secrets (root-of-trust keys) burned at
+// manufacturing time. After Lock, fuses are read-only.
+type FuseBank struct {
+	fuses  map[string][]byte
+	locked bool
+}
+
+// NewFuseBank creates an empty bank.
+func NewFuseBank() *FuseBank { return &FuseBank{fuses: make(map[string][]byte)} }
+
+// Burn writes a fuse value. Fails after Lock.
+func (f *FuseBank) Burn(name string, value []byte) error {
+	if f.locked {
+		return fmt.Errorf("hw: fuse bank locked")
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	f.fuses[name] = cp
+	return nil
+}
+
+// Lock makes the bank read-only.
+func (f *FuseBank) Lock() { f.locked = true }
+
+// Read returns a copy of the fuse value. Only the secure world may read
+// fuses.
+func (f *FuseBank) Read(w World, name string) ([]byte, error) {
+	if w != SecureWorld {
+		return nil, &Fault{Kind: FaultTZPC, Space: "fuse:" + name, World: w}
+	}
+	v, ok := f.fuses[name]
+	if !ok {
+		return nil, fmt.Errorf("hw: no fuse %q", name)
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, nil
+}

@@ -1,0 +1,232 @@
+package hw
+
+import "fmt"
+
+// PhysMem is the machine's physical memory: sparse 4 KiB pages guarded by
+// the TZASC. Every read and write declares the world it originates from.
+type PhysMem struct {
+	size    uint64
+	pages   map[uint64][]byte
+	tzasc   *TZASC
+	regions map[string]*MemRegion
+}
+
+// MemRegion is a named physical range with a simple page-frame allocator.
+type MemRegion struct {
+	Name string
+	Base PA
+	Size uint64
+	next uint64 // next free page index within the region
+	free []uint64
+}
+
+// NewPhysMem creates memory of the given size guarded by tzasc.
+func NewPhysMem(size uint64, tzasc *TZASC) *PhysMem {
+	return &PhysMem{
+		size:    size,
+		pages:   make(map[uint64][]byte),
+		tzasc:   tzasc,
+		regions: make(map[string]*MemRegion),
+	}
+}
+
+// Size returns the total physical address space size in bytes.
+func (m *PhysMem) Size() uint64 { return m.size }
+
+// AddRegion registers a named allocatable region.
+func (m *PhysMem) AddRegion(name string, base PA, size uint64) {
+	m.regions[name] = &MemRegion{Name: name, Base: base, Size: size}
+}
+
+// Region returns a registered region (nil if absent).
+func (m *PhysMem) Region(name string) *MemRegion { return m.regions[name] }
+
+// AllocPages grabs n contiguous-frame-numbered pages from the named region
+// and returns the base physical address. The pages are zeroed.
+func (m *PhysMem) AllocPages(region string, n int) (PA, error) {
+	r := m.regions[region]
+	if r == nil {
+		return 0, fmt.Errorf("hw: unknown memory region %q", region)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("hw: AllocPages(%d): count must be positive", n)
+	}
+	// Reuse a freed frame for single-page requests; contiguous requests
+	// always bump-allocate.
+	if n == 1 && len(r.free) > 0 {
+		idx := r.free[len(r.free)-1]
+		r.free = r.free[:len(r.free)-1]
+		pa := r.Base + PA(idx*PageSize)
+		m.zeroPage(pa.PFN())
+		return pa, nil
+	}
+	if (r.next+uint64(n))*PageSize > r.Size {
+		return 0, fmt.Errorf("hw: region %q out of memory (%d pages requested)", region, n)
+	}
+	pa := r.Base + PA(r.next*PageSize)
+	r.next += uint64(n)
+	for i := 0; i < n; i++ {
+		m.zeroPage(pa.PFN() + uint64(i))
+	}
+	return pa, nil
+}
+
+// FreePage returns a single page to its region's free list and scrubs it.
+func (m *PhysMem) FreePage(region string, pa PA) {
+	r := m.regions[region]
+	if r == nil {
+		return
+	}
+	m.zeroPage(pa.PFN())
+	r.free = append(r.free, (uint64(pa)-uint64(r.Base))/PageSize)
+}
+
+func (m *PhysMem) zeroPage(pfn uint64) {
+	if pg, ok := m.pages[pfn]; ok {
+		for i := range pg {
+			pg[i] = 0
+		}
+	}
+}
+
+// page returns the backing slice for a frame, allocating on first touch.
+func (m *PhysMem) page(pfn uint64) []byte {
+	pg, ok := m.pages[pfn]
+	if !ok {
+		pg = make([]byte, PageSize)
+		m.pages[pfn] = pg
+	}
+	return pg
+}
+
+// Read copies len(buf) bytes starting at pa into buf, checking the TZASC for
+// every touched page against the accessing world.
+func (m *PhysMem) Read(w World, pa PA, buf []byte) error {
+	return m.access(w, pa, buf, false)
+}
+
+// Write copies data into memory starting at pa, with TZASC checks.
+func (m *PhysMem) Write(w World, pa PA, data []byte) error {
+	return m.access(w, pa, data, true)
+}
+
+func (m *PhysMem) access(w World, pa PA, buf []byte, write bool) error {
+	if uint64(pa)+uint64(len(buf)) > m.size {
+		return &Fault{Kind: FaultUnmapped, Space: "physmem", Addr: uint64(pa), World: w}
+	}
+	off := 0
+	for off < len(buf) {
+		cur := pa + PA(off)
+		if err := m.tzasc.Check(w, cur); err != nil {
+			return err
+		}
+		pg := m.page(cur.PFN())
+		po := int(cur.Offset())
+		n := PageSize - po
+		if n > len(buf)-off {
+			n = len(buf) - off
+		}
+		if write {
+			copy(pg[po:po+n], buf[off:off+n])
+		} else {
+			copy(buf[off:off+n], pg[po:po+n])
+		}
+		off += n
+	}
+	return nil
+}
+
+// ScrubPage zeroes a physical page regardless of world — used by the SPM's
+// failure-clearing logic (it runs at the highest privilege).
+func (m *PhysMem) ScrubPage(pa PA) { m.zeroPage(pa.PFN()) }
+
+// TZASC filters physical memory accesses by world, region by region
+// (the TrustZone Address Space Controller).
+type TZASC struct {
+	regions map[int]tzRegion
+	locked  bool
+}
+
+type tzRegion struct {
+	base   PA
+	size   uint64
+	secure bool
+}
+
+// NewTZASC creates an empty controller; unconfigured addresses default to
+// normal-world accessible.
+func NewTZASC() *TZASC { return &TZASC{regions: make(map[int]tzRegion)} }
+
+// SetRegion configures region slot id. Panics if the controller was locked
+// (the secure monitor locks it at boot to resist reconfiguration attacks).
+func (t *TZASC) SetRegion(id int, base PA, size uint64, secure bool) error {
+	if t.locked {
+		return fmt.Errorf("hw: TZASC locked")
+	}
+	t.regions[id] = tzRegion{base: base, size: size, secure: secure}
+	return nil
+}
+
+// Lock freezes the configuration (done by the secure monitor during boot).
+func (t *TZASC) Lock() { t.locked = true }
+
+// Locked reports whether the configuration is frozen.
+func (t *TZASC) Locked() bool { return t.locked }
+
+// Check validates a single access at pa from world w.
+func (t *TZASC) Check(w World, pa PA) error {
+	secure := false
+	for _, r := range t.regions {
+		if pa >= r.base && uint64(pa) < uint64(r.base)+r.size {
+			secure = r.secure
+			break
+		}
+	}
+	if secure && w != SecureWorld {
+		return &Fault{Kind: FaultTZASC, Space: "tzasc", Addr: uint64(pa), World: w}
+	}
+	return nil
+}
+
+// IsSecure reports whether pa falls inside a secure region.
+func (t *TZASC) IsSecure(pa PA) bool {
+	for _, r := range t.regions {
+		if pa >= r.base && uint64(pa) < uint64(r.base)+r.size {
+			return r.secure
+		}
+	}
+	return false
+}
+
+// TZPC filters peripheral (MMIO) access by world (the TrustZone Protection
+// Controller). Devices not registered default to normal-world.
+type TZPC struct {
+	secure map[string]bool
+	locked bool
+}
+
+// NewTZPC creates an empty controller.
+func NewTZPC() *TZPC { return &TZPC{secure: make(map[string]bool)} }
+
+// SetSecure assigns a device to the secure world.
+func (t *TZPC) SetSecure(dev string, secure bool) error {
+	if t.locked {
+		return fmt.Errorf("hw: TZPC locked")
+	}
+	t.secure[dev] = secure
+	return nil
+}
+
+// Lock freezes the configuration.
+func (t *TZPC) Lock() { t.locked = true }
+
+// Check validates access to dev from world w.
+func (t *TZPC) Check(w World, dev string) error {
+	if t.secure[dev] && w != SecureWorld {
+		return &Fault{Kind: FaultTZPC, Space: "tzpc:" + dev, World: w}
+	}
+	return nil
+}
+
+// IsSecure reports whether the device is assigned to the secure world.
+func (t *TZPC) IsSecure(dev string) bool { return t.secure[dev] }

@@ -1,0 +1,213 @@
+package driver_test
+
+import (
+	"strings"
+	"testing"
+
+	"cronus/internal/gpu"
+	"cronus/internal/mos/driver"
+	"cronus/internal/npu"
+	"cronus/internal/sim"
+	"cronus/internal/testrig"
+	"cronus/internal/wire"
+)
+
+// model builds a CUDA model through the rig's GPU HAL.
+func cudaModel(t *testing.T, rig *testrig.Rig, p *sim.Proc) *driver.CUDAModel {
+	t.Helper()
+	m, err := rig.GPUOS.HAL.NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, ok := m.(*driver.CUDAModel)
+	if !ok {
+		t.Fatalf("model type %T", m)
+	}
+	if err := cm.Create(p, gpu.BuildCubin("vec_add")); err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+func TestCUDAModelArgValidation(t *testing.T) {
+	err := testrig.Run(testrig.DefaultOptions(), func(rig *testrig.Rig, _ []testrig.ExtraGPU, p *sim.Proc) error {
+		m := cudaModel(t, rig, p)
+		// Truncated arguments are rejected, not mis-decoded.
+		if _, err := m.Call(p, driver.CallMemAlloc, []byte{1, 2}); err == nil {
+			t.Error("truncated MemAlloc args accepted")
+		}
+		if _, err := m.Call(p, driver.CallHtoD, []byte{0}); err == nil {
+			t.Error("truncated HtoD args accepted")
+		}
+		if _, err := m.Call(p, driver.CallLaunch, []byte{9}); err == nil {
+			t.Error("truncated Launch args accepted")
+		}
+		// Unknown mECall name.
+		if _, err := m.Call(p, "cuWarpDrive", nil); err == nil || !strings.Contains(err.Error(), "unknown CUDA mECall") {
+			t.Errorf("err = %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCUDAModelLifecycle(t *testing.T) {
+	err := testrig.Run(testrig.DefaultOptions(), func(rig *testrig.Rig, _ []testrig.ExtraGPU, p *sim.Proc) error {
+		m := cudaModel(t, rig, p)
+		res, err := m.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(64))
+		if err != nil {
+			return err
+		}
+		ptr, err := driver.DecodePtr(res)
+		if err != nil {
+			return err
+		}
+		if _, err := m.Call(p, driver.CallHtoD, driver.EncodeHtoD(ptr, make([]byte, 64))); err != nil {
+			return err
+		}
+		if _, err := m.Call(p, driver.CallMemFree, driver.EncodeMemFree(ptr)); err != nil {
+			return err
+		}
+		// Freed pointer: the device rejects the access.
+		if _, err := m.Call(p, driver.CallHtoD, driver.EncodeHtoD(ptr, make([]byte, 4))); err == nil {
+			t.Error("use-after-free accepted")
+		}
+		m.Destroy(p)
+		if _, err := m.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(4)); err == nil {
+			t.Error("destroyed model still callable")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCUDAModelRejectsBadCubin(t *testing.T) {
+	err := testrig.Run(testrig.DefaultOptions(), func(rig *testrig.Rig, _ []testrig.ExtraGPU, p *sim.Proc) error {
+		m, err := rig.GPUOS.HAL.NewModel(p)
+		if err != nil {
+			return err
+		}
+		if err := m.Create(p, []byte("MZ...PE windows binary")); err == nil {
+			t.Error("garbage image loaded as cubin")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNPUModelInsnCodec(t *testing.T) {
+	insns := []npu.Insn{
+		{Op: npu.OpLoad, Mem: npu.MemWgt, DRAMAddr: 0x1234, SRAMIdx: 7, Count: 3},
+		{Op: npu.OpGemm, InpIdx: 1, WgtIdx: 2, AccIdx: 3, InpStride: 1, WgtStride: 2, AccStride: 0, Count: 9, Reset: true},
+		{Op: npu.OpAlu, Alu: npu.AluShr, DstIdx: 4, UseImm: true, Imm: -2, Count: 5},
+		{Op: npu.OpFinish},
+	}
+	enc := driver.EncodeInsns(insns)
+	got, err := driver.DecodeInsns(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(insns) {
+		t.Fatalf("decoded %d insns", len(got))
+	}
+	for i := range insns {
+		if got[i] != insns[i] {
+			t.Fatalf("insn %d mismatch: %+v vs %+v", i, got[i], insns[i])
+		}
+	}
+	if _, err := driver.DecodeInsns([]byte("ELF")); err == nil {
+		t.Fatal("garbage decoded as VTA program")
+	}
+}
+
+func TestNPUModelValidatesProgramImage(t *testing.T) {
+	err := testrig.Run(testrig.DefaultOptions(), func(rig *testrig.Rig, _ []testrig.ExtraGPU, p *sim.Proc) error {
+		m, err := rig.NPUOS.HAL.NewModel(p)
+		if err != nil {
+			return err
+		}
+		if err := m.Create(p, []byte("not a vta program")); err == nil {
+			t.Error("bad NPU image accepted")
+		}
+		// Valid image and nil image both load.
+		m2, _ := rig.NPUOS.HAL.NewModel(p)
+		if err := m2.Create(p, driver.EncodeInsns([]npu.Insn{{Op: npu.OpFinish}})); err != nil {
+			t.Errorf("valid program rejected: %v", err)
+		}
+		m3, _ := rig.NPUOS.HAL.NewModel(p)
+		if err := m3.Create(p, nil); err != nil {
+			t.Errorf("nil image rejected: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNPUModelRunAndSync(t *testing.T) {
+	err := testrig.Run(testrig.DefaultOptions(), func(rig *testrig.Rig, _ []testrig.ExtraGPU, p *sim.Proc) error {
+		m, err := rig.NPUOS.HAL.NewModel(p)
+		if err != nil {
+			return err
+		}
+		if err := m.Create(p, nil); err != nil {
+			return err
+		}
+		res, err := m.Call(p, driver.CallVTAMemAlloc, driver.EncodeMemAlloc(256))
+		if err != nil {
+			return err
+		}
+		addr, _ := driver.DecodePtr(res)
+		if _, err := m.Call(p, driver.CallVTAHtoD, driver.EncodeHtoD(addr, make([]byte, 256))); err != nil {
+			return err
+		}
+		prog := driver.EncodeInsns([]npu.Insn{
+			{Op: npu.OpLoad, Mem: npu.MemInp, DRAMAddr: addr, Count: 4},
+			{Op: npu.OpFinish},
+		})
+		if _, err := m.Call(p, driver.CallVTARun, prog); err != nil {
+			return err
+		}
+		if _, err := m.Call(p, driver.CallVTASync, nil); err != nil {
+			return err
+		}
+		out, err := m.Call(p, driver.CallVTADtoH, driver.EncodeDtoH(addr, 16))
+		if err != nil {
+			return err
+		}
+		blob, err := driver.DecodeBlob(out)
+		if err != nil || len(blob) != 16 {
+			t.Errorf("DtoH blob %d bytes, err=%v", len(blob), err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverEncodersDecoders(t *testing.T) {
+	// EncodeLaunch round-trips through a wire decoder the way the model
+	// parses it.
+	args := driver.EncodeLaunch("matmul", gpu.Dim{4, 5, 6}, 10, 20)
+	d := wire.NewDecoder(args)
+	if d.Str() != "matmul" {
+		t.Fatal("kernel name mangled")
+	}
+	if d.U32() != 4 || d.U32() != 5 || d.U32() != 6 {
+		t.Fatal("grid mangled")
+	}
+	if d.U32() != 2 || d.U64() != 10 || d.U64() != 20 {
+		t.Fatal("args mangled")
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}

@@ -1,0 +1,234 @@
+package driver
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cronus/internal/attest"
+	"cronus/internal/enclave"
+	"cronus/internal/gpu"
+	"cronus/internal/mos"
+	"cronus/internal/sim"
+	"cronus/internal/wire"
+)
+
+// GPU is the GPU partition's HAL: the nouveau-style driver plus the
+// gdev-style runtime factory. It authenticates the physical device at init
+// and hands each CUDA mEnclave an isolated GPU context (§V-B).
+type GPU struct {
+	dev    *gpu.Device
+	costs  *sim.CostModel
+	vendor string
+	cert   []byte // vendor CA endorsement of the device key
+	nonce  uint64
+	irqs   int
+}
+
+// NewGPU creates the GPU HAL for a device whose key the named vendor
+// endorsed with cert.
+func NewGPU(dev *gpu.Device, costs *sim.CostModel, vendor string, cert []byte) *GPU {
+	return &GPU{dev: dev, costs: costs, vendor: vendor, cert: cert}
+}
+
+// DeviceType implements mos.HAL.
+func (g *GPU) DeviceType() string { return "gpu" }
+
+// Init implements mos.HAL: map the BARs (TZPC-checked), challenge the device
+// to prove possession of its fused key (authenticity, §IV-A), and register
+// the key with the SPM for attestation reports.
+func (g *GPU) Init(p *sim.Proc, sh *mos.Shim) error {
+	if err := sh.Ioremap(p); err != nil {
+		return err
+	}
+	g.nonce++
+	var challenge [16]byte
+	binary.LittleEndian.PutUint64(challenge[:], g.nonce)
+	copy(challenge[8:], sh.DeviceName())
+	sig := g.dev.Authenticate(challenge[:])
+	p.Sleep(g.costs.VerifyFixed)
+	if !attest.Verify(g.dev.PubKey(), challenge[:], sig) {
+		return fmt.Errorf("driver: device %q failed authenticity check (fabricated accelerator?)", sh.DeviceName())
+	}
+	sh.RegisterDeviceKey(g.vendor, g.dev.PubKey(), g.cert)
+	// request_irq: fault/completion interrupts from the device are routed
+	// to this partition's line (secure-world only, spoof-checked by the
+	// GIC against the device tree).
+	if err := sh.RequestIRQ(func() { g.irqs++ }); err != nil {
+		return err
+	}
+	return nil
+}
+
+// IRQs reports how many device interrupts the driver has handled.
+func (g *GPU) IRQs() int { return g.irqs }
+
+// NewModel implements mos.HAL.
+func (g *GPU) NewModel(p *sim.Proc) (enclave.Model, error) {
+	p.Sleep(g.costs.EnclaveEntry)
+	return &CUDAModel{hal: g}, nil
+}
+
+// Reset implements mos.HAL.
+func (g *GPU) Reset() {}
+
+// Device exposes the underlying device (experiments configure MPS through
+// it).
+func (g *GPU) Device() *gpu.Device { return g.dev }
+
+// CUDAModel is the CUDA mEnclave runtime (gdev/ocelot stand-in): its image
+// is a cubin and its mECalls are the CUDA driver API surface.
+type CUDAModel struct {
+	hal *GPU
+	ctx *gpu.Context
+}
+
+// Create implements enclave.Model: parse the CUDA ELF and load it into a
+// fresh isolated GPU context (me_create for CUDA, §IV-A).
+func (m *CUDAModel) Create(p *sim.Proc, image []byte) error {
+	m.ctx = m.hal.dev.CreateContext()
+	if len(image) == 0 {
+		return nil // fixed-function / modules loaded later
+	}
+	p.Sleep(m.hal.costs.Hash(len(image))) // image parse pass
+	return m.ctx.LoadModule(image)
+}
+
+// CUDA mECall names served by every CUDA mEnclave.
+const (
+	CallMemAlloc = "cuMemAlloc"
+	CallMemFree  = "cuMemFree"
+	CallHtoD     = "cuMemcpyHtoD"
+	CallDtoH     = "cuMemcpyDtoH"
+	CallLaunch   = "cuLaunchKernel"
+	CallSync     = "cuCtxSynchronize"
+)
+
+// CUDAEDL returns the EDL for CUDA mEnclaves: launches and HtoD copies
+// stream asynchronously; allocation and DtoH return data, so they are
+// synchronous (§IV-C: "checks the progress ... only when it needs data").
+func CUDAEDL() []byte {
+	return enclave.BuildEDL(
+		enclave.MECallSpec{Name: CallMemAlloc, Async: false},
+		enclave.MECallSpec{Name: CallMemFree, Async: true},
+		enclave.MECallSpec{Name: CallHtoD, Async: true},
+		enclave.MECallSpec{Name: CallDtoH, Async: false},
+		enclave.MECallSpec{Name: CallLaunch, Async: true},
+		enclave.MECallSpec{Name: CallSync, Async: false},
+	)
+}
+
+// Call implements enclave.Model.
+func (m *CUDAModel) Call(p *sim.Proc, name string, args []byte) ([]byte, error) {
+	if m.ctx == nil {
+		return nil, fmt.Errorf("driver: CUDA model not created")
+	}
+	d := wire.NewDecoder(args)
+	switch name {
+	case CallMemAlloc:
+		size := d.U64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		ptr, err := m.ctx.MemAlloc(size)
+		if err != nil {
+			return nil, err
+		}
+		return wire.NewEncoder().U64(ptr).Bytes(), nil
+	case CallMemFree:
+		ptr := d.U64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, m.ctx.MemFree(ptr)
+	case CallHtoD:
+		dst := d.U64()
+		data := d.Blob()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, m.ctx.HtoD(p, dst, data)
+	case CallDtoH:
+		src := d.U64()
+		n := d.U64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, n)
+		if err := m.ctx.DtoH(p, buf, src); err != nil {
+			return nil, err
+		}
+		return wire.NewEncoder().Blob(buf).Bytes(), nil
+	case CallLaunch:
+		kname := d.Str()
+		var grid gpu.Dim
+		for i := range grid {
+			grid[i] = int(d.U32())
+		}
+		n := d.U32()
+		kargs := make([]uint64, n)
+		for i := range kargs {
+			kargs[i] = d.U64()
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, m.ctx.Launch(p, kname, grid, kargs...)
+	case CallSync:
+		// Device-level synchronization: in the model, launches already
+		// completed when executed; charge the driver round trip.
+		p.Sleep(m.hal.costs.DeviceMMIO)
+		return nil, nil
+	}
+	return nil, fmt.Errorf("driver: unknown CUDA mECall %q", name)
+}
+
+// Destroy implements enclave.Model.
+func (m *CUDAModel) Destroy(*sim.Proc) {
+	if m.ctx != nil {
+		m.hal.dev.DestroyContext(m.ctx)
+		m.ctx = nil
+	}
+}
+
+// EncodeLaunch builds cuLaunchKernel arguments (client-side helper).
+func EncodeLaunch(kernel string, grid gpu.Dim, kargs ...uint64) []byte {
+	e := wire.NewEncoder().Str(kernel)
+	for _, g := range grid {
+		e.U32(uint32(g))
+	}
+	e.U32(uint32(len(kargs)))
+	for _, a := range kargs {
+		e.U64(a)
+	}
+	return e.Bytes()
+}
+
+// EncodeHtoD builds cuMemcpyHtoD arguments.
+func EncodeHtoD(dst uint64, data []byte) []byte {
+	return wire.NewEncoder().U64(dst).Blob(data).Bytes()
+}
+
+// EncodeDtoH builds cuMemcpyDtoH arguments.
+func EncodeDtoH(src uint64, n uint64) []byte {
+	return wire.NewEncoder().U64(src).U64(n).Bytes()
+}
+
+// EncodeMemAlloc builds cuMemAlloc arguments.
+func EncodeMemAlloc(n uint64) []byte { return wire.NewEncoder().U64(n).Bytes() }
+
+// EncodeMemFree builds cuMemFree arguments.
+func EncodeMemFree(ptr uint64) []byte { return wire.NewEncoder().U64(ptr).Bytes() }
+
+// DecodePtr reads a device pointer reply (cuMemAlloc).
+func DecodePtr(res []byte) (uint64, error) {
+	d := wire.NewDecoder(res)
+	p := d.U64()
+	return p, d.Err()
+}
+
+// DecodeBlob reads a data reply (cuMemcpyDtoH).
+func DecodeBlob(res []byte) ([]byte, error) {
+	d := wire.NewDecoder(res)
+	b := d.Blob()
+	return b, d.Err()
+}

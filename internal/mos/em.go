@@ -1,0 +1,294 @@
+package mos
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cronus/internal/attest"
+	"cronus/internal/enclave"
+	"cronus/internal/hw"
+	"cronus/internal/sim"
+	"cronus/internal/spm"
+	"cronus/internal/wire"
+)
+
+// EnclaveManager loads, measures and runs the mEnclaves of one mOS (§IV-A).
+type EnclaveManager struct {
+	mos       *MOS
+	enclaves  map[uint32]*Enclave
+	nextLocal uint32
+	epoch     uint64
+}
+
+func newEnclaveManager(m *MOS) *EnclaveManager {
+	return &EnclaveManager{
+		mos:      m,
+		enclaves: make(map[uint32]*Enclave),
+		epoch:    m.Part.Epoch(),
+	}
+}
+
+// Enclave is one loaded mEnclave: the black-box executor ⟨mECalls, state⟩
+// plus the bookkeeping the Enclave Manager needs (ownership secret, resource
+// accounting, measurement).
+type Enclave struct {
+	EID      uint32
+	Name     string
+	Manifest enclave.Manifest
+	EDL      *enclave.EDL
+	Hash     attest.Measurement
+	Model    enclave.Model
+
+	em      *EnclaveManager
+	secret  []byte // secret_dhke with the owner (§IV-A)
+	rxOwner *attest.Channel
+	txOwner *attest.Channel
+	memCap  uint64
+	memUsed uint64
+	dead    bool
+
+	// grants tracks sRPC shared-memory grants owned by this enclave so
+	// enclave failure can revoke them (§IV-D "Handling mEnclave failures").
+	grants []int
+}
+
+// CreateResult is returned to the caller of create: the new enclave id and
+// its DH public key so the caller can derive secret_dhke.
+type CreateResult struct {
+	EID   uint32
+	DHPub []byte
+	Hash  attest.Measurement
+}
+
+// Create implements the mEnclave creation flow (§IV-A): the Enclave Manager
+// verifies the manifest against the images, allocates resources, loads the
+// execution model (me_create), performs the Diffie-Hellman exchange with the
+// caller, and mints an eid whose top 8 bits are the mOS id.
+func (em *EnclaveManager) Create(p *sim.Proc, name string, man enclave.Manifest, files map[string][]byte, callerDHPub []byte) (*CreateResult, *Enclave, error) {
+	if em.mos.Part.State() != spm.PartReady {
+		return nil, nil, fmt.Errorf("mos: partition %q not ready", em.mos.Part.Name)
+	}
+	if man.DeviceType != em.mos.HAL.DeviceType() {
+		return nil, nil, fmt.Errorf("mos: manifest device type %q does not match this mOS (%q) — wrong partition",
+			man.DeviceType, em.mos.HAL.DeviceType())
+	}
+	if err := man.VerifyImages(files); err != nil {
+		return nil, nil, err
+	}
+	edl, err := enclave.ParseEDL(files[man.MECalls])
+	if err != nil {
+		return nil, nil, err
+	}
+	memCap, err := man.Resources.MemoryBytes()
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := em.mos.HAL.NewModel(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	var image []byte
+	if man.Image != "" {
+		image = files[man.Image]
+	}
+	if err := model.Create(p, image); err != nil {
+		return nil, nil, err
+	}
+	// Measurement covers the manifest and all images (runtime + code).
+	totalBytes := len(man.Encode())
+	for _, b := range files {
+		totalBytes += len(b)
+	}
+	p.Sleep(em.mos.Costs.Hash(totalBytes))
+	hash := man.Measure(files)
+
+	em.nextLocal++
+	eid := uint32(em.mos.Part.ID)<<24 | (em.nextLocal & 0xffffff)
+
+	// Diffie-Hellman with the caller establishes secret_dhke; every later
+	// message over untrusted memory is authenticated with it.
+	var seed [16]byte
+	binary.LittleEndian.PutUint32(seed[:], eid)
+	binary.LittleEndian.PutUint64(seed[4:], em.epoch)
+	copy(seed[12:], em.mos.Part.Name)
+	dh, err := attest.NewDHKey(seed[:])
+	if err != nil {
+		return nil, nil, err
+	}
+	secret, err := dh.Shared(callerDHPub)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mos: caller DH key invalid: %w", err)
+	}
+	p.Sleep(em.mos.Costs.DhkeHandshake)
+
+	e := &Enclave{
+		EID:      eid,
+		Name:     name,
+		Manifest: man,
+		EDL:      edl,
+		Hash:     hash,
+		Model:    model,
+		em:       em,
+		secret:   secret,
+		rxOwner:  attest.NewChannel(secret, "owner->enclave"),
+		txOwner:  attest.NewChannel(secret, "enclave->owner"),
+		memCap:   memCap,
+	}
+	em.enclaves[eid] = e
+	return &CreateResult{EID: eid, DHPub: dh.Pub, Hash: hash}, e, nil
+}
+
+// Get returns a live enclave by id.
+func (em *EnclaveManager) Get(eid uint32) (*Enclave, bool) {
+	e, ok := em.enclaves[eid]
+	if !ok || e.dead {
+		return nil, false
+	}
+	return e, true
+}
+
+// Measurements returns name -> hash for every live enclave (for the
+// platform attestation report).
+func (em *EnclaveManager) Measurements() map[string]attest.Measurement {
+	out := make(map[string]attest.Measurement, len(em.enclaves))
+	for _, e := range em.enclaves {
+		if !e.dead {
+			out[e.Name] = e.Hash
+		}
+	}
+	return out
+}
+
+// LocalReport produces an SPM-sealed local attestation report for one of
+// this mOS's enclaves.
+func (em *EnclaveManager) LocalReport(eid uint32, nonce uint64) (attest.LocalReport, []byte, error) {
+	e, ok := em.Get(eid)
+	if !ok {
+		return attest.LocalReport{}, nil, fmt.Errorf("mos: no enclave %#x", eid)
+	}
+	return em.mos.SPM.LocalReportFor(em.mos.Part, eid, e.Hash, nonce)
+}
+
+// InvokeSealed executes an mECall arriving over untrusted memory. The
+// message must be sealed with secret_dhke — this is what enforces "only the
+// owner can invoke mECall of the created mEnclave" (§IV-A) — and the reply
+// is sealed on the return channel. Payload format: wire(name, args).
+func (em *EnclaveManager) InvokeSealed(p *sim.Proc, eid uint32, msg attest.SealedMsg) (attest.SealedMsg, error) {
+	e, ok := em.Get(eid)
+	if !ok {
+		return attest.SealedMsg{}, fmt.Errorf("mos: no enclave %#x", eid)
+	}
+	p.Sleep(em.mos.Costs.MACFixed) // verify request MAC
+	payload, err := e.rxOwner.Open(msg)
+	if err != nil {
+		return attest.SealedMsg{}, fmt.Errorf("mos: mECall rejected: %w", err)
+	}
+	d := wire.NewDecoder(payload)
+	name := d.Str()
+	args := d.Blob()
+	if d.Err() != nil {
+		return attest.SealedMsg{}, d.Err()
+	}
+	res, err := e.Invoke(p, name, args)
+	reply := wire.NewEncoder()
+	if err != nil {
+		reply.U32(1).Str(err.Error())
+	} else {
+		reply.U32(0).Blob(res)
+	}
+	p.Sleep(em.mos.Costs.MACFixed) // seal reply
+	return e.txOwner.Seal(reply.Bytes()), nil
+}
+
+// SealRequest is the owner-side helper pairing with InvokeSealed.
+func SealRequest(ch *attest.Channel, name string, args []byte) attest.SealedMsg {
+	return ch.Seal(wire.NewEncoder().Str(name).Blob(args).Bytes())
+}
+
+// OpenReply is the owner-side helper decoding an InvokeSealed reply.
+func OpenReply(ch *attest.Channel, msg attest.SealedMsg) ([]byte, error) {
+	payload, err := ch.Open(msg)
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(payload)
+	if code := d.U32(); code != 0 {
+		return nil, fmt.Errorf("mECall failed: %s", d.Str())
+	}
+	res := d.Blob()
+	return res, d.Err()
+}
+
+// Invoke dispatches an mECall arriving from outside the enclave (the sealed
+// untrusted-memory path): it pays the enclave entry plus dispatch.
+func (e *Enclave) Invoke(p *sim.Proc, name string, args []byte) ([]byte, error) {
+	if e.dead {
+		return nil, fmt.Errorf("mos: enclave %#x is dead", e.EID)
+	}
+	if _, ok := e.EDL.Lookup(name); !ok {
+		return nil, fmt.Errorf("mos: mECall %q not declared in EDL of enclave %#x", name, e.EID)
+	}
+	p.Sleep(e.em.mos.Costs.EnclaveEntry + e.em.mos.Costs.RPCDispatch)
+	return e.Model.Call(p, name, args)
+}
+
+// InvokeStreamed dispatches an mECall from the sRPC executor thread, which
+// already executes inside the enclave (§IV-C: the execution loop runs in
+// mE_B), so only the record dispatch is charged — this is precisely the
+// context-switch saving that makes sRPC fast.
+func (e *Enclave) InvokeStreamed(p *sim.Proc, name string, args []byte) ([]byte, error) {
+	if e.dead {
+		return nil, fmt.Errorf("mos: enclave %#x is dead", e.EID)
+	}
+	if _, ok := e.EDL.Lookup(name); !ok {
+		return nil, fmt.Errorf("mos: mECall %q not declared in EDL of enclave %#x", name, e.EID)
+	}
+	p.Sleep(e.em.mos.Costs.RPCDispatch)
+	return e.Model.Call(p, name, args)
+}
+
+// Spec returns the EDL entry for an mECall.
+func (e *Enclave) Spec(name string) (enclave.MECallSpec, bool) { return e.EDL.Lookup(name) }
+
+// Secret exposes secret_dhke to the in-partition runtime (sRPC dCheck).
+// Nothing outside the secure world can reach this.
+func (e *Enclave) Secret() []byte { return e.secret }
+
+// AllocShared allocates trusted pages for sRPC shared memory, charged
+// against the enclave's manifest memory cap.
+func (e *Enclave) AllocShared(p *sim.Proc, npages int) (uint64, error) {
+	need := uint64(npages) * hw.PageSize
+	if e.memCap > 0 && e.memUsed+need > e.memCap {
+		return 0, fmt.Errorf("mos: enclave %#x memory cap exceeded (%d + %d > %d)", e.EID, e.memUsed, need, e.memCap)
+	}
+	ipa, err := e.em.mos.Shim.AllocPages(p, npages)
+	if err != nil {
+		return 0, err
+	}
+	e.memUsed += need
+	return ipa, nil
+}
+
+// TrackGrant records an SPM share grant owned by this enclave.
+func (e *Enclave) TrackGrant(gid int) { e.grants = append(e.grants, gid) }
+
+// View returns the memory view sRPC uses for this enclave's partition.
+func (e *Enclave) View() *spm.View { return e.em.mos.Shim.View() }
+
+// MOS returns the hosting MicroOS.
+func (e *Enclave) MOS() *MOS { return e.em.mos }
+
+// Kill tears down a single failed mEnclave (§IV-D "Handling mEnclave
+// failures"): its device state is destroyed and every shared-memory grant it
+// owned is revoked so communicating mEnclaves are notified by trap.
+func (e *Enclave) Kill(p *sim.Proc) {
+	if e.dead {
+		return
+	}
+	e.dead = true
+	e.Model.Destroy(p)
+	for _, gid := range e.grants {
+		_ = e.em.mos.SPM.RevokeGrant(gid, e.Name)
+	}
+	delete(e.em.enclaves, e.EID)
+}

@@ -1,0 +1,200 @@
+// Package partition reproduces CRONUS's automatic partitioning tool (§V-B):
+// it takes a monolithic enclave program — a sequence of annotated
+// device-level calls, as produced from manifest annotations — and splits it
+// into per-device mEnclaves, converting every CUDA/VTA call into an
+// mEnclave RPC and classifying each as streaming (async) or synchronizing
+// from the device EDLs.
+//
+// The tool enforces the paper's precondition that automatic partitioning
+// "requires no shared application state between mEnclaves": a buffer
+// produced on one device and consumed on another must cross through an
+// explicit transfer step, otherwise partitioning fails with a diagnosis.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cronus/internal/enclave"
+	"cronus/internal/mos/driver"
+)
+
+// Step is one operation of the monolithic program.
+type Step struct {
+	// Device annotation: "cpu", "gpu" or "npu".
+	Device string
+	// Call is the device-level call name (e.g. driver.CallLaunch).
+	Call string
+	// Reads / Writes name the logical buffers the step touches.
+	Reads  []string
+	Writes []string
+	// Transfer marks an explicit cross-device data movement: the step
+	// reads buffers on one device and re-materializes them on its own.
+	Transfer bool
+}
+
+// Program is a monolithic enclave: a single trusted binary mixing CPU
+// compute with accelerator calls.
+type Program struct {
+	Name  string
+	Steps []Step
+}
+
+// Placement is one mEnclave the partitioner creates.
+type Placement struct {
+	Device  string
+	Name    string
+	Calls   []string // the mECall surface this enclave needs
+	EDLFile []byte
+}
+
+// PlannedStep is one routed step.
+type PlannedStep struct {
+	Step    Step
+	Enclave string // placement name
+	Async   bool   // streams under sRPC without waiting
+}
+
+// Plan is the partitioned program.
+type Plan struct {
+	Program    string
+	Placements []Placement
+	Steps      []PlannedStep
+	// AsyncRatio is the fraction of accelerator calls that stream.
+	AsyncRatio float64
+}
+
+// Error diagnoses a partitioning failure.
+type Error struct {
+	StepIndex int
+	Reason    string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("partition: step %d: %s", e.StepIndex, e.Reason)
+}
+
+// deviceEDL returns the mECall table for a device kind.
+func deviceEDL(device string) (*enclave.EDL, []byte, error) {
+	var raw []byte
+	switch device {
+	case "gpu":
+		raw = driver.CUDAEDL()
+	case "npu":
+		raw = driver.NPUEDL()
+	case "cpu":
+		// CPU steps stay in the session enclave; calls are direct.
+		return &enclave.EDL{Calls: map[string]enclave.MECallSpec{}}, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("partition: unknown device %q", device)
+	}
+	edl, err := enclave.ParseEDL(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	return edl, raw, nil
+}
+
+// Partition splits the program. It returns the plan or a diagnosis of why
+// the monolithic enclave cannot be automatically partitioned.
+func Partition(prog *Program) (*Plan, error) {
+	if len(prog.Steps) == 0 {
+		return nil, fmt.Errorf("partition: empty program")
+	}
+	plan := &Plan{Program: prog.Name}
+	placements := make(map[string]*Placement)
+	edls := make(map[string]*enclave.EDL)
+
+	// Track which device each buffer currently lives on.
+	bufferHome := make(map[string]string)
+
+	asyncCalls, accelCalls := 0, 0
+	for i, s := range prog.Steps {
+		edl, raw, err := deviceEDL(s.Device)
+		if err != nil {
+			return nil, &Error{StepIndex: i, Reason: err.Error()}
+		}
+		if s.Device != "cpu" {
+			pl, ok := placements[s.Device]
+			if !ok {
+				pl = &Placement{
+					Device:  s.Device,
+					Name:    prog.Name + "/" + s.Device,
+					EDLFile: raw,
+				}
+				placements[s.Device] = pl
+				edls[s.Device] = edl
+			}
+			spec, ok := edl.Lookup(s.Call)
+			if !ok {
+				return nil, &Error{StepIndex: i,
+					Reason: fmt.Sprintf("call %q is not in the %s mEnclave surface", s.Call, s.Device)}
+			}
+			if !contains(pl.Calls, s.Call) {
+				pl.Calls = append(pl.Calls, s.Call)
+			}
+			accelCalls++
+			if spec.Async {
+				asyncCalls++
+			}
+			plan.Steps = append(plan.Steps, PlannedStep{Step: s, Enclave: pl.Name, Async: spec.Async})
+		} else {
+			plan.Steps = append(plan.Steps, PlannedStep{Step: s, Enclave: prog.Name + "/cpu", Async: false})
+		}
+
+		// Shared-state analysis: reads must find their buffers on this
+		// device (or the step is an explicit transfer).
+		for _, b := range s.Reads {
+			home, known := bufferHome[b]
+			if !known {
+				return nil, &Error{StepIndex: i,
+					Reason: fmt.Sprintf("buffer %q read before any write", b)}
+			}
+			if home != s.Device && !s.Transfer {
+				return nil, &Error{StepIndex: i,
+					Reason: fmt.Sprintf("buffer %q lives on %s but step runs on %s — implicit shared state; insert an explicit transfer",
+						b, home, s.Device)}
+			}
+		}
+		for _, b := range s.Writes {
+			bufferHome[b] = s.Device
+		}
+	}
+	names := make([]string, 0, len(placements))
+	for n := range placements {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sort.Strings(placements[n].Calls)
+		plan.Placements = append(plan.Placements, *placements[n])
+	}
+	if accelCalls > 0 {
+		plan.AsyncRatio = float64(asyncCalls) / float64(accelCalls)
+	}
+	return plan, nil
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary renders the plan the way the tool reports it.
+func (p *Plan) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %q partitioned into %d accelerator mEnclave(s) + the CPU session enclave\n",
+		p.Program, len(p.Placements))
+	for _, pl := range p.Placements {
+		fmt.Fprintf(&b, "  mEnclave %-24s device=%-4s mECalls: %s\n",
+			pl.Name, pl.Device, strings.Join(pl.Calls, ", "))
+	}
+	fmt.Fprintf(&b, "  %d steps; %.0f%% of accelerator calls stream asynchronously under sRPC\n",
+		len(p.Steps), 100*p.AsyncRatio)
+	return b.String()
+}

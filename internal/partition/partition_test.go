@@ -1,0 +1,153 @@
+package partition
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cronus/internal/mos/driver"
+)
+
+// matmulProgram is the paper's running example (Figure 4): a monolithic
+// enclave mixing CPU pre/post-processing with CUDA matrix computation.
+func matmulProgram() *Program {
+	return &Program{
+		Name: "matadd",
+		Steps: []Step{
+			{Device: "cpu", Call: "decrypt_input", Writes: []string{"host_a", "host_b"}},
+			{Device: "gpu", Call: driver.CallMemAlloc, Writes: []string{"dev_a"}},
+			{Device: "gpu", Call: driver.CallMemAlloc, Writes: []string{"dev_b"}},
+			{Device: "gpu", Call: driver.CallMemAlloc, Writes: []string{"dev_c"}},
+			{Device: "gpu", Call: driver.CallHtoD, Reads: []string{"host_a"}, Writes: []string{"dev_a"}, Transfer: true},
+			{Device: "gpu", Call: driver.CallHtoD, Reads: []string{"host_b"}, Writes: []string{"dev_b"}, Transfer: true},
+			{Device: "gpu", Call: driver.CallLaunch, Reads: []string{"dev_a", "dev_b"}, Writes: []string{"dev_c"}},
+			{Device: "gpu", Call: driver.CallDtoH, Reads: []string{"dev_c"}, Writes: []string{"host_c"}, Transfer: true},
+			{Device: "cpu", Call: "encrypt_output", Reads: []string{"host_c"}},
+		},
+	}
+}
+
+func TestPartitionMatmulProgram(t *testing.T) {
+	// Fix the cpu step's buffer home: host_c is written by DtoH on gpu
+	// (transfer), so the read on cpu needs a transfer flag or a cpu-side
+	// home. Mark the cpu read step as a transfer-consumer.
+	prog := matmulProgram()
+	prog.Steps[8].Transfer = true
+	plan, err := Partition(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Placements) != 1 {
+		t.Fatalf("placements = %d, want 1 (gpu)", len(plan.Placements))
+	}
+	pl := plan.Placements[0]
+	if pl.Device != "gpu" {
+		t.Fatalf("placement device %q", pl.Device)
+	}
+	for _, call := range []string{driver.CallMemAlloc, driver.CallHtoD, driver.CallLaunch, driver.CallDtoH} {
+		found := false
+		for _, c := range pl.Calls {
+			if c == call {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("call %s missing from the mEnclave surface", call)
+		}
+	}
+	// Launch and HtoD stream; DtoH and MemAlloc synchronize.
+	for _, s := range plan.Steps {
+		switch s.Step.Call {
+		case driver.CallLaunch, driver.CallHtoD:
+			if !s.Async {
+				t.Errorf("%s should stream asynchronously", s.Step.Call)
+			}
+		case driver.CallDtoH, driver.CallMemAlloc:
+			if s.Async {
+				t.Errorf("%s should synchronize", s.Step.Call)
+			}
+		}
+	}
+	if plan.AsyncRatio < 0.4 {
+		t.Errorf("async ratio %.2f too low", plan.AsyncRatio)
+	}
+	if !strings.Contains(plan.Summary(), "matadd") {
+		t.Error("summary missing program name")
+	}
+}
+
+func TestPartitionHeterogeneousProgram(t *testing.T) {
+	prog := &Program{
+		Name: "hetero",
+		Steps: []Step{
+			{Device: "cpu", Call: "prep", Writes: []string{"h"}},
+			{Device: "gpu", Call: driver.CallHtoD, Reads: []string{"h"}, Writes: []string{"g"}, Transfer: true},
+			{Device: "gpu", Call: driver.CallLaunch, Reads: []string{"g"}, Writes: []string{"g2"}},
+			{Device: "gpu", Call: driver.CallDtoH, Reads: []string{"g2"}, Writes: []string{"h2"}, Transfer: true},
+			{Device: "npu", Call: driver.CallVTAHtoD, Reads: []string{"h2"}, Writes: []string{"n"}, Transfer: true},
+			{Device: "npu", Call: driver.CallVTARun, Reads: []string{"n"}, Writes: []string{"n2"}},
+			{Device: "npu", Call: driver.CallVTADtoH, Reads: []string{"n2"}, Writes: []string{"out"}, Transfer: true},
+		},
+	}
+	plan, err := Partition(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Placements) != 2 {
+		t.Fatalf("placements = %d, want 2 (gpu + npu)", len(plan.Placements))
+	}
+	devices := map[string]bool{}
+	for _, pl := range plan.Placements {
+		devices[pl.Device] = true
+	}
+	if !devices["gpu"] || !devices["npu"] {
+		t.Errorf("devices %v", devices)
+	}
+}
+
+func TestPartitionRejectsImplicitSharedState(t *testing.T) {
+	prog := &Program{
+		Name: "leaky",
+		Steps: []Step{
+			{Device: "cpu", Call: "prep", Writes: []string{"buf"}},
+			// GPU reads a CPU buffer with no explicit transfer: the
+			// precondition "no shared application state" is violated.
+			{Device: "gpu", Call: driver.CallLaunch, Reads: []string{"buf"}},
+		},
+	}
+	_, err := Partition(prog)
+	if err == nil || !strings.Contains(err.Error(), "shared state") {
+		t.Fatalf("err = %v, want shared-state diagnosis", err)
+	}
+	var pe *Error
+	if !errors.As(err, &pe) || pe.StepIndex != 1 {
+		t.Fatalf("diagnosis step index wrong: %v", err)
+	}
+}
+
+func TestPartitionRejectsUnknownCallAndDevice(t *testing.T) {
+	_, err := Partition(&Program{Name: "bad", Steps: []Step{
+		{Device: "gpu", Call: "cuBackdoor"},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "not in the gpu mEnclave surface") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = Partition(&Program{Name: "bad2", Steps: []Step{
+		{Device: "fpga", Call: "x"},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "unknown device") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Partition(&Program{Name: "empty"}); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestPartitionRejectsReadBeforeWrite(t *testing.T) {
+	_, err := Partition(&Program{Name: "uninit", Steps: []Step{
+		{Device: "gpu", Call: driver.CallLaunch, Reads: []string{"ghost"}},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "before any write") {
+		t.Fatalf("err = %v", err)
+	}
+}

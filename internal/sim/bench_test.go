@@ -1,0 +1,64 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelContextSwitch measures one simulated process switch (sleep
+// + resume round trip) — the simulation's own overhead floor.
+func BenchmarkKernelContextSwitch(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("switcher", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMailboxRoundTrip measures one send + blocking receive handoff
+// between two simulated processes.
+func BenchmarkMailboxRoundTrip(b *testing.B) {
+	k := NewKernel()
+	req := NewMailbox[int](k, "req")
+	rsp := NewMailbox[int](k, "rsp")
+	k.Spawn("server", func(p *Proc) {
+		for {
+			v, ok := req.Recv(p)
+			if !ok {
+				return
+			}
+			rsp.Send(v)
+		}
+	})
+	k.Spawn("client", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			req.Send(i)
+			rsp.Recv(p)
+		}
+		req.Close()
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPSEngineChurn measures job arrival/departure with reprojection
+// across four concurrent tenants.
+func BenchmarkPSEngineChurn(b *testing.B) {
+	k := NewKernel()
+	e := NewPSEngine(k, "gpu", 46)
+	for t := 0; t < 4; t++ {
+		k.Spawn("tenant", func(p *Proc) {
+			for i := 0; i < b.N/4+1; i++ {
+				e.Run(p, 20, 100)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

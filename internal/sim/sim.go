@@ -1,0 +1,400 @@
+// Package sim implements the discrete-event simulation kernel that underlies
+// the CRONUS reproduction: virtual time, cooperatively scheduled processes,
+// mailboxes, resources and a processor-sharing engine.
+//
+// The kernel runs each simulated thread of execution (an mEnclave thread, an
+// mOS service loop, a device engine, the untrusted OS) in its own goroutine,
+// but only one process ever runs at a time: every blocking operation
+// (Sleep, mailbox receive, resource acquire) hands control back to the event
+// loop. Virtual time advances only when the event queue does, so simulation
+// results are fully deterministic and independent of the host machine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration for readability.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+func (t Time) String() string { return Duration(t).String() }
+
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < 10*Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < 10*Millisecond:
+		return fmt.Sprintf("%.2fus", float64(d)/1e3)
+	case d < 10*Second:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", float64(d)/1e9)
+	}
+}
+
+// Seconds reports the duration as a floating point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Milliseconds reports the duration as a floating point number of milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / 1e6 }
+
+type event struct {
+	t   Time
+	seq uint64
+	p   *Proc
+	gen uint64 // wake generation; stale events are skipped
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q eventQueue) peek() event        { return q[0] }
+func (q *eventQueue) popEvent() event   { return heap.Pop(q).(event) }
+func (q *eventQueue) pushEvent(e event) { heap.Push(q, e) }
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	procQueued  procState = iota // has a pending event in the queue
+	procParked                   // blocked with no pending event (waiting for a wake)
+	procRunning                  // currently executing
+	procDead                     // finished or killed
+)
+
+// killToken is the panic value used to unwind a killed process. It is
+// recovered by the process trampoline and never escapes the kernel.
+type killToken struct{ p *Proc }
+
+// Proc is a simulated thread of execution. All blocking simulation
+// operations are methods on the Proc that represents the caller.
+type Proc struct {
+	k      *Kernel
+	name   string
+	id     int
+	resume chan struct{}
+	state  procState
+	gen    uint64
+	killed bool
+	// onKill callbacks run (in kernel context) when the process is killed
+	// while parked, letting wait-queues drop it eagerly.
+	onKill func()
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's stable spawn-order identifier.
+func (p *Proc) ID() int { return p.id }
+
+// Kernel returns the owning simulation kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// DeadlockError is returned by Run when no events remain but live processes
+// are still parked waiting for wakes that can never arrive.
+type DeadlockError struct {
+	Parked []string // names of the parked processes
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock, %d process(es) parked forever: %v", len(e.Parked), e.Parked)
+}
+
+// PanicError wraps a panic raised by process code so Run can surface it as an
+// error without tearing down the host test process.
+type PanicError struct {
+	Proc  string
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", e.Proc, e.Value)
+}
+
+// Kernel is the discrete-event scheduler. The zero value is not usable; use
+// NewKernel.
+type Kernel struct {
+	now     Time
+	eq      eventQueue
+	seq     uint64
+	nextID  int
+	live    int // processes spawned and not yet dead
+	parked  map[*Proc]struct{}
+	procs   map[*Proc]struct{} // all live processes, for Shutdown
+	yield   chan struct{}
+	cur     *Proc
+	err     error
+	run     bool
+	stopped bool
+}
+
+// NewKernel creates an empty simulation at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+		procs:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Spawn creates a process running fn and schedules it to start at the
+// current virtual time. It may be called before Run or from inside a running
+// process.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.SpawnAt(k.now, name, fn)
+}
+
+// SpawnAt creates a process running fn, starting at time t (which must not be
+// in the past; earlier times are clamped to now).
+func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	if t < k.now {
+		t = k.now
+	}
+	k.nextID++
+	p := &Proc{
+		k:      k,
+		name:   name,
+		id:     k.nextID,
+		resume: make(chan struct{}),
+		state:  procQueued,
+	}
+	k.live++
+	k.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			r := recover()
+			if r != nil {
+				if _, ok := r.(killToken); !ok && k.err == nil {
+					k.err = &PanicError{Proc: p.name, Value: r}
+				}
+			}
+			p.state = procDead
+			k.live--
+			delete(k.procs, p)
+			k.yield <- struct{}{}
+		}()
+		p.state = procRunning
+		p.gen++
+		if p.killed {
+			panic(killToken{p})
+		}
+		fn(p)
+	}()
+	k.schedule(t, p)
+	return p
+}
+
+func (k *Kernel) schedule(t Time, p *Proc) {
+	k.seq++
+	k.eq.pushEvent(event{t: t, seq: k.seq, p: p, gen: p.gen})
+}
+
+// Run executes events until the queue drains. It returns nil on a clean
+// finish (all processes done), a *DeadlockError if parked processes remain,
+// or a *PanicError if process code panicked.
+func (k *Kernel) Run() error {
+	return k.RunUntil(-1)
+}
+
+// RunUntil executes events with timestamps <= deadline (deadline < 0 means no
+// limit). Processes with later events stay queued, so the simulation can be
+// resumed by calling RunUntil again.
+func (k *Kernel) RunUntil(deadline Time) error {
+	if k.run {
+		panic("sim: Kernel.Run is not reentrant")
+	}
+	k.run = true
+	defer func() { k.run = false }()
+	for k.err == nil {
+		if k.stopped {
+			return nil
+		}
+		if k.eq.Len() == 0 {
+			if k.live > 0 {
+				names := make([]string, 0, len(k.parked))
+				for p := range k.parked {
+					names = append(names, p.name)
+				}
+				sort.Strings(names)
+				return &DeadlockError{Parked: names}
+			}
+			return nil
+		}
+		if deadline >= 0 && k.eq.peek().t > deadline {
+			k.now = deadline
+			return nil
+		}
+		ev := k.eq.popEvent()
+		if ev.p.state == procDead || ev.gen != ev.p.gen || ev.p.state == procRunning {
+			continue // stale wake
+		}
+		if ev.t > k.now {
+			k.now = ev.t
+		}
+		k.cur = ev.p
+		ev.p.state = procRunning
+		ev.p.resume <- struct{}{}
+		<-k.yield
+		k.cur = nil
+	}
+	return k.err
+}
+
+// block yields to the kernel and waits to be resumed; on resume the wake
+// generation is bumped so pending duplicate events become stale. It panics
+// with the kill token if the process was killed while blocked.
+func (p *Proc) block() {
+	// Already marked killed (deferred cleanup blocking during an unwind,
+	// or Shutdown): terminate without stranding the goroutine. The yield
+	// handshake is preserved because the trampoline yields on the panic.
+	if p.killed {
+		p.onKill = nil
+		panic(killToken{p})
+	}
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.gen++
+	p.onKill = nil
+	if p.killed {
+		panic(killToken{p})
+	}
+}
+
+// park blocks the process with no pending event; some other process must
+// Wake it. onKill, if non-nil, runs when the process is killed while parked.
+func (p *Proc) park(onKill func()) {
+	p.state = procParked
+	p.onKill = onKill
+	p.k.parked[p] = struct{}{}
+	p.block()
+}
+
+// wake makes a blocked process runnable at the current time. For a process in
+// an interruptible sleep this is an early wake; for a parked process it is
+// the only way to resume. No-op for running or dead processes.
+func (k *Kernel) wake(p *Proc) {
+	switch p.state {
+	case procParked:
+		delete(k.parked, p)
+		p.state = procQueued
+		k.schedule(k.now, p)
+	case procQueued:
+		k.schedule(k.now, p) // early wake; the original timer goes stale
+	}
+}
+
+// Sleep advances the process's virtual time by d. Sleep(0) yields without
+// advancing time (other processes scheduled "now" may run).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.state = procQueued
+	p.k.schedule(p.k.now+Time(d), p)
+	p.block()
+}
+
+// SleepInterruptible sleeps for at most d; another process may cut the sleep
+// short with Kernel.Interrupt. It reports whether the sleep was interrupted
+// before the full duration elapsed.
+func (p *Proc) SleepInterruptible(d Duration) (interrupted bool) {
+	if d < 0 {
+		d = 0
+	}
+	deadline := p.k.now + Time(d)
+	p.state = procQueued
+	p.k.schedule(deadline, p)
+	p.block()
+	return p.k.now < deadline
+}
+
+// Interrupt wakes p early from an interruptible sleep (or a park). It is a
+// no-op for running or dead processes.
+func (k *Kernel) Interrupt(p *Proc) { k.wake(p) }
+
+// Kill terminates a process: if it is parked or queued it unwinds at its
+// next scheduling point; a process can also kill itself, which unwinds
+// immediately. Killing a dead process is a no-op.
+func (k *Kernel) Kill(p *Proc) {
+	if p == nil || p.state == procDead || p.killed {
+		return
+	}
+	p.killed = true
+	switch p.state {
+	case procParked:
+		if p.onKill != nil {
+			p.onKill()
+			p.onKill = nil
+		}
+		delete(k.parked, p)
+		p.state = procQueued
+		k.schedule(k.now, p)
+	case procQueued:
+		k.schedule(k.now, p) // cut any pending sleep short
+	case procRunning:
+		if p == k.cur {
+			panic(killToken{p}) // self-kill: unwind in place
+		}
+	}
+}
+
+// Stop ends the simulation after the current event: Run/RunUntil returns nil
+// even though service-loop processes (pollers, watchdogs) are still queued.
+// Call it from the driving process when the scenario under test is complete.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Shutdown unwinds every remaining process so their goroutines exit. Call it
+// after Run/RunUntil returns, never from inside a running process. The
+// kernel cannot be used again afterwards.
+func (k *Kernel) Shutdown() {
+	if k.run {
+		panic("sim: Shutdown during Run")
+	}
+	for p := range k.procs {
+		if p.state == procDead {
+			continue
+		}
+		p.killed = true
+		p.state = procQueued
+		p.resume <- struct{}{}
+		<-k.yield
+	}
+	k.parked = make(map[*Proc]struct{})
+}
+
+// Killed reports whether the process has been marked for termination.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Dead reports whether the process has finished or been unwound.
+func (p *Proc) Dead() bool { return p.state == procDead }

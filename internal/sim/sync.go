@@ -1,0 +1,298 @@
+package sim
+
+// This file provides the synchronization primitives used by simulated code:
+// mailboxes (CSP-style queues), counting resources with FIFO admission, and
+// one-shot signals. All blocking methods take the calling Proc explicitly —
+// simulated code always knows which simulated thread it is running on.
+
+// Mailbox is an unbounded FIFO queue of values passed between processes.
+// Send never blocks; Recv blocks until a value is available.
+type Mailbox[T any] struct {
+	k       *Kernel
+	name    string
+	items   []T
+	waiters []*Proc
+	closed  bool
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox[T any](k *Kernel, name string) *Mailbox[T] {
+	return &Mailbox[T]{k: k, name: name}
+}
+
+// Len reports the number of queued values.
+func (m *Mailbox[T]) Len() int { return len(m.items) }
+
+// Send enqueues v and wakes one waiting receiver. It may be called from any
+// process, or from setup code before Run.
+func (m *Mailbox[T]) Send(v T) {
+	m.items = append(m.items, v)
+	m.wakeOne()
+}
+
+func (m *Mailbox[T]) wakeOne() {
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		if w.state == procParked {
+			m.k.wake(w)
+			return
+		}
+	}
+}
+
+// Close marks the mailbox closed and wakes all waiters; further Recv calls
+// drain remaining items and then report ok=false.
+func (m *Mailbox[T]) Close() {
+	m.closed = true
+	for _, w := range m.waiters {
+		if w.state == procParked {
+			m.k.wake(w)
+		}
+	}
+	m.waiters = nil
+}
+
+// Recv dequeues the next value, blocking p until one arrives. ok is false if
+// the mailbox was closed and drained.
+func (m *Mailbox[T]) Recv(p *Proc) (v T, ok bool) {
+	for {
+		if len(m.items) > 0 {
+			v = m.items[0]
+			var zero T
+			m.items[0] = zero
+			m.items = m.items[1:]
+			return v, true
+		}
+		if m.closed {
+			return v, false
+		}
+		m.waiters = append(m.waiters, p)
+		p.park(func() { m.drop(p) })
+	}
+}
+
+// TryRecv dequeues a value without blocking.
+func (m *Mailbox[T]) TryRecv() (v T, ok bool) {
+	if len(m.items) == 0 {
+		return v, false
+	}
+	v = m.items[0]
+	var zero T
+	m.items[0] = zero
+	m.items = m.items[1:]
+	return v, true
+}
+
+func (m *Mailbox[T]) drop(p *Proc) {
+	for i, w := range m.waiters {
+		if w == p {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Resource is a counting resource (e.g., DMA engines, copy queues) with FIFO
+// admission: requests are granted strictly in arrival order.
+type Resource struct {
+	k        *Kernel
+	name     string
+	capacity int
+	inUse    int
+	waiters  []resWait
+}
+
+type resWait struct {
+	p *Proc
+	n int
+}
+
+// NewResource creates a resource with the given capacity (units).
+func NewResource(k *Kernel, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{k: k, name: name, capacity: capacity}
+}
+
+// Capacity returns the configured number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire blocks p until n units are available and takes them. n is clamped
+// to the capacity so oversized requests degrade instead of deadlocking.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > r.capacity {
+		n = r.capacity
+	}
+	// FIFO: if anyone is ahead of us, queue even if units are free.
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return
+	}
+	r.waiters = append(r.waiters, resWait{p: p, n: n})
+	for {
+		p.park(func() { r.drop(p) })
+		// Woken: either our grant happened (inUse already bumped by
+		// Release on our behalf) — signalled by us no longer queued —
+		// or a spurious wake. Check by scanning the queue.
+		if !r.queued(p) {
+			return
+		}
+	}
+}
+
+func (r *Resource) queued(p *Proc) bool {
+	for _, w := range r.waiters {
+		if w.p == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Resource) drop(p *Proc) {
+	for i, w := range r.waiters {
+		if w.p == p {
+			r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+			r.grant()
+			return
+		}
+	}
+}
+
+// Release returns n units and grants queued waiters in FIFO order.
+func (r *Resource) Release(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > r.capacity {
+		n = r.capacity
+	}
+	r.inUse -= n
+	if r.inUse < 0 {
+		r.inUse = 0
+	}
+	r.grant()
+}
+
+func (r *Resource) grant() {
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if w.p.state == procDead {
+			r.waiters = r.waiters[1:]
+			continue
+		}
+		if r.inUse+w.n > r.capacity {
+			return
+		}
+		r.inUse += w.n
+		r.waiters = r.waiters[1:]
+		r.k.wake(w.p)
+	}
+}
+
+// Use acquires n units, sleeps for d, and releases — the common pattern for
+// occupying an engine for a fixed service time.
+func (r *Resource) Use(p *Proc, n int, d Duration) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}
+
+// Signal is a one-shot broadcast event: Wait blocks until Fire is called;
+// once fired, Wait returns immediately forever after.
+type Signal struct {
+	k       *Kernel
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal creates an unfired signal.
+func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire releases all current and future waiters. Firing twice is a no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, w := range s.waiters {
+		if w.state == procParked {
+			s.k.wake(w)
+		}
+	}
+	s.waiters = nil
+}
+
+// Wait blocks p until the signal fires.
+func (s *Signal) Wait(p *Proc) {
+	for !s.fired {
+		s.waiters = append(s.waiters, p)
+		p.park(func() { s.drop(p) })
+	}
+}
+
+func (s *Signal) drop(p *Proc) {
+	for i, w := range s.waiters {
+		if w == p {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// WaitGroup counts outstanding simulated tasks.
+type WaitGroup struct {
+	k       *Kernel
+	n       int
+	waiters []*Proc
+}
+
+// NewWaitGroup creates a wait group with zero outstanding tasks.
+func NewWaitGroup(k *Kernel) *WaitGroup { return &WaitGroup{k: k} }
+
+// Add adjusts the task count by delta.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		for _, p := range w.waiters {
+			if p.state == procParked {
+				w.k.wake(p)
+			}
+		}
+		w.waiters = nil
+	}
+}
+
+// Done decrements the task count.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks p until the count reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.n > 0 {
+		w.waiters = append(w.waiters, p)
+		p.park(func() { w.drop(p) })
+	}
+}
+
+func (w *WaitGroup) drop(p *Proc) {
+	for i, q := range w.waiters {
+		if q == p {
+			w.waiters = append(w.waiters[:i], w.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package spm
+
+import (
+	"fmt"
+	"sort"
+
+	"cronus/internal/attest"
+	"cronus/internal/hw"
+	"cronus/internal/sim"
+	"cronus/internal/trace"
+)
+
+// FailReason classifies how the SPM learned of a partition failure (§IV-D
+// lists the three circumstances).
+type FailReason int
+
+const (
+	// FailRequested: the partition or the untrusted OS asked for a
+	// restart (mOS update / reconfiguration).
+	FailRequested FailReason = iota
+	// FailPanic: the partition trapped into the SPM with an unhandled
+	// hardware or software failure.
+	FailPanic
+	// FailHang: the SPM watchdog found the partition unresponsive.
+	FailHang
+)
+
+func (r FailReason) String() string {
+	switch r {
+	case FailRequested:
+		return "requested"
+	case FailPanic:
+		return "panic"
+	case FailHang:
+		return "hang"
+	}
+	return "unknown"
+}
+
+// FailureRecord captures one recovery for inspection by tests and the
+// failover experiment.
+type FailureRecord struct {
+	Partition string
+	Reason    FailReason
+	FailedAt  sim.Time
+	ReadyAt   sim.Time
+	Epoch     uint64 // epoch after recovery
+}
+
+// Downtime is how long the partition was unavailable.
+func (r FailureRecord) Downtime() sim.Duration { return sim.Duration(r.ReadyAt - r.FailedAt) }
+
+// Fail starts the proceed-trap recovery of partition p (§IV-D). Step ① runs
+// synchronously: every sharer's stage-2 and SMMU entries for memory shared
+// with p are invalidated, closing the TOCTOU window before anything else can
+// run, and r_f is set so new share requests are refused. Steps ② and ③ are
+// asynchronous: a recovery process clears the device and shared memory,
+// reloads the mOS, and later traps deliver fault signals to survivors.
+//
+// Calling Fail on a partition that is already failed is a no-op (concurrent
+// failure reports collapse; step ① execution is serialized by construction).
+func (s *SPM) Fail(p *Partition, reason FailReason) *FailureRecord {
+	if p.state != PartReady {
+		return nil
+	}
+	failedAt := s.K.Now()
+
+	// Step ①: invalidate stage-2 and SMMU entries of every partition that
+	// shares memory with p, in both directions. Only the incarnation a
+	// grant was created in is touched — IPA numbers from an older epoch
+	// belong to unrelated current allocations.
+	for _, gid := range s.sortedGrantIDs() {
+		g := s.grants[gid]
+		if g.dead || (g.owner != p && g.peer != p) {
+			continue
+		}
+		g.dead = true
+		g.failedBy = p.Name
+		other, otherBase, otherEpoch := g.peer, g.peerIPA, g.peerEpoch
+		if g.peer == p {
+			other, otherBase, otherEpoch = g.owner, g.ownerIPA, g.ownerEpoch
+		}
+		if other.epoch == otherEpoch {
+			for i := 0; i < g.npages; i++ {
+				other.stage2.Invalidate(otherBase + uint64(i))
+			}
+		}
+		s.invalidateSMMU(g)
+	}
+
+	// r_f = 1: all subsequent share requests against p are refused.
+	p.state = PartFailed
+
+	// The partition's simulated threads are torn down (the hardware
+	// context is gone). Kill in a stable order for determinism.
+	procs := make([]*sim.Proc, 0, len(p.procs))
+	for proc := range p.procs {
+		procs = append(procs, proc)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].ID() < procs[j].ID() })
+	for _, proc := range procs {
+		s.K.Kill(proc)
+	}
+	p.procs = make(map[*sim.Proc]struct{})
+
+	rec := &FailureRecord{Partition: p.Name, Reason: reason, FailedAt: failedAt}
+	sig := p.restartSig
+	trace.Default.InstantAt(failedAt, "spm", p.Name, "partition-failed ("+reason.String()+")", nil)
+
+	// Steps ②: clear the device and the partition's memory, then reload
+	// the mOS. Runs concurrently with other partitions' recoveries.
+	s.K.Spawn(fmt.Sprintf("spm-recover-%s", p.Name), func(proc *sim.Proc) {
+		p.state = PartRestarting
+		proc.Sleep(s.Costs.DeviceClear)
+		// Scrub every page the failed partition owned (A3: crashed
+		// information leaks) and return it to the allocator, in IPA
+		// order so the free list stays deterministic.
+		vpns := make([]uint64, 0, len(p.ownPages))
+		for vpn := range p.ownPages {
+			vpns = append(vpns, vpn)
+		}
+		sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+		for _, vpn := range vpns {
+			op := p.ownPages[vpn]
+			delete(s.sharedPFN, op.pfn)
+			s.M.Mem.FreePage(op.region, hw.PA(op.pfn<<hw.PageShift))
+		}
+		p.ownPages = make(map[uint64]ownedPage)
+		if p.Device != "" {
+			_ = s.M.Bus.ResetDevice(p.Device)
+			s.M.SMMU.Stream(p.Device).Clear()
+		}
+		// Reload and initialize the mOS image — the pending image if a
+		// software update was requested, else the same image.
+		proc.Sleep(s.Costs.MOSRestart)
+		if p.pendingImage != nil {
+			p.mosHash = attest.Measure(p.pendingImage)
+			p.pendingImage = nil
+		}
+		p.stage2.Clear()
+		p.ipaNext = 1
+		p.epoch++
+		// Garbage-collect grants no incarnation can ever trap again:
+		// both sides have moved past the epochs the grant was made in.
+		for _, gid := range s.sortedGrantIDs() {
+			g := s.grants[gid]
+			if g.owner.epoch != g.ownerEpoch && g.peer.epoch != g.peerEpoch {
+				for _, pfn := range g.pfns {
+					if s.sharedPFN[pfn] == gid {
+						delete(s.sharedPFN, pfn)
+					}
+				}
+				delete(s.grants, gid)
+			}
+		}
+		p.lastBeat = proc.Now()
+		p.state = PartReady // r_f = 0
+		rec.ReadyAt = proc.Now()
+		rec.Epoch = p.epoch
+		trace.Default.Instant(proc, "spm", p.Name, "partition-ready", nil)
+		p.restartSig = sim.NewSignal(s.K)
+		if p.onRestart != nil {
+			p.onRestart(p.epoch)
+		}
+		sig.Fire()
+	})
+	return rec
+}
+
+// UpdateMOS performs a requested mOS software update (§IV-D's first failure
+// circumstance: "a restart ... often caused by an update or configuration
+// of mOS"): the partition goes through the full proceed-trap recovery —
+// sharers are invalidated, the device is scrubbed — and comes back running
+// the new, freshly measured image, so attestation reports immediately
+// reflect the update.
+func (s *SPM) UpdateMOS(p *Partition, newImage []byte) *FailureRecord {
+	p.pendingImage = newImage
+	rec := s.Fail(p, FailRequested)
+	if rec == nil {
+		p.pendingImage = nil
+	}
+	return rec
+}
+
+// AwaitReady blocks proc until the partition's in-flight recovery (if any)
+// completes.
+func (s *SPM) AwaitReady(proc *sim.Proc, p *Partition) {
+	for p.state != PartReady {
+		p.restartSig.Wait(proc)
+	}
+}
+
+// EnableWatchdog starts the SPM hang detector: partitions that opted in via
+// WatchHangs and stop heart-beating for more than three poll periods are
+// failed with FailHang. Kill the returned proc to stop the watchdog.
+func (s *SPM) EnableWatchdog() *sim.Proc {
+	return s.K.Spawn("spm-watchdog", func(proc *sim.Proc) {
+		for {
+			proc.Sleep(s.Costs.HangPollEvery)
+			limit := sim.Time(3 * s.Costs.HangPollEvery)
+			for _, p := range s.Partitions() { // id order: deterministic
+				if p.hangable && p.state == PartReady && proc.Now()-p.lastBeat > limit {
+					s.Fail(p, FailHang)
+				}
+			}
+		}
+	})
+}
+
+// WatchHangs opts the partition into watchdog supervision.
+func (p *Partition) WatchHangs() {
+	p.hangable = true
+	p.lastBeat = p.spm.K.Now()
+}

@@ -1,0 +1,306 @@
+// Package spm implements CRONUS's Secure Partition Manager — the S-EL2
+// hypervisor of the MicroTEE architecture (§III-A). The SPM owns every
+// stage-2 page table, creates and isolates partitions (one per device, each
+// running one mOS), brokers trusted shared memory between partitions
+// (§IV-C), and drives the proceed-trap failure recovery procedure (§IV-D).
+//
+// The SPM also plays the secure monitor's attestation role (§IV-A): it
+// derives the platform attestation key from the fused root of trust,
+// measures mOS images, and signs platform reports.
+package spm
+
+import (
+	"fmt"
+
+	"cronus/internal/attest"
+	"cronus/internal/hw"
+	"cronus/internal/sim"
+)
+
+// PartitionID identifies an S-EL2 partition (the mOS id — the top 8 bits of
+// every enclave id minted inside it).
+type PartitionID uint8
+
+// PartState is a partition's lifecycle state.
+type PartState int
+
+const (
+	// PartReady: the partition is serving requests.
+	PartReady PartState = iota
+	// PartFailed: a failure was detected; stage-2 entries of sharers are
+	// already invalidated (r_f = 1) and recovery is in progress.
+	PartFailed
+	// PartRestarting: device clearing and mOS reload are underway.
+	PartRestarting
+)
+
+func (s PartState) String() string {
+	switch s {
+	case PartReady:
+		return "ready"
+	case PartFailed:
+		return "failed"
+	case PartRestarting:
+		return "restarting"
+	}
+	return "unknown"
+}
+
+// Partition is one isolated S-EL2 partition: a device, its mOS, and the
+// mEnclaves running on it.
+type Partition struct {
+	ID     PartitionID
+	Name   string
+	Device string // device tree node this partition owns ("" for CPU-only)
+
+	spm          *SPM
+	stage2       *hw.AddrSpace // IPA -> PA
+	ipaNext      uint64        // bump allocator for IPA page numbers
+	state        PartState
+	epoch        uint64 // incremented every restart; stale views/eids die
+	mosHash      attest.Measurement
+	pendingImage []byte // staged mOS update, applied at the next restart
+
+	// ownPages tracks pages allocated to this partition (for scrubbing on
+	// failure): IPA page -> {PA frame, region}.
+	ownPages map[uint64]ownedPage
+
+	// procs are the simulated threads running inside this partition; they
+	// are killed when the partition fails.
+	procs map[*sim.Proc]struct{}
+
+	// beats is the watchdog heartbeat timestamp.
+	lastBeat sim.Time
+	hangable bool // partition participates in hang detection
+
+	// onRestart is installed by the mOS layer to re-initialize services
+	// after recovery completes.
+	onRestart func(epoch uint64)
+
+	restartSig *sim.Signal // fires when the current recovery completes
+}
+
+type ownedPage struct {
+	pfn    uint64
+	region string
+}
+
+// State returns the partition's lifecycle state.
+func (p *Partition) State() PartState { return p.state }
+
+// Epoch returns the partition incarnation (bumped on every restart).
+func (p *Partition) Epoch() uint64 { return p.epoch }
+
+// MOSHash returns the measured mOS image hash.
+func (p *Partition) MOSHash() attest.Measurement { return p.mosHash }
+
+// Register adds a simulated thread to the partition so a failure kills it.
+func (p *Partition) Register(proc *sim.Proc) { p.procs[proc] = struct{}{} }
+
+// Unregister removes a finished thread.
+func (p *Partition) Unregister(proc *sim.Proc) { delete(p.procs, proc) }
+
+// Heartbeat refreshes the watchdog timestamp.
+func (p *Partition) Heartbeat(t sim.Time) { p.lastBeat = t }
+
+// SetRestartHook installs the mOS reload callback.
+func (p *Partition) SetRestartHook(fn func(epoch uint64)) { p.onRestart = fn }
+
+// SPM is the secure partition manager.
+type SPM struct {
+	K     *sim.Kernel
+	M     *hw.Machine
+	Costs *sim.CostModel
+
+	parts  map[PartitionID]*Partition
+	nextID PartitionID
+	grants map[int]*grant
+	nextG  int
+	// sharedPFN enforces the §IV-D rule that a physical page may be
+	// shared at most once: pfn -> grant id.
+	sharedPFN map[uint64]int
+
+	// Attestation state.
+	rotPriv    attest.PrivateKey
+	atkPriv    attest.PrivateKey
+	AtKPub     attest.PublicKey
+	AtKCert    []byte // installed after the attestation service endorses AtK
+	lsk        *attest.LocalSealer
+	dtHash     attest.Measurement
+	deviceKeys map[string]attest.PublicKey
+	deviceCert map[string][]byte
+	deviceVend map[string]string
+
+	booted bool
+}
+
+// Boot initializes the SPM on a machine: it validates and freezes the device
+// tree, locks the TZASC/TZPC and fuse bank, and derives the platform keys
+// from the fused root of trust. It mirrors CRONUS's boot sequence (§V-A).
+func Boot(k *sim.Kernel, m *hw.Machine, costs *sim.CostModel) (*SPM, error) {
+	if err := m.DT.Validate(); err != nil {
+		return nil, fmt.Errorf("spm: rejecting device tree: %w", err)
+	}
+	m.DT.Freeze()
+	m.TZASC.Lock()
+	m.TZPC.Lock()
+	m.GIC.Lock()
+	rotSeed, err := m.Fuses.Read(hw.SecureWorld, "platform-rot")
+	if err != nil {
+		return nil, fmt.Errorf("spm: no platform root of trust fused: %w", err)
+	}
+	m.Fuses.Lock()
+	rot := attest.KeyFromSeed(rotSeed)
+	atk := attest.KeyFromSeed(append([]byte("atk/"), rotSeed...))
+	dth := m.DT.Hash()
+	s := &SPM{
+		K:          k,
+		M:          m,
+		Costs:      costs,
+		parts:      make(map[PartitionID]*Partition),
+		nextID:     1,
+		grants:     make(map[int]*grant),
+		sharedPFN:  make(map[uint64]int),
+		rotPriv:    rot,
+		atkPriv:    atk,
+		AtKPub:     atk.Public().(attest.PublicKey),
+		lsk:        attest.NewLocalSealer(rotSeed),
+		dtHash:     attest.Measurement(dth),
+		deviceKeys: make(map[string]attest.PublicKey),
+		deviceCert: make(map[string][]byte),
+		deviceVend: make(map[string]string),
+		booted:     true,
+	}
+	return s, nil
+}
+
+// RoTPub returns the platform root-of-trust public key (for registering the
+// platform with an attestation service).
+func (s *SPM) RoTPub() attest.PublicKey { return s.rotPriv.Public().(attest.PublicKey) }
+
+// ProveAtK returns the RoT's signature over the attestation key, which the
+// attestation service verifies before endorsing AtK.
+func (s *SPM) ProveAtK() []byte { return attest.Sign(s.rotPriv, s.AtKPub) }
+
+// InstallAtKCert stores the service endorsement for inclusion in reports.
+func (s *SPM) InstallAtKCert(cert []byte) { s.AtKCert = cert }
+
+// DTHash returns the frozen device tree measurement.
+func (s *SPM) DTHash() attest.Measurement { return s.dtHash }
+
+// LSK exposes the local seal key to secure-world components only. The
+// normal world has no path to this value.
+func (s *SPM) LSK() *attest.LocalSealer { return s.lsk }
+
+// CreatePartition carves out a new S-EL2 partition owning the named device
+// ("" for a CPU partition) and measures its mOS image. One partition per
+// device and vice versa (§III-A).
+func (s *SPM) CreatePartition(name, device string, mosImage []byte) (*Partition, error) {
+	if !s.booted {
+		return nil, fmt.Errorf("spm: not booted")
+	}
+	if device != "" {
+		if _, ok := s.M.DT.Find(device); !ok {
+			return nil, fmt.Errorf("spm: device %q not in device tree", device)
+		}
+		for _, p := range s.parts {
+			if p.Device == device {
+				return nil, fmt.Errorf("spm: device %q already owned by partition %q", device, p.Name)
+			}
+		}
+	}
+	id := s.nextID
+	s.nextID++
+	p := &Partition{
+		ID:         id,
+		Name:       name,
+		Device:     device,
+		spm:        s,
+		stage2:     hw.NewAddrSpace(fmt.Sprintf("stage2:%s", name)),
+		ipaNext:    1, // IPA page 0 kept unmapped to catch nil derefs
+		ownPages:   make(map[uint64]ownedPage),
+		procs:      make(map[*sim.Proc]struct{}),
+		restartSig: sim.NewSignal(s.K),
+		mosHash:    attest.Measure(mosImage),
+	}
+	s.parts[id] = p
+	return p, nil
+}
+
+// Partition returns a partition by id.
+func (s *SPM) Partition(id PartitionID) (*Partition, bool) {
+	p, ok := s.parts[id]
+	return p, ok
+}
+
+// Partitions lists all partitions.
+func (s *SPM) Partitions() []*Partition {
+	out := make([]*Partition, 0, len(s.parts))
+	for id := PartitionID(1); id < s.nextID; id++ {
+		if p, ok := s.parts[id]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RegisterDeviceKey records an accelerator's authenticity material after the
+// mOS verified key ownership (§IV-A): the device public key, its vendor and
+// the vendor CA endorsement, all included in platform reports.
+func (s *SPM) RegisterDeviceKey(device, vendor string, pub attest.PublicKey, cert []byte) {
+	s.deviceKeys[device] = pub
+	s.deviceCert[device] = cert
+	s.deviceVend[device] = vendor
+}
+
+// BuildReport assembles and signs the platform attestation report for the
+// given enclave measurements and client nonce.
+func (s *SPM) BuildReport(enclaves map[string]attest.Measurement, nonce uint64) *attest.SignedReport {
+	r := attest.Report{
+		MOSHashes:     make(map[string]attest.Measurement),
+		EnclaveHashes: enclaves,
+		DTHash:        s.dtHash,
+		DeviceKeys:    make(map[string]attest.PublicKey),
+		Nonce:         nonce,
+	}
+	for _, p := range s.parts {
+		r.MOSHashes[p.Name] = p.mosHash
+	}
+	for d, k := range s.deviceKeys {
+		r.DeviceKeys[d] = k
+	}
+	certs := make(map[string][]byte, len(s.deviceCert))
+	vends := make(map[string]string, len(s.deviceVend))
+	for d, c := range s.deviceCert {
+		certs[d] = c
+	}
+	for d, v := range s.deviceVend {
+		vends[d] = v
+	}
+	return &attest.SignedReport{
+		Report:        r,
+		Sig:           attest.Sign(s.atkPriv, r.Encode()),
+		AtK:           s.AtKPub,
+		AtKCert:       s.AtKCert,
+		DeviceCerts:   certs,
+		DeviceVendors: vends,
+	}
+}
+
+// LocalReportFor seals a local attestation report for an enclave hosted in
+// partition p — used during sRPC establishment (§IV-A "Local Attestation").
+func (s *SPM) LocalReportFor(p *Partition, eid uint32, enclaveHash attest.Measurement, nonce uint64) (attest.LocalReport, []byte, error) {
+	if p.state != PartReady {
+		return attest.LocalReport{}, nil, fmt.Errorf("spm: partition %q not ready", p.Name)
+	}
+	if PartitionID(eid>>24) != p.ID {
+		return attest.LocalReport{}, nil, fmt.Errorf("spm: eid %#x does not belong to partition %d", eid, p.ID)
+	}
+	r := attest.LocalReport{
+		EnclaveID:   eid,
+		EnclaveHash: enclaveHash,
+		MOSHash:     p.mosHash,
+		Nonce:       nonce,
+	}
+	return r, s.lsk.Seal(r), nil
+}

@@ -1,0 +1,363 @@
+package srpc
+
+import (
+	"errors"
+	"fmt"
+
+	"cronus/internal/enclave"
+	"cronus/internal/mos"
+	"cronus/internal/sim"
+	"cronus/internal/spm"
+	"cronus/internal/trace"
+	"cronus/internal/wire"
+)
+
+// Client is the caller-side (owner) end of one sRPC stream: it belongs to
+// one calling thread of mE_A and streams mECalls to mE_B (§IV-C "to support
+// multi-threading, CRONUS makes each thread create its own stream").
+type Client struct {
+	owner   *mos.Enclave
+	peerEID uint32
+	edl     *enclave.EDL
+	tr      Transport
+
+	ring     *ring
+	streamID uint64
+	rid      uint64 // next free slot (producer index)
+	smem     uint64 // owner-side IPA of the region
+	gid      int
+	closed   bool
+	dead     bool
+
+	costs *sim.CostModel
+
+	// Stats for experiments.
+	Calls      uint64
+	SyncWaits  uint64
+	BytesMoved uint64
+}
+
+var nextStreamID uint64
+
+// Connect establishes a stream from the owner enclave to peer eid (§IV-C):
+// ① local attestation of the peer (automatic, verified against want),
+// ② trusted shared memory establishment through the SPM,
+// ③ dCheck — the peer proves secret_dhke possession through the region,
+// ④ executor thread creation in the peer's partition.
+//
+// secret is secret_dhke from the peer's creation (the owner created it);
+// peerEDL is the mECall table from the manifest the owner supplied.
+func Connect(p *sim.Proc, owner *mos.Enclave, peerEID uint32, secret []byte, peerEDL *enclave.EDL, want Expected, tr Transport, pages int) (*Client, error) {
+	if pages < 2 {
+		pages = DefaultPages
+	}
+	m := owner.MOS()
+	costs := m.Costs
+
+	// ① Local attestation via untrusted memory, MAC-verified through the
+	// SPM's local seal key; binds identity, measurement and co-location.
+	nextStreamID++
+	streamID := nextStreamID
+	nonce := streamID*2654435761 + 12345
+	p.Sleep(costs.UntrustedMsg)
+	rep, mac, err := tr.LocalReport(p, peerEID, nonce)
+	if err != nil {
+		return nil, fmt.Errorf("srpc: local attestation failed: %w", err)
+	}
+	p.Sleep(costs.LocalAttest)
+	if !m.SPM.LSK().Verify(rep, mac) {
+		return nil, fmt.Errorf("srpc: local report not sealed by this machine's SPM")
+	}
+	if rep.EnclaveID != peerEID || rep.Nonce != nonce {
+		return nil, fmt.Errorf("srpc: local report identity mismatch")
+	}
+	if rep.EnclaveHash != want.EnclaveHash {
+		return nil, fmt.Errorf("srpc: peer enclave measurement mismatch (substituted mEnclave?)")
+	}
+	if rep.MOSHash != want.MOSHash {
+		return nil, fmt.Errorf("srpc: peer mOS measurement mismatch (substituted mOS?)")
+	}
+
+	// ② Allocate smem in the owner's partition and share it with the
+	// peer's partition through the SPM.
+	ipa, err := owner.AllocShared(p, pages)
+	if err != nil {
+		return nil, err
+	}
+	peerPart, ok := m.SPM.Partition(spmPartID(peerEID))
+	if !ok {
+		return nil, fmt.Errorf("srpc: no partition for eid %#x", peerEID)
+	}
+	peerIPA, gid, err := m.SPM.Share(m.Part, ipa, pages, peerPart)
+	if err != nil {
+		return nil, err
+	}
+	owner.TrackGrant(gid)
+	p.Sleep(sim.Duration(pages) * costs.MapPage)
+
+	c := &Client{
+		owner:    owner,
+		peerEID:  peerEID,
+		edl:      peerEDL,
+		tr:       tr,
+		ring:     newRing(owner.View(), ipa, pages),
+		streamID: streamID,
+		smem:     ipa,
+		gid:      gid,
+		costs:    costs,
+	}
+	// Initialize the header.
+	challenge := nonce ^ 0xdeadbeefcafef00d
+	if err := c.ring.writeU64(p, offMagic, streamMagic); err != nil {
+		return nil, translateFault(err)
+	}
+	if err := c.ring.writeU64(p, offChal, challenge); err != nil {
+		return nil, translateFault(err)
+	}
+
+	// ③ Sealed setup request through the untrusted world + dCheck. The
+	// establishment channels are bound to this stream's id so concurrent
+	// per-thread streams (§IV-C) have independent replay windows. The
+	// owner sends on the "owner->enclave" direction and receives on the
+	// other — the mirror of the server's setupChannels.
+	ownerTx, ownerRx := setupChannels(secret, streamID)
+	req := wire.NewEncoder().U64(streamID).U64(peerIPA).U32(uint32(pages)).U64(challenge).Bytes()
+	p.Sleep(costs.UntrustedMsg + costs.MACFixed)
+	reply, err := tr.StreamSetup(p, peerEID, streamID, ownerTx.Seal(req))
+	if err != nil {
+		return nil, fmt.Errorf("srpc: stream setup failed: %w", err)
+	}
+	if _, err := ownerRx.Open(reply); err != nil {
+		return nil, fmt.Errorf("srpc: setup reply rejected: %w", err)
+	}
+	status, err := c.ring.readU32(p, offDCheck)
+	if err != nil {
+		return nil, translateFault(err)
+	}
+	if status != 1 {
+		return nil, fmt.Errorf("srpc: dCheck not performed")
+	}
+	gotMAC := make([]byte, 32)
+	if err := c.ring.view.Read(p, c.ring.base+offDMAC, gotMAC); err != nil {
+		return nil, translateFault(err)
+	}
+	wantMAC := dcheckMAC(secret, streamID, challenge)
+	if !macEqual(gotMAC, wantMAC) {
+		return nil, fmt.Errorf("srpc: dCheck failed — region not shared with the genuine peer")
+	}
+
+	// ④ The normal world creates the executor thread on demand.
+	p.Sleep(costs.ThreadCreate)
+	if err := tr.SpawnExecutor(p, peerEID, streamID); err != nil {
+		return nil, fmt.Errorf("srpc: executor creation failed: %w", err)
+	}
+	return c, nil
+}
+
+func macEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var diff byte
+	for i := range a {
+		diff |= a[i] ^ b[i]
+	}
+	return diff == 0
+}
+
+func spmPartID(eid uint32) spm.PartitionID { return spm.PartitionID(eid >> 24) }
+
+// markDead clears stream state after a peer failure (§IV-D: "CRONUS's sRPC
+// automatically clears state when getting the signal").
+func (c *Client) markDead() {
+	if !c.dead {
+		c.dead = true
+		_ = c.owner.MOS().SPM.Unshare(c.gid)
+	}
+}
+
+func (c *Client) fail(err error) error {
+	err = translateFault(err)
+	if errors.Is(err, ErrPeerFailed) {
+		c.markDead()
+	}
+	return err
+}
+
+// Call issues an mECall on the stream. Calls declared async in the EDL
+// return immediately after enqueuing (no context switch, no wait);
+// synchronous calls block until the executor publishes the result.
+func (c *Client) Call(p *sim.Proc, name string, args []byte) ([]byte, error) {
+	if c.closed {
+		return nil, ErrStreamClosed
+	}
+	if c.dead {
+		return nil, ErrPeerFailed
+	}
+	spec, ok := c.edl.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("srpc: mECall %q not in peer EDL", name)
+	}
+	if spec.Async {
+		return nil, c.push(p, name, args, kindAsync, 0)
+	}
+	return c.CallSyncCap(p, name, args, 4096)
+}
+
+// CallSyncCap issues a synchronous mECall reserving respCap bytes for the
+// result (use for large DtoH transfers).
+func (c *Client) CallSyncCap(p *sim.Proc, name string, args []byte, respCap int) ([]byte, error) {
+	if c.closed {
+		return nil, ErrStreamClosed
+	}
+	if c.dead {
+		return nil, ErrPeerFailed
+	}
+	if _, ok := c.edl.Lookup(name); !ok {
+		return nil, fmt.Errorf("srpc: mECall %q not in peer EDL", name)
+	}
+	recSlot := c.rid
+	if err := c.push(p, name, args, kindSync, respCap); err != nil {
+		return nil, err
+	}
+	// Wait for the executor to pass the record (it publishes the result
+	// before advancing Sid).
+	c.SyncWaits++
+	if err := c.waitSidPast(p, c.rid); err != nil {
+		return nil, c.fail(err)
+	}
+	if err := c.checkSticky(p); err != nil {
+		return nil, err
+	}
+	out, err := c.ring.readSlots(p, recSlot, int(c.rid-recSlot)*SlotSize)
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	d := wire.NewDecoder(out)
+	if status := d.U32(); status != 0 {
+		return nil, fmt.Errorf("srpc: mECall %q failed: %s", name, d.Str())
+	}
+	res := d.Blob()
+	return res, d.Err()
+}
+
+// push serializes and enqueues one record, with slot-level flow control.
+func (c *Client) push(p *sim.Proc, name string, args []byte, kind uint32, respCap int) error {
+	payload := wire.NewEncoder().Str(name).Blob(args).Bytes()
+	body := recHdrSize + len(payload)
+	if respCap+8 > len(payload) {
+		body = recHdrSize + respCap + 8
+	}
+	slots := slotsFor(body)
+	if slots > c.ring.slots {
+		return fmt.Errorf("srpc: record of %d bytes exceeds ring capacity", body)
+	}
+	// Flow control: wait until the ring has room.
+	for {
+		sid, err := c.ring.readU64(p, offSid)
+		if err != nil {
+			return c.fail(err)
+		}
+		if c.rid+slots-sid <= c.ring.slots {
+			break
+		}
+		p.Sleep(pollQuantum)
+	}
+	rec := wire.NewEncoder().U32(uint32(len(payload))).U32(kind).U32(uint32(slots)).U32(uint32(respCap))
+	full := append(rec.Bytes(), payload...)
+	// Bulk payloads are produced directly into the trusted shared region
+	// (zero-copy staging, §IV-C); only the record metadata is copied by
+	// the sRPC layer itself.
+	meta := len(full)
+	if meta > 256 {
+		meta = 256
+	}
+	p.Sleep(c.costs.RingPush + c.costs.Memcpy(meta))
+	if err := c.ring.writeSlots(p, c.rid, full); err != nil {
+		return c.fail(err)
+	}
+	c.rid += slots
+	if err := c.ring.writeU64(p, offRid, c.rid); err != nil {
+		return c.fail(err)
+	}
+	c.Calls++
+	c.BytesMoved += uint64(len(full))
+	return nil
+}
+
+func (c *Client) waitSidPast(p *sim.Proc, target uint64) error {
+	defer trace.Default.Span(p, "srpc", fmt.Sprintf("stream-%d", c.streamID), "sync-wait")()
+	for {
+		p.Sleep(c.costs.RingPoll)
+		sid, err := c.ring.readU64(p, offSid)
+		if err != nil {
+			return err
+		}
+		if sid >= target {
+			return nil
+		}
+		p.Sleep(pollQuantum)
+	}
+}
+
+func (c *Client) checkSticky(p *sim.Proc) error {
+	sticky, err := c.ring.readU32(p, offSticky)
+	if err != nil {
+		return c.fail(err)
+	}
+	if sticky == 0 {
+		return nil
+	}
+	n, err := c.ring.readU32(p, offErrLen)
+	if err != nil {
+		return c.fail(err)
+	}
+	if n > maxErrMsg {
+		n = maxErrMsg
+	}
+	msg := make([]byte, n)
+	if err := c.ring.view.Read(p, c.ring.base+offErrMsg, msg); err != nil {
+		return c.fail(err)
+	}
+	_ = c.ring.writeU32(p, offSticky, 0) // consumed
+	return fmt.Errorf("srpc: asynchronous mECall failed: %s", msg)
+}
+
+// Barrier is streamCheck (§IV-C): it blocks until every enqueued record has
+// executed (Sid == Rid) and surfaces any sticky asynchronous error.
+func (c *Client) Barrier(p *sim.Proc) error {
+	if c.closed {
+		return ErrStreamClosed
+	}
+	if c.dead {
+		return ErrPeerFailed
+	}
+	c.SyncWaits++
+	if err := c.waitSidPast(p, c.rid); err != nil {
+		return c.fail(err)
+	}
+	return c.checkSticky(p)
+}
+
+// Close drains the stream, signals the executor to stop, and releases the
+// shared region.
+func (c *Client) Close(p *sim.Proc) error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.dead {
+		return nil
+	}
+	if err := c.waitSidPast(p, c.rid); err != nil {
+		c.markDead()
+		return nil // peer already gone; state cleared
+	}
+	_ = c.ring.writeU32(p, offClosed, 1)
+	_ = c.owner.MOS().SPM.Unshare(c.gid)
+	c.dead = true
+	return nil
+}
+
+// Dead reports whether the stream was torn down by a peer failure.
+func (c *Client) Dead() bool { return c.dead }

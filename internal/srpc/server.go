@@ -1,0 +1,203 @@
+package srpc
+
+import (
+	"fmt"
+
+	"cronus/internal/attest"
+	"cronus/internal/mos"
+	"cronus/internal/sim"
+	"cronus/internal/wire"
+)
+
+// Transport is the untrusted normal world's relay role in sRPC: it carries
+// the (MAC-protected) establishment messages and creates executor threads.
+// The normal world can drop or corrupt this traffic — establishment then
+// fails safe — but it cannot forge it.
+type Transport interface {
+	// LocalReport fetches an SPM-sealed local attestation report for eid.
+	LocalReport(p *sim.Proc, eid uint32, nonce uint64) (attest.LocalReport, []byte, error)
+	// StreamSetup relays a sealed stream-setup request for one stream to
+	// eid's mOS.
+	StreamSetup(p *sim.Proc, eid uint32, streamID uint64, msg attest.SealedMsg) (attest.SealedMsg, error)
+	// SpawnExecutor asks the normal world to start the executor thread
+	// for an established stream.
+	SpawnExecutor(p *sim.Proc, eid uint32, streamID uint64) error
+}
+
+// Server is the callee-side sRPC endpoint wrapped around one mEnclave. The
+// dispatcher creates one per enclave; its mOS hosts the executor threads.
+// One enclave serves many streams (one per caller thread, §IV-C).
+type Server struct {
+	enc     *mos.Enclave
+	streams map[uint64]*serverStream
+}
+
+type serverStream struct {
+	id      uint64
+	ring    *ring
+	sid     uint64
+	running bool
+}
+
+// NewServer wraps an enclave as an sRPC endpoint.
+func NewServer(e *mos.Enclave) *Server {
+	return &Server{
+		enc:     e,
+		streams: make(map[uint64]*serverStream),
+	}
+}
+
+// setupChannels derives the per-stream establishment channels from
+// secret_dhke: binding the stream id into the key defeats cross-stream
+// splicing, and the per-direction sequence defeats replay within a stream.
+func setupChannels(secret []byte, streamID uint64) (rx, tx *attest.Channel) {
+	rx = attest.NewChannel(secret, fmt.Sprintf("srpc-setup:%d:owner->enclave", streamID))
+	tx = attest.NewChannel(secret, fmt.Sprintf("srpc-setup:%d:enclave->owner", streamID))
+	return rx, tx
+}
+
+// EID returns the wrapped enclave's id.
+func (s *Server) EID() uint32 { return s.enc.EID }
+
+// Enclave returns the wrapped enclave.
+func (s *Server) Enclave() *mos.Enclave { return s.enc }
+
+// HandleSetup processes a sealed stream-setup request relayed through the
+// untrusted world: it maps the shared region granted by the owner, performs
+// dCheck by writing the secret_dhke proof through the region, and registers
+// the stream. Request payload: wire(streamID u64, peerIPA u64, pages u32,
+// challenge u64).
+//
+// A setup for an already-registered stream id is refused: a replayed setup
+// would otherwise reset Sid and re-execute consumed records.
+func (s *Server) HandleSetup(p *sim.Proc, streamID uint64, msg attest.SealedMsg) (attest.SealedMsg, error) {
+	if _, dup := s.streams[streamID]; dup {
+		return attest.SealedMsg{}, fmt.Errorf("srpc: stream %d already established (replayed setup?)", streamID)
+	}
+	rx, tx := setupChannels(s.enc.Secret(), streamID)
+	payload, err := rx.Open(msg)
+	if err != nil {
+		return attest.SealedMsg{}, fmt.Errorf("srpc: setup rejected: %w", err)
+	}
+	d := wire.NewDecoder(payload)
+	innerID := d.U64()
+	peerIPA := d.U64()
+	pages := d.U32()
+	challenge := d.U64()
+	if err := d.Err(); err != nil {
+		return attest.SealedMsg{}, err
+	}
+	if innerID != streamID {
+		return attest.SealedMsg{}, fmt.Errorf("srpc: stream id mismatch (spliced setup?)")
+	}
+	costs := s.enc.MOS().Costs
+	p.Sleep(costs.StreamSetup)
+	st := &serverStream{
+		id:   streamID,
+		ring: newRing(s.enc.View(), peerIPA, int(pages)),
+	}
+	// dCheck: prove possession of secret_dhke through the shared memory
+	// itself (§IV-C). If the SPM mapped us the wrong region — or we are a
+	// substituted enclave — the owner's verification fails.
+	mac := dcheckMAC(s.enc.Secret(), streamID, challenge)
+	if err := st.ring.view.Write(p, st.ring.base+offDMAC, mac); err != nil {
+		return attest.SealedMsg{}, translateFault(err)
+	}
+	if err := st.ring.writeU32(p, offDCheck, 1); err != nil {
+		return attest.SealedMsg{}, translateFault(err)
+	}
+	s.streams[streamID] = st
+	return tx.Seal(wire.NewEncoder().U64(streamID).Bytes()), nil
+}
+
+// RunExecutor is the body of the executor thread T (§IV-C): it drains the
+// ring, executes each mECall strictly in order, publishes results for
+// synchronous records, and advances Sid. It returns when the stream closes
+// or the peer fails.
+func (s *Server) RunExecutor(p *sim.Proc, streamID uint64) {
+	st, ok := s.streams[streamID]
+	if !ok || st.running {
+		return // unknown stream, or a duplicated executor (replay attempt)
+	}
+	st.running = true
+	defer delete(s.streams, streamID)
+	costs := s.enc.MOS().Costs
+	r := st.ring
+	for {
+		p.Sleep(costs.RingPoll)
+		rid, err := r.readU64(p, offRid)
+		if err != nil {
+			return // peer failed: traps handled, thread exits (no deadlock, A2)
+		}
+		if st.sid >= rid {
+			closed, err := r.readU32(p, offClosed)
+			if err != nil || closed == 1 {
+				delete(s.streams, streamID)
+				return
+			}
+			p.Sleep(pollQuantum)
+			continue
+		}
+		// Read the record header at sid.
+		hdr, err := r.readSlots(p, st.sid, recHdrSize)
+		if err != nil {
+			return
+		}
+		hd := wire.NewDecoder(hdr)
+		payloadLen := hd.U32()
+		kind := hd.U32()
+		slots := hd.U32()
+		if hd.Err() != nil || slots == 0 {
+			s.sticky(p, r, fmt.Sprintf("corrupt record at sid %d", st.sid))
+			return
+		}
+		body, err := r.readSlots(p, st.sid, recHdrSize+int(payloadLen))
+		if err != nil {
+			return
+		}
+		bd := wire.NewDecoder(body[recHdrSize:])
+		name := bd.Str()
+		args := bd.Blob()
+		var res []byte
+		var callErr error
+		if err := bd.Err(); err != nil {
+			callErr = err
+		} else {
+			res, callErr = s.enc.InvokeStreamed(p, name, args)
+		}
+		if kind == kindSync {
+			// Publish the result in place, then advance Sid.
+			e := wire.NewEncoder()
+			if callErr != nil {
+				e.U32(1).Str(callErr.Error())
+			} else {
+				e.U32(0).Blob(res)
+			}
+			out := e.Bytes()
+			if len(out) > int(slots)*SlotSize {
+				e2 := wire.NewEncoder().U32(1).Str("srpc: result exceeds record capacity")
+				out = e2.Bytes()
+			}
+			if err := r.writeSlots(p, st.sid, out); err != nil {
+				return
+			}
+		} else if callErr != nil {
+			// Asynchronous failure: sticky error, surfaced at the
+			// next synchronization point (CUDA-style).
+			s.sticky(p, r, callErr.Error())
+		}
+		st.sid += uint64(slots)
+		if err := r.writeU64(p, offSid, st.sid); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) sticky(p *sim.Proc, r *ring, msg string) {
+	if len(msg) > maxErrMsg {
+		msg = msg[:maxErrMsg]
+	}
+	_ = r.view.Write(p, r.base+offErrMsg, []byte(msg))
+	_ = r.writeU32(p, offErrLen, uint32(len(msg)))
+	_ = r.writeU32(p, offSticky, 1)
+}

@@ -1,0 +1,780 @@
+package srpc_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cronus/internal/attest"
+	"cronus/internal/enclave"
+	"cronus/internal/gpu"
+	"cronus/internal/mos"
+	"cronus/internal/mos/driver"
+	"cronus/internal/normal"
+	"cronus/internal/sim"
+	"cronus/internal/spm"
+	"cronus/internal/srpc"
+	"cronus/internal/testrig"
+)
+
+// harness wires a CPU owner enclave and a CUDA callee enclave through a
+// dispatcher, mirroring the paper's Figure 4 partitioned application.
+type harness struct {
+	rig   *testrig.Rig
+	disp  *normal.Dispatcher
+	owner *mos.Enclave // mE_A (CPU)
+	eidB  uint32       // mE_C (CUDA)
+	secB  []byte       // secret_dhke with mE_C
+	edlB  *enclave.EDL
+	wantB srpc.Expected
+}
+
+func cpuOwnerManifest() (enclave.Manifest, map[string][]byte) {
+	files := map[string][]byte{
+		"app.edl": enclave.BuildEDL(enclave.MECallSpec{Name: "main", Async: false}),
+		"app.so":  enclave.BuildCPUImage("srpc-test-app"),
+	}
+	return enclave.NewManifest("cpu", "app.edl", "app.so", files, enclave.Resources{Memory: "4M"}), files
+}
+
+func cudaManifest() (enclave.Manifest, map[string][]byte) {
+	files := map[string][]byte{
+		"cuda.edl":  driver.CUDAEDL(),
+		"mat.cubin": gpu.BuildCubin("vec_add", "matmul", "saxpy"),
+	}
+	return enclave.NewManifest("gpu", "cuda.edl", "mat.cubin", files, enclave.Resources{Memory: "64M"}), files
+}
+
+func init() {
+	enclave.RegisterCPULibrary(&enclave.CPULibrary{
+		Name:  "srpc-test-app",
+		Funcs: map[string]enclave.CPUFunc{"main": func(*sim.Proc, []byte) ([]byte, error) { return nil, nil }},
+	})
+}
+
+// setup builds the platform, both enclaves and returns the harness.
+func setup(p *sim.Proc, rig *testrig.Rig) (*harness, error) {
+	disp := normal.NewDispatcher(rig.SPM)
+	disp.RegisterMOS(rig.CPUOS)
+	disp.RegisterMOS(rig.GPUOS)
+	disp.RegisterMOS(rig.NPUOS)
+
+	manA, filesA := cpuOwnerManifest()
+	dhA, err := attest.NewDHKey([]byte("app"))
+	if err != nil {
+		return nil, err
+	}
+	resA, encA, err := rig.CPUOS.EM.Create(p, "mE-A", manA, filesA, dhA.Pub)
+	if err != nil {
+		return nil, err
+	}
+	_ = resA
+
+	// mE_A creates the CUDA enclave through the dispatcher.
+	manB, filesB := cudaManifest()
+	dhAB, err := attest.NewDHKey([]byte("mE-A-to-C"))
+	if err != nil {
+		return nil, err
+	}
+	resB, err := disp.CreateEnclave(p, "mE-C", manB, filesB, dhAB.Pub)
+	if err != nil {
+		return nil, err
+	}
+	secret, err := dhAB.Shared(resB.DHPub)
+	if err != nil {
+		return nil, err
+	}
+	edl, err := enclave.ParseEDL(filesB["cuda.edl"])
+	if err != nil {
+		return nil, err
+	}
+	return &harness{
+		rig:   rig,
+		disp:  disp,
+		owner: encA,
+		eidB:  resB.EID,
+		secB:  secret,
+		edlB:  edl,
+		wantB: srpc.Expected{EnclaveHash: manB.Measure(filesB), MOSHash: rig.GPUPart.MOSHash()},
+	}, nil
+}
+
+func run(t *testing.T, body func(h *harness, p *sim.Proc) error) {
+	t.Helper()
+	err := testrig.Run(testrig.DefaultOptions(), func(rig *testrig.Rig, _ []testrig.ExtraGPU, p *sim.Proc) error {
+		h, err := setup(p, rig)
+		if err != nil {
+			return err
+		}
+		return body(h, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (h *harness) connect(p *sim.Proc) (*srpc.Client, error) {
+	return srpc.Connect(p, h.owner, h.eidB, h.secB, h.edlB, h.wantB, h.disp, 0)
+}
+
+func TestStreamEndToEndCompute(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		alloc := func(n uint64) uint64 {
+			res, err := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ptr, _ := driver.DecodePtr(res)
+			return ptr
+		}
+		a, b, cc := alloc(16), alloc(16), alloc(16)
+		// Async stream: two copies and a launch, no waiting.
+		if _, err := c.Call(p, driver.CallHtoD, driver.EncodeHtoD(a, gpu.PackF32([]float32{1, 2, 3, 4}))); err != nil {
+			return err
+		}
+		if _, err := c.Call(p, driver.CallHtoD, driver.EncodeHtoD(b, gpu.PackF32([]float32{5, 6, 7, 8}))); err != nil {
+			return err
+		}
+		if _, err := c.Call(p, driver.CallLaunch, driver.EncodeLaunch("vec_add", gpu.Dim{4, 1, 1}, a, b, cc)); err != nil {
+			return err
+		}
+		// Sync call returns the data (implicit streamCheck ordering).
+		res, err := c.Call(p, driver.CallDtoH, driver.EncodeDtoH(cc, 16))
+		if err != nil {
+			return err
+		}
+		blob, _ := driver.DecodeBlob(res)
+		got := gpu.UnpackF32(blob)
+		want := []float32{6, 8, 10, 12}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("result %v, want %v", got, want)
+				break
+			}
+		}
+		return c.Close(p)
+	})
+}
+
+func TestAsyncCallsDoNotBlock(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		// 1 MiB payload needs a ring bigger than the default 64 KiB.
+		c, err := srpc.Connect(p, h.owner, h.eidB, h.secB, h.edlB, h.wantB, h.disp, 300)
+		if err != nil {
+			return err
+		}
+		res, err := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(256*256*4*3))
+		if err != nil {
+			return err
+		}
+		base, _ := driver.DecodePtr(res)
+		a, b, cc := base, base+256*256*4, base+2*256*256*4
+		// A 256³ matmul costs milliseconds of device time; the async
+		// launch must return after only the enqueue cost.
+		start := p.Now()
+		if _, err := c.Call(p, driver.CallLaunch, driver.EncodeLaunch("matmul", gpu.Dim{256, 256, 1}, a, b, cc, 256, 256, 256)); err != nil {
+			return err
+		}
+		enqueue := sim.Duration(p.Now() - start)
+		if enqueue > 100*sim.Microsecond {
+			t.Errorf("async launch enqueue took %v (not streaming)", enqueue)
+		}
+		// Barrier waits for the kernel (streamCheck).
+		if err := c.Barrier(p); err != nil {
+			return err
+		}
+		if total := sim.Duration(p.Now() - start); total < 10*enqueue {
+			t.Errorf("barrier returned after %v; kernel cannot have run", total)
+		}
+		return c.Close(p)
+	})
+}
+
+func TestOrderingPreservedAcrossAsyncCalls(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		res, _ := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(4))
+		ptr, _ := driver.DecodePtr(res)
+		// 20 async overwrites; the final sync read must observe the last.
+		for i := 1; i <= 20; i++ {
+			if _, err := c.Call(p, driver.CallHtoD, driver.EncodeHtoD(ptr, gpu.PackF32([]float32{float32(i)}))); err != nil {
+				return err
+			}
+		}
+		out, err := c.Call(p, driver.CallDtoH, driver.EncodeDtoH(ptr, 4))
+		if err != nil {
+			return err
+		}
+		blob, _ := driver.DecodeBlob(out)
+		if v := gpu.UnpackF32(blob)[0]; v != 20 {
+			t.Errorf("final value %v, want 20 (RPCs reordered?)", v)
+		}
+		return c.Close(p)
+	})
+}
+
+func TestStickyAsyncErrorSurfacesAtSyncPoint(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		// Async launch of a kernel that is not loaded fails in the
+		// executor; the error must surface at the next barrier.
+		if _, err := c.Call(p, driver.CallLaunch, driver.EncodeLaunch("reduce_sum", gpu.Dim{1, 1, 1}, 0, 0)); err != nil {
+			return err // enqueue itself must succeed
+		}
+		err = c.Barrier(p)
+		if err == nil || !strings.Contains(err.Error(), "not loaded") {
+			t.Errorf("barrier err = %v, want sticky launch failure", err)
+		}
+		// The stream stays usable after consuming the sticky error.
+		if _, err := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(16)); err != nil {
+			t.Errorf("stream dead after sticky error: %v", err)
+		}
+		return c.Close(p)
+	})
+}
+
+func TestLargePayloadSpansSlots(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		res, _ := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(48<<10))
+		ptr, _ := driver.DecodePtr(res)
+		payload := make([]byte, 20<<10) // 10 slots
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		if _, err := c.Call(p, driver.CallHtoD, driver.EncodeHtoD(ptr, payload)); err != nil {
+			return err
+		}
+		out, err := c.CallSyncCap(p, driver.CallDtoH, driver.EncodeDtoH(ptr, uint64(len(payload))), len(payload)+64)
+		if err != nil {
+			return err
+		}
+		blob, _ := driver.DecodeBlob(out)
+		if len(blob) != len(payload) {
+			t.Fatalf("got %d bytes back, want %d", len(blob), len(payload))
+		}
+		for i := range blob {
+			if blob[i] != payload[i] {
+				t.Fatalf("byte %d corrupted through the ring", i)
+			}
+		}
+		return c.Close(p)
+	})
+}
+
+func TestFlowControlWhenRingFull(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		res, _ := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(1<<20))
+		ptr, _ := driver.DecodePtr(res)
+		// Push far more async bytes than the ring holds: flow control
+		// must block-and-drain rather than corrupt or fail.
+		chunk := make([]byte, 8<<10)
+		for i := 0; i < 40; i++ {
+			if _, err := c.Call(p, driver.CallHtoD, driver.EncodeHtoD(ptr, chunk)); err != nil {
+				return err
+			}
+		}
+		return c.Close(p)
+	})
+}
+
+func TestEDLUnknownCallRejectedClientSide(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Call(p, "cuEvilExfiltrate", nil); err == nil {
+			t.Error("call outside EDL accepted")
+		}
+		return c.Close(p)
+	})
+}
+
+func TestConnectRejectsSubstitutedEnclaveMeasurement(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		bad := h.wantB
+		bad.EnclaveHash = attest.Measure([]byte("some other image"))
+		_, err := srpc.Connect(p, h.owner, h.eidB, h.secB, h.edlB, bad, h.disp, 0)
+		if err == nil || !strings.Contains(err.Error(), "measurement mismatch") {
+			t.Errorf("err = %v, want measurement mismatch", err)
+		}
+		return nil
+	})
+}
+
+func TestConnectRejectsForgedLocalReport(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		// The malicious OS forges a local report (it cannot: no LSK).
+		h.disp.FakeLocalReport = func(eid uint32, nonce uint64) (attest.LocalReport, []byte) {
+			r := attest.LocalReport{EnclaveID: eid, EnclaveHash: h.wantB.EnclaveHash, MOSHash: h.wantB.MOSHash, Nonce: nonce}
+			fake := attest.NewLocalSealer([]byte("attacker guess"))
+			return r, fake.Seal(r)
+		}
+		_, err := h.connect(p)
+		if err == nil || !strings.Contains(err.Error(), "SPM") {
+			t.Errorf("err = %v, want LSK verification failure", err)
+		}
+		return nil
+	})
+}
+
+func TestSetupTamperAndReplayDetected(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		h.disp.TamperSetup = func(m attest.SealedMsg) attest.SealedMsg {
+			if len(m.Payload) > 0 {
+				m.Payload[0] ^= 0xff
+			}
+			return m
+		}
+		if _, err := h.connect(p); err == nil {
+			t.Error("tampered setup accepted")
+		}
+		h.disp.TamperSetup = nil
+		// First legitimate connect primes lastSetup; the replayed copy
+		// must then be rejected by the channel sequence check.
+		good, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		defer good.Close(p)
+		h.disp.ReplaySetup = true
+		if _, err := h.connect(p); err == nil {
+			t.Error("replayed setup accepted")
+		}
+		return nil
+	})
+}
+
+func TestDroppedExecutorFailsEstablishment(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		h.disp.DropExecutor = true
+		if _, err := h.connect(p); err == nil {
+			t.Error("connect succeeded without an executor")
+		}
+		return nil
+	})
+}
+
+func TestPeerPartitionFailureTearsDownStream(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(16)); err != nil {
+			return err
+		}
+		// The GPU partition crashes (malicious or buggy).
+		h.rig.SPM.Fail(h.rig.GPUPart, spm.FailPanic)
+		// The owner's next stream access traps and the stream reports
+		// the failure instead of deadlocking (A2) or silently writing
+		// into a substituted partition (A1).
+		_, err = c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(16))
+		if !errors.Is(err, srpc.ErrPeerFailed) {
+			t.Errorf("call after peer failure: err = %v, want ErrPeerFailed", err)
+		}
+		if !c.Dead() {
+			t.Error("stream not marked dead")
+		}
+		// Later calls fail fast.
+		if _, err := c.Call(p, driver.CallSync, nil); !errors.Is(err, srpc.ErrPeerFailed) {
+			t.Errorf("second call: err = %v", err)
+		}
+		return nil
+	})
+}
+
+func TestOwnerCanRebuildAfterPeerRecovery(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		h.rig.SPM.Fail(h.rig.GPUPart, spm.FailPanic)
+		if _, err := c.Call(p, driver.CallSync, nil); !errors.Is(err, srpc.ErrPeerFailed) {
+			t.Errorf("err = %v", err)
+		}
+		h.rig.SPM.AwaitReady(p, h.rig.GPUPart)
+		p.Sleep(sim.Millisecond) // let mOS reinit run
+		// Recreate the enclave (the task is resubmitted, §VI-D) and
+		// connect a fresh stream.
+		manB, filesB := cudaManifest()
+		dh, _ := attest.NewDHKey([]byte("retry"))
+		resB, err := h.disp.CreateEnclave(p, "mE-C2", manB, filesB, dh.Pub)
+		if err != nil {
+			return err
+		}
+		sec, _ := dh.Shared(resB.DHPub)
+		c2, err := srpc.Connect(p, h.owner, resB.EID, sec, h.edlB,
+			srpc.Expected{EnclaveHash: manB.Measure(filesB), MOSHash: h.rig.GPUPart.MOSHash()}, h.disp, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := c2.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(16)); err != nil {
+			return err
+		}
+		return c2.Close(p)
+	})
+}
+
+func TestEnclaveFailureNotifiesOwner(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(16)); err != nil {
+			return err
+		}
+		// Only the callee mEnclave dies (not the partition). Note the
+		// grant is owned by mE_A; enclave-level kill revokes via the EM.
+		srv := h.disp.Server(h.eidB)
+		srv.Enclave().Kill(p)
+		_, err = c.Call(p, driver.CallDtoH, driver.EncodeDtoH(0, 4))
+		if err == nil {
+			t.Error("call to killed enclave succeeded")
+		}
+		return nil
+	})
+}
+
+func TestCloseStopsExecutor(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(16)); err != nil {
+			return err
+		}
+		if err := c.Close(p); err != nil {
+			return err
+		}
+		// Calls after close fail.
+		if _, err := c.Call(p, driver.CallSync, nil); !errors.Is(err, srpc.ErrStreamClosed) {
+			t.Errorf("err = %v, want ErrStreamClosed", err)
+		}
+		return nil
+		// The executor proc exits on its own; kernel.Run would report a
+		// deadlock otherwise.
+	})
+}
+
+func TestTwoStreamsOneCalleeInterleave(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		// A second CUDA enclave in the same partition, each with its own
+		// stream (multi-threading: one stream per thread, §IV-C).
+		manB, filesB := cudaManifest()
+		dh2, _ := attest.NewDHKey([]byte("second"))
+		res2, err := h.disp.CreateEnclave(p, "mE-C2", manB, filesB, dh2.Pub)
+		if err != nil {
+			return err
+		}
+		sec2, _ := dh2.Shared(res2.DHPub)
+		c1, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		c2, err := srpc.Connect(p, h.owner, res2.EID, sec2, h.edlB,
+			srpc.Expected{EnclaveHash: manB.Measure(filesB), MOSHash: h.rig.GPUPart.MOSHash()}, h.disp, 0)
+		if err != nil {
+			return err
+		}
+		r1, _ := c1.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(16))
+		r2, _ := c2.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(16))
+		p1, _ := driver.DecodePtr(r1)
+		p2, _ := driver.DecodePtr(r2)
+		c1.Call(p, driver.CallHtoD, driver.EncodeHtoD(p1, gpu.PackF32([]float32{1, 1, 1, 1})))
+		c2.Call(p, driver.CallHtoD, driver.EncodeHtoD(p2, gpu.PackF32([]float32{2, 2, 2, 2})))
+		o1, err := c1.Call(p, driver.CallDtoH, driver.EncodeDtoH(p1, 16))
+		if err != nil {
+			return err
+		}
+		o2, err := c2.Call(p, driver.CallDtoH, driver.EncodeDtoH(p2, 16))
+		if err != nil {
+			return err
+		}
+		b1, _ := driver.DecodeBlob(o1)
+		b2, _ := driver.DecodeBlob(o2)
+		if gpu.UnpackF32(b1)[0] != 1 || gpu.UnpackF32(b2)[0] != 2 {
+			t.Error("streams interfered with each other")
+		}
+		c1.Close(p)
+		c2.Close(p)
+		return nil
+	})
+}
+
+func TestSRPCBeatsLockStepLatency(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		// Stream 50 async calls via sRPC.
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		res, _ := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(64))
+		ptr, _ := driver.DecodePtr(res)
+		data := gpu.PackF32(make([]float32, 16))
+		start := p.Now()
+		for i := 0; i < 50; i++ {
+			if _, err := c.Call(p, driver.CallHtoD, driver.EncodeHtoD(ptr, data)); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(p); err != nil {
+			return err
+		}
+		srpcTime := p.Now() - start
+		c.Close(p)
+
+		// Same 50 calls via the lock-step sealed path (owner channels).
+		manB, filesB := cudaManifest()
+		dh, _ := attest.NewDHKey([]byte("lockstep"))
+		resB, err := h.disp.CreateEnclave(p, "mE-lock", manB, filesB, dh.Pub)
+		if err != nil {
+			return err
+		}
+		sec, _ := dh.Shared(resB.DHPub)
+		tx := attest.NewChannel(sec, "owner->enclave")
+		rx := attest.NewChannel(sec, "enclave->owner")
+		reply, err := h.disp.InvokeSealed(p, resB.EID, mos.SealRequest(tx, driver.CallMemAlloc, driver.EncodeMemAlloc(64)))
+		if err != nil {
+			return err
+		}
+		out, err := mos.OpenReply(rx, reply)
+		if err != nil {
+			return err
+		}
+		lptr, _ := driver.DecodePtr(out)
+		start = p.Now()
+		for i := 0; i < 50; i++ {
+			reply, err := h.disp.InvokeSealed(p, resB.EID, mos.SealRequest(tx, driver.CallHtoD, driver.EncodeHtoD(lptr, data)))
+			if err != nil {
+				return err
+			}
+			if _, err := mos.OpenReply(rx, reply); err != nil {
+				return err
+			}
+		}
+		lockTime := p.Now() - start
+		if float64(lockTime) < 1.5*float64(srpcTime) {
+			t.Errorf("sRPC %v vs lock-step %v: expected streaming to be much faster", srpcTime, lockTime)
+		}
+		return nil
+	})
+}
+
+func TestTwoStreamsToTheSameEnclave(t *testing.T) {
+	// §IV-C: "To support multi-threading, CRONUS makes each thread create
+	// its own stream." Two streams from the same owner to the SAME callee
+	// must establish and operate independently.
+	run(t, func(h *harness, p *sim.Proc) error {
+		c1, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		c2, err := h.connect(p)
+		if err != nil {
+			return fmt.Errorf("second stream to the same enclave failed: %w", err)
+		}
+		r1, err := c1.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(16))
+		if err != nil {
+			return err
+		}
+		r2, err := c2.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(16))
+		if err != nil {
+			return err
+		}
+		p1, _ := driver.DecodePtr(r1)
+		p2, _ := driver.DecodePtr(r2)
+		if p1 == p2 {
+			t.Error("both streams returned the same allocation")
+		}
+		if err := c1.Close(p); err != nil {
+			return err
+		}
+		// Closing one stream must not affect the other.
+		if _, err := c2.Call(p, driver.CallSync, nil); err != nil {
+			t.Errorf("surviving stream broken after sibling close: %v", err)
+		}
+		return c2.Close(p)
+	})
+}
+
+func TestDuplicateExecutorSpawnIsHarmless(t *testing.T) {
+	// A malicious OS spawning a second executor for a live stream must
+	// not reset Sid / re-execute records.
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		res, _ := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(4))
+		ptr, _ := driver.DecodePtr(res)
+		if _, err := c.Call(p, driver.CallHtoD, driver.EncodeHtoD(ptr, gpu.PackF32([]float32{42}))); err != nil {
+			return err
+		}
+		if err := c.Barrier(p); err != nil {
+			return err
+		}
+		// Attacker duplicates the executor (stream id 1 belongs to this
+		// stream: ids are process-global and this is the only stream).
+		_ = h.disp.SpawnExecutor(p, h.eidB, 1)
+		p.Sleep(10 * sim.Microsecond)
+		// The stream still behaves: one more overwrite, one read.
+		if _, err := c.Call(p, driver.CallHtoD, driver.EncodeHtoD(ptr, gpu.PackF32([]float32{43}))); err != nil {
+			return err
+		}
+		out, err := c.Call(p, driver.CallDtoH, driver.EncodeDtoH(ptr, 4))
+		if err != nil {
+			return err
+		}
+		blob, _ := driver.DecodeBlob(out)
+		if v := gpu.UnpackF32(blob)[0]; v != 43 {
+			t.Errorf("value %v after duplicate-executor attack, want 43", v)
+		}
+		return c.Close(p)
+	})
+}
+
+// Property: an arbitrary interleaving of asynchronous writes, synchronous
+// reads and barriers through the ring behaves exactly like a flat byte
+// array (the shadow model) — slot spanning, wrap-around and flow control
+// included.
+func TestStreamRandomOpsProperty(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := srpc.Connect(p, h.owner, h.eidB, h.secB, h.edlB, h.wantB, h.disp, 33)
+		if err != nil {
+			return err
+		}
+		defer c.Close(p)
+		const bufSize = 64 << 10
+		res, err := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(bufSize))
+		if err != nil {
+			return err
+		}
+		ptr, _ := driver.DecodePtr(res)
+		shadow := make([]byte, bufSize)
+		rng := rand.New(rand.NewSource(20220815))
+		for op := 0; op < 120; op++ {
+			switch rng.Intn(5) {
+			case 0, 1, 2: // async write
+				n := 1 + rng.Intn(20<<10)
+				off := rng.Intn(bufSize - n)
+				data := make([]byte, n)
+				rng.Read(data)
+				if _, err := c.Call(p, driver.CallHtoD, driver.EncodeHtoD(ptr+uint64(off), data)); err != nil {
+					return fmt.Errorf("op %d write: %w", op, err)
+				}
+				copy(shadow[off:], data)
+			case 3: // sync read + compare
+				n := 1 + rng.Intn(20<<10)
+				off := rng.Intn(bufSize - n)
+				out, err := c.CallSyncCap(p, driver.CallDtoH, driver.EncodeDtoH(ptr+uint64(off), uint64(n)), n+64)
+				if err != nil {
+					return fmt.Errorf("op %d read: %w", op, err)
+				}
+				blob, err := driver.DecodeBlob(out)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(blob, shadow[off:off+n]) {
+					t.Fatalf("op %d: device bytes diverged from the shadow at [%d,%d)", op, off, off+n)
+				}
+			case 4: // barrier
+				if err := c.Barrier(p); err != nil {
+					return fmt.Errorf("op %d barrier: %w", op, err)
+				}
+			}
+		}
+		// Final full comparison.
+		out, err := c.CallSyncCap(p, driver.CallDtoH, driver.EncodeDtoH(ptr, bufSize), bufSize+64)
+		if err != nil {
+			return err
+		}
+		blob, _ := driver.DecodeBlob(out)
+		if !bytes.Equal(blob, shadow) {
+			t.Fatal("final device state diverged from the shadow")
+		}
+		return nil
+	})
+}
+
+// BenchmarkStreamAsyncCall measures one streamed (async) mECall through the
+// full stack: ring push, executor dispatch, device no-op.
+func BenchmarkStreamAsyncCall(b *testing.B) {
+	err := testrig.Run(testrig.DefaultOptions(), func(rig *testrig.Rig, _ []testrig.ExtraGPU, p *sim.Proc) error {
+		h, err := setup(p, rig)
+		if err != nil {
+			return err
+		}
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		defer c.Close(p)
+		res, err := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(64))
+		if err != nil {
+			return err
+		}
+		ptr, _ := driver.DecodePtr(res)
+		args := driver.EncodeHtoD(ptr, make([]byte, 64))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Call(p, driver.CallHtoD, args); err != nil {
+				return err
+			}
+		}
+		return c.Barrier(p)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStreamSyncCall measures one synchronous mECall round trip
+// (push, executor dispatch, result publish, wait).
+func BenchmarkStreamSyncCall(b *testing.B) {
+	err := testrig.Run(testrig.DefaultOptions(), func(rig *testrig.Rig, _ []testrig.ExtraGPU, p *sim.Proc) error {
+		h, err := setup(p, rig)
+		if err != nil {
+			return err
+		}
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		defer c.Close(p)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Call(p, driver.CallSync, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package srpc implements CRONUS's streaming remote procedure call protocol
+// (§IV-C) and its failover behaviour (§IV-D).
+//
+// A stream connects a caller mEnclave (the owner, mE_A) to a callee mEnclave
+// (mE_B) through trusted shared memory: the owner allocates the smem region,
+// the SPM maps it into the callee's partition, the callee proves possession
+// of secret_dhke through the region itself (dCheck), and from then on the
+// owner streams mECall records into a ring buffer while an executor thread
+// in the callee's partition drains and executes them. The owner only blocks
+// when it needs data (synchronous mECalls) or an explicit barrier
+// (streamCheck). Attackers never see the ring: it lives in TZASC-protected
+// memory, so reorder/replay/drop of in-flight RPCs is impossible by
+// construction, and RPC timing is hidden.
+//
+// When a partition or mEnclave on either end fails, the SPM's proceed-trap
+// procedure invalidates the stage-2 mappings of the region; the next ring
+// access traps, surfaces as *spm.PeerFault, and the stream cleanly reports
+// ErrPeerFailed instead of deadlocking or leaking data to a substituted
+// peer (attacks A1-A3).
+package srpc
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"cronus/internal/attest"
+	"cronus/internal/sim"
+	"cronus/internal/spm"
+)
+
+// Stream geometry.
+const (
+	headerBytes = 4096 // one page of stream header
+	// SlotSize is the ring slot granularity; records span consecutive
+	// slots when larger.
+	SlotSize = 2048
+	// DefaultPages is the default smem size (1 header page + ring).
+	DefaultPages = 17 // 64 KiB ring
+
+	pollQuantum = 400 * sim.Nanosecond
+)
+
+// Header field offsets within page 0.
+const (
+	offMagic   = 0
+	offRid     = 8
+	offSid     = 16
+	offClosed  = 24
+	offSticky  = 28
+	offDCheck  = 32
+	offDMAC    = 40 // 32 bytes
+	offChal    = 72
+	offLock    = 80
+	offErrLen  = 128
+	offErrMsg  = 132
+	maxErrMsg  = 890
+	slotBase   = headerBytes
+	recHdrSize = 16
+)
+
+const streamMagic = 0x5352504356310001 // "SRPCV1" + version
+
+// Record kinds.
+const (
+	kindAsync = 0
+	kindSync  = 1
+)
+
+// ErrPeerFailed reports that the communicating partition or mEnclave failed
+// while the stream was live; the stream has cleared its state (§IV-D).
+var ErrPeerFailed = errors.New("srpc: peer failed; stream torn down")
+
+// ErrStreamClosed reports use of a closed stream.
+var ErrStreamClosed = errors.New("srpc: stream closed")
+
+// ring provides byte access to an smem region through a memory view,
+// translating PeerFault into the stream-dead condition.
+type ring struct {
+	view  *spm.View
+	base  uint64 // IPA of the smem region in this side's partition
+	pages int
+	slots uint64
+}
+
+func newRing(view *spm.View, base uint64, pages int) *ring {
+	return &ring{
+		view:  view,
+		base:  base,
+		pages: pages,
+		slots: uint64((pages*4096 - headerBytes) / SlotSize),
+	}
+}
+
+func (r *ring) slotAddr(idx uint64) uint64 {
+	return r.base + slotBase + (idx%r.slots)*SlotSize
+}
+
+func (r *ring) readU64(p *sim.Proc, off uint64) (uint64, error) {
+	var b [8]byte
+	if err := r.view.Read(p, r.base+off, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func (r *ring) writeU64(p *sim.Proc, off uint64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return r.view.Write(p, r.base+off, b[:])
+}
+
+func (r *ring) readU32(p *sim.Proc, off uint64) (uint32, error) {
+	var b [4]byte
+	if err := r.view.Read(p, r.base+off, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (r *ring) writeU32(p *sim.Proc, off uint64, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return r.view.Write(p, r.base+off, b[:])
+}
+
+// writeSlots writes data starting at slot idx, wrapping modularly.
+func (r *ring) writeSlots(p *sim.Proc, idx uint64, data []byte) error {
+	off := 0
+	for off < len(data) {
+		n := SlotSize
+		if n > len(data)-off {
+			n = len(data) - off
+		}
+		if err := r.view.Write(p, r.slotAddr(idx), data[off:off+n]); err != nil {
+			return err
+		}
+		idx++
+		off += n
+	}
+	return nil
+}
+
+// readSlots reads n bytes starting at slot idx.
+func (r *ring) readSlots(p *sim.Proc, idx uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	off := 0
+	for off < n {
+		c := SlotSize
+		if c > n-off {
+			c = n - off
+		}
+		if err := r.view.Read(p, r.slotAddr(idx), out[off:off+c]); err != nil {
+			return nil, err
+		}
+		idx++
+		off += c
+	}
+	return out, nil
+}
+
+func slotsFor(n int) uint64 {
+	return uint64((n + SlotSize - 1) / SlotSize)
+}
+
+// dcheckMAC computes the dCheck proof: possession of secret_dhke bound to
+// this stream and challenge, written through the shared region itself.
+func dcheckMAC(secret []byte, streamID, challenge uint64) []byte {
+	m := hmac.New(sha256.New, secret)
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], streamID)
+	binary.LittleEndian.PutUint64(b[8:], challenge)
+	m.Write([]byte("srpc-dcheck"))
+	m.Write(b[:])
+	return m.Sum(nil)
+}
+
+// translateFault converts memory errors into stream-level errors.
+func translateFault(err error) error {
+	var pf *spm.PeerFault
+	if errors.As(err, &pf) {
+		return fmt.Errorf("%w (failed party: %s)", ErrPeerFailed, pf.Failed)
+	}
+	var down *spm.PartitionDownError
+	if errors.As(err, &down) {
+		return fmt.Errorf("%w (own partition restarted)", ErrPeerFailed)
+	}
+	return err
+}
+
+// Expected pins what the caller requires the peer to be (local attestation,
+// §IV-A): the enclave measurement from the manifest the caller reviewed, and
+// the mOS measurement of the partition it trusts.
+type Expected struct {
+	EnclaveHash attest.Measurement
+	MOSHash     attest.Measurement
+}

@@ -1,0 +1,152 @@
+// Package trace is an opt-in event tracer for the simulation: components
+// record spans and instants in virtual time, and the collector writes the
+// Chrome trace-event JSON format, so a CRONUS run can be inspected on a
+// timeline (chrome://tracing, Perfetto).
+//
+// Tracing is disabled by default and costs one branch per hook when off.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"cronus/internal/sim"
+)
+
+// Event is one recorded trace event.
+type Event struct {
+	Name  string
+	Cat   string
+	Track string // rendered as the "thread" lane
+	Start sim.Time
+	Dur   sim.Duration // 0 for instants
+	Args  map[string]string
+}
+
+// Collector gathers events. The zero value is a disabled collector.
+type Collector struct {
+	enabled bool
+	events  []Event
+}
+
+// Default is the process-wide collector the hooks record into.
+var Default = &Collector{}
+
+// Enable turns on collection (and clears previous events).
+func (c *Collector) Enable() {
+	c.enabled = true
+	c.events = nil
+}
+
+// Disable stops collection.
+func (c *Collector) Disable() { c.enabled = false }
+
+// Enabled reports whether events are being recorded.
+func (c *Collector) Enabled() bool { return c.enabled }
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int { return len(c.events) }
+
+// Instant records a zero-duration event at the current virtual time.
+func (c *Collector) Instant(p *sim.Proc, cat, track, name string, args map[string]string) {
+	if !c.enabled {
+		return
+	}
+	c.events = append(c.events, Event{Name: name, Cat: cat, Track: track, Start: p.Now(), Args: args})
+}
+
+// InstantAt records a zero-duration event at an explicit virtual time (for
+// callers without a process context).
+func (c *Collector) InstantAt(at sim.Time, cat, track, name string, args map[string]string) {
+	if !c.enabled {
+		return
+	}
+	c.events = append(c.events, Event{Name: name, Cat: cat, Track: track, Start: at, Args: args})
+}
+
+// Span starts a span and returns the closure that ends it:
+//
+//	defer trace.Default.Span(p, "srpc", "stream-1", "sync-wait")()
+func (c *Collector) Span(p *sim.Proc, cat, track, name string) func() {
+	if !c.enabled {
+		return func() {}
+	}
+	start := p.Now()
+	return func() {
+		c.events = append(c.events, Event{
+			Name: name, Cat: cat, Track: track,
+			Start: start, Dur: sim.Duration(p.Now() - start),
+		})
+	}
+}
+
+// chromeEvent is the trace-event JSON schema.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits the recorded events as a Chrome trace JSON array,
+// with one tid lane per track.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	tracks := make(map[string]int)
+	var names []string
+	for _, e := range c.events {
+		if _, ok := tracks[e.Track]; !ok {
+			tracks[e.Track] = 0
+			names = append(names, e.Track)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		tracks[n] = i + 1
+	}
+	out := make([]chromeEvent, 0, len(c.events)+len(names))
+	for _, n := range names {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tracks[n],
+			Args: map[string]string{"name": n},
+		})
+	}
+	for _, e := range c.events {
+		ce := chromeEvent{
+			Name: e.Name, Cat: e.Cat, PID: 1, TID: tracks[e.Track],
+			TS: float64(e.Start) / 1e3, Args: e.Args,
+		}
+		if e.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(e.Dur) / 1e3
+		} else {
+			ce.Ph = "i"
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Summary renders a terse text digest (events per category).
+func (c *Collector) Summary() string {
+	counts := make(map[string]int)
+	for _, e := range c.events {
+		counts[e.Cat]++
+	}
+	cats := make([]string, 0, len(counts))
+	for k := range counts {
+		cats = append(cats, k)
+	}
+	sort.Strings(cats)
+	s := fmt.Sprintf("%d trace events:", len(c.events))
+	for _, k := range cats {
+		s += fmt.Sprintf(" %s=%d", k, counts[k])
+	}
+	return s
+}

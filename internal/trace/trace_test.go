@@ -1,0 +1,106 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cronus/internal/core"
+	"cronus/internal/gpu"
+	"cronus/internal/sim"
+	"cronus/internal/spm"
+	"cronus/internal/trace"
+)
+
+func TestCollectorDisabledByDefault(t *testing.T) {
+	c := &trace.Collector{}
+	k := sim.NewKernel()
+	k.Spawn("p", func(p *sim.Proc) {
+		c.Instant(p, "x", "t", "e", nil)
+		end := c.Span(p, "x", "t", "s")
+		p.Sleep(10)
+		end()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled collector recorded %d events", c.Len())
+	}
+}
+
+func TestSpanAndChromeOutput(t *testing.T) {
+	c := &trace.Collector{}
+	c.Enable()
+	k := sim.NewKernel()
+	k.Spawn("p", func(p *sim.Proc) {
+		end := c.Span(p, "gpu", "gpu0", "matmul")
+		p.Sleep(1000)
+		end()
+		c.Instant(p, "spm", "gpu-part", "partition-failed", map[string]string{"reason": "panic"})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("events = %d", c.Len())
+	}
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 2 thread_name metadata + 2 events.
+	if len(parsed) != 4 {
+		t.Fatalf("chrome events = %d", len(parsed))
+	}
+	if !strings.Contains(c.Summary(), "gpu=1") {
+		t.Errorf("summary %q", c.Summary())
+	}
+}
+
+// End-to-end: a traced platform run captures GPU launches, sync waits and
+// the failure/recovery instants.
+func TestHooksCaptureArchitecturalEvents(t *testing.T) {
+	trace.Default.Enable()
+	defer trace.Default.Disable()
+	err := core.Run(core.DefaultConfig(), func(pl *core.Platform, p *sim.Proc) error {
+		s, err := pl.NewSession(p, "traced")
+		if err != nil {
+			return err
+		}
+		g, err := s.OpenCUDA(p, core.CUDAOptions{Cubin: gpu.BuildCubin("vec_add")})
+		if err != nil {
+			return err
+		}
+		a, _ := g.MemAlloc(p, 64)
+		b, _ := g.MemAlloc(p, 64)
+		cc, _ := g.MemAlloc(p, 64)
+		if err := g.Launch(p, "vec_add", gpu.Dim{16, 1, 1}, a, b, cc); err != nil {
+			return err
+		}
+		if err := g.Sync(p); err != nil {
+			return err
+		}
+		pl.SPM.Fail(pl.GPUs[0].Part, spm.FailPanic)
+		pl.SPM.AwaitReady(p, pl.GPUs[0].Part)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Default.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"vec_add", "sync-wait", "partition-failed", "partition-ready"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package wire is the compact binary codec used for mECall arguments,
+// results and RPC records. It is deliberately tiny: little-endian integers
+// and length-prefixed byte strings over a flat buffer.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Encoder appends values to a buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder creates an encoder, optionally around an existing buffer.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// U32 appends a uint32.
+func (e *Encoder) U32(v uint32) *Encoder {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+	return e
+}
+
+// U64 appends a uint64.
+func (e *Encoder) U64(v uint64) *Encoder {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+	return e
+}
+
+// I64 appends an int64.
+func (e *Encoder) I64(v int64) *Encoder { return e.U64(uint64(v)) }
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) *Encoder {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+	return e
+}
+
+// Blob appends a length-prefixed byte string.
+func (e *Encoder) Blob(b []byte) *Encoder {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+	return e
+}
+
+// ErrTruncated reports a decode past the end of the buffer.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// Decoder reads values sequentially from a buffer.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a buffer.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U32 reads a uint32 (0 on error; check Err).
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string {
+	n := d.U32()
+	b := d.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Blob reads a length-prefixed byte string (copied).
+func (d *Decoder) Blob() []byte {
+	n := d.U32()
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder().U32(7).U64(1 << 40).I64(-5).Str("mECall").Blob([]byte{1, 2, 3})
+	d := NewDecoder(e.Bytes())
+	if d.U32() != 7 || d.U64() != 1<<40 || d.I64() != -5 {
+		t.Fatal("integer round trip failed")
+	}
+	if d.Str() != "mECall" {
+		t.Fatal("string round trip failed")
+	}
+	if !bytes.Equal(d.Blob(), []byte{1, 2, 3}) {
+		t.Fatal("blob round trip failed")
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	e := NewEncoder().Str("hello")
+	buf := e.Bytes()[:3]
+	d := NewDecoder(buf)
+	_ = d.Str()
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", d.Err())
+	}
+	// Errors are sticky.
+	_ = d.U32()
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestBlobCopied(t *testing.T) {
+	e := NewEncoder().Blob([]byte("abc"))
+	raw := e.Bytes()
+	d := NewDecoder(raw)
+	b := d.Blob()
+	b[0] = 'X'
+	if raw[4+0] == 'X' {
+		t.Fatal("decoded blob aliases the buffer")
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	f := func(a uint32, b uint64, s string, blob []byte) bool {
+		e := NewEncoder().U32(a).U64(b).Str(s).Blob(blob)
+		d := NewDecoder(e.Bytes())
+		return d.U32() == a && d.U64() == b && d.Str() == s &&
+			bytes.Equal(d.Blob(), blob) && d.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,312 @@
+package rodinia
+
+import (
+	"math"
+
+	"cronus/internal/accel"
+	"cronus/internal/gpu"
+	"cronus/internal/sim"
+)
+
+// This file adds the remaining Rodinia workloads the paper's Figure 7
+// covers beyond the core eight: lud (blocked LU decomposition — three tiny
+// launches per block step), srad (speckle-reducing diffusion — two launches
+// per iteration with a reduction readback), and streamcluster (assign +
+// open-center rounds with host-side decisions each round).
+
+// RegisterExtraKernels installs the kernels of the extra benchmarks.
+func RegisterExtraKernels(sms float64) {
+	// lud_diagonal: factorize the diagonal block. args: a, size, offset.
+	gpu.Register(&gpu.Kernel{
+		Name: "lud_diagonal",
+		Cost: rodCost(sms, 18*sim.Microsecond, 2, 0.15),
+		Func: func(e *gpu.Exec) error {
+			size := int(e.Arg(1))
+			off := int(e.Arg(2))
+			b := blockDim
+			if off+b > size {
+				return nil
+			}
+			ab, err := e.Bytes(e.Arg(0), size*size*4)
+			if err != nil {
+				return err
+			}
+			a := gpu.F32(ab)
+			at := func(r, c int) float32 { return a.Get((off+r)*size + off + c) }
+			set := func(r, c int, v float32) { a.Set((off+r)*size+off+c, v) }
+			for i := 0; i < b; i++ {
+				piv := at(i, i)
+				if piv == 0 {
+					piv = 1e-6
+				}
+				for r := i + 1; r < b; r++ {
+					m := at(r, i) / piv
+					set(r, i, m)
+					for c := i + 1; c < b; c++ {
+						set(r, c, at(r, c)-m*at(i, c))
+					}
+				}
+			}
+			return nil
+		},
+	})
+
+	// lud_perimeter: update the row/column strips. args: a, size, offset.
+	gpu.Register(&gpu.Kernel{
+		Name: "lud_perimeter",
+		Cost: rodCost(sms, 35*sim.Microsecond, 4, 0.4),
+		Func: func(e *gpu.Exec) error {
+			size := int(e.Arg(1))
+			off := int(e.Arg(2))
+			ab, err := e.Bytes(e.Arg(0), size*size*4)
+			if err != nil {
+				return err
+			}
+			a := gpu.F32(ab)
+			b := blockDim
+			// Row strip: triangular solve against the diagonal block.
+			for cb := off + b; cb < size; cb += b {
+				for i := 0; i < b; i++ {
+					for c := 0; c < b; c++ {
+						var s float32
+						for k := 0; k < i; k++ {
+							s += a.Get((off+i)*size+off+k) * a.Get((off+k)*size+cb+c)
+						}
+						a.Set((off+i)*size+cb+c, a.Get((off+i)*size+cb+c)-s)
+					}
+				}
+			}
+			return nil
+		},
+	})
+
+	// lud_internal: trailing submatrix update. args: a, size, offset.
+	gpu.Register(&gpu.Kernel{
+		Name: "lud_internal",
+		Cost: rodCost(sms, 80*sim.Microsecond, 8, 0.9),
+		Func: func(e *gpu.Exec) error {
+			size := int(e.Arg(1))
+			off := int(e.Arg(2))
+			ab, err := e.Bytes(e.Arg(0), size*size*4)
+			if err != nil {
+				return err
+			}
+			a := gpu.F32(ab)
+			b := blockDim
+			for r := off + b; r < size; r++ {
+				for c := off + b; c < size; c++ {
+					var s float32
+					for k := 0; k < b; k++ {
+						s += a.Get(r*size+off+k) * a.Get((off+k)*size+c)
+					}
+					a.Set(r*size+c, a.Get(r*size+c)-0.001*s)
+				}
+			}
+			return nil
+		},
+	})
+
+	// srad_reduce: mean/variance reduction. args: img, stats, n.
+	gpu.Register(&gpu.Kernel{
+		Name: "srad_reduce",
+		Cost: rodCost(sms, 45*sim.Microsecond, 6, 0.6),
+		Func: func(e *gpu.Exec) error {
+			n := e.Grid.Elems()
+			img, err := e.Bytes(e.Arg(0), n*4)
+			if err != nil {
+				return err
+			}
+			stats, err := e.Bytes(e.Arg(1), 8)
+			if err != nil {
+				return err
+			}
+			fi := gpu.F32(img)
+			var sum, sq float64
+			for i := 0; i < n; i++ {
+				v := float64(fi.Get(i))
+				sum += v
+				sq += v * v
+			}
+			fs := gpu.F32(stats)
+			fs.Set(0, float32(sum/float64(n)))
+			fs.Set(1, float32(sq/float64(n)))
+			return nil
+		},
+	})
+
+	// sc_assign: streamcluster point-to-center assignment with cost.
+	// args: pts, centers, cost, n, k, dims.
+	gpu.Register(&gpu.Kernel{
+		Name: "sc_assign",
+		Cost: rodCost(sms, 150*sim.Microsecond, 35, 0.85),
+		Func: func(e *gpu.Exec) error {
+			n, k, dims := int(e.Arg(3)), int(e.Arg(4)), int(e.Arg(5))
+			pts, err := e.Bytes(e.Arg(0), n*dims*4)
+			if err != nil {
+				return err
+			}
+			cents, err := e.Bytes(e.Arg(1), k*dims*4)
+			if err != nil {
+				return err
+			}
+			cost, err := e.Bytes(e.Arg(2), 4)
+			if err != nil {
+				return err
+			}
+			fp, fc := gpu.F32(pts), gpu.F32(cents)
+			var total float64
+			for i := 0; i < n; i++ {
+				best := math.MaxFloat64
+				for c := 0; c < k; c++ {
+					var d float64
+					for j := 0; j < dims; j++ {
+						diff := float64(fp.Get(i*dims+j) - fc.Get(c*dims+j))
+						d += diff * diff
+					}
+					if d < best {
+						best = d
+					}
+				}
+				total += best
+			}
+			gpu.F32(cost).Set(0, float32(total))
+			return nil
+		},
+	})
+}
+
+const blockDim = 16
+
+// LUD: blocked LU decomposition — three launches per block step, a
+// launch-intensive workload like gaussian.
+func LUD() Benchmark {
+	return Benchmark{
+		Name:    "lud",
+		Kernels: []string{"lud_diagonal", "lud_perimeter", "lud_internal"},
+		Run: func(p *sim.Proc, ops accel.CUDA) error {
+			const size = 128
+			a, err := allocUpload(p, ops, randFloats(71, size*size))
+			if err != nil {
+				return err
+			}
+			for off := 0; off < size; off += blockDim {
+				if err := ops.Launch(p, "lud_diagonal", gpu.Dim{blockDim, 1, 1}, a, size, uint64(off)); err != nil {
+					return err
+				}
+				if off+blockDim < size {
+					if err := ops.Launch(p, "lud_perimeter", gpu.Dim{size - off, 1, 1}, a, size, uint64(off)); err != nil {
+						return err
+					}
+					if err := ops.Launch(p, "lud_internal", gpu.Dim{size - off, size - off, 1}, a, size, uint64(off)); err != nil {
+						return err
+					}
+				}
+			}
+			if _, err := ops.DtoH(p, a, size*4); err != nil {
+				return err
+			}
+			return ops.Sync(p)
+		},
+	}
+}
+
+// SRAD: speckle-reducing anisotropic diffusion — a reduction readback plus
+// a stencil launch per iteration.
+func SRAD() Benchmark {
+	return Benchmark{
+		Name:    "srad",
+		Kernels: []string{"srad_reduce", "srad_step"},
+		Run: func(p *sim.Proc, ops accel.CUDA) error {
+			const n, iters = 8192, 12
+			img, err := allocUpload(p, ops, randFloats(81, n))
+			if err != nil {
+				return err
+			}
+			out, err := ops.MemAlloc(p, n*4)
+			if err != nil {
+				return err
+			}
+			stats, err := ops.MemAlloc(p, 8)
+			if err != nil {
+				return err
+			}
+			for it := 0; it < iters; it++ {
+				if err := ops.Launch(p, "srad_reduce", gpu.Dim{n, 1, 1}, img, stats, n); err != nil {
+					return err
+				}
+				// The host reads the statistics to derive the diffusion
+				// coefficient each iteration (the srad sync pattern).
+				st, err := ops.DtoH(p, stats, 8)
+				if err != nil {
+					return err
+				}
+				mean := gpu.UnpackF32(st)[0]
+				lambda := float32(0.05)
+				if mean > 0.5 {
+					lambda = 0.02
+				}
+				if err := ops.Launch(p, "srad_step", gpu.Dim{n, 1, 1}, img, out, n, gpu.FloatBits(lambda)); err != nil {
+					return err
+				}
+				img, out = out, img
+			}
+			if _, err := ops.DtoH(p, img, 1024); err != nil {
+				return err
+			}
+			return ops.Sync(p)
+		},
+	}
+}
+
+// Streamcluster: online clustering — an assignment kernel and a host-side
+// open-center decision per round.
+func Streamcluster() Benchmark {
+	return Benchmark{
+		Name:    "streamcluster",
+		Kernels: []string{"sc_assign"},
+		Run: func(p *sim.Proc, ops accel.CUDA) error {
+			const n, dims, rounds = 1024, 8, 10
+			pts, err := allocUpload(p, ops, randFloats(91, n*dims))
+			if err != nil {
+				return err
+			}
+			centers := randFloats(92, 4*dims)
+			k := 4
+			gCents, err := ops.MemAlloc(p, 16*dims*4)
+			if err != nil {
+				return err
+			}
+			gCost, err := ops.MemAlloc(p, 4)
+			if err != nil {
+				return err
+			}
+			prevCost := float32(math.MaxFloat32)
+			for r := 0; r < rounds; r++ {
+				if err := ops.HtoD(p, gCents, gpu.PackF32(centers)); err != nil {
+					return err
+				}
+				if err := ops.Launch(p, "sc_assign", gpu.Dim{n, 1, 1}, pts, gCents, gCost, n, uint64(k), dims); err != nil {
+					return err
+				}
+				cb, err := ops.DtoH(p, gCost, 4)
+				if err != nil {
+					return err
+				}
+				cost := gpu.UnpackF32(cb)[0]
+				// Host decision: open another center if the gain warrants.
+				if cost < prevCost*0.95 && k < 16 {
+					centers = append(centers, randFloats(int64(100+r), dims)...)
+					k++
+				}
+				prevCost = cost
+			}
+			return ops.Sync(p)
+		},
+	}
+}
+
+// AllExtended returns the full Figure 7 suite including the extra
+// workloads.
+func AllExtended() []Benchmark {
+	return append(All(), LUD(), SRAD(), Streamcluster())
+}
