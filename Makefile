@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench examples tools figures attack loc clean
+.PHONY: all build test vet race bench examples tools figures attack loc clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./... -count=1
+
+# The trace/metrics hooks are lock-free on the hot paths; prove it under the
+# race detector (the sim kernel's handshake provides the happens-before edges).
+race:
+	$(GO) test -race ./... -count=1
 
 # Regenerate every table and figure as testing.B benchmarks with metrics.
 bench:

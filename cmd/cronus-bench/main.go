@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"cronus/internal/experiments"
+	"cronus/internal/metrics"
 	"cronus/internal/sim"
 )
 
@@ -135,6 +136,7 @@ func experimentsList() []experiment {
 func main() {
 	expFlag := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	showMetrics := flag.Bool("metrics", false, "print a metrics appendix after each experiment")
 	flag.Parse()
 
 	exps := experimentsList()
@@ -156,12 +158,19 @@ func main() {
 			continue
 		}
 		fmt.Printf("[%s] %s\n", e.id, e.desc)
+		if *showMetrics {
+			metrics.Default.Reset()
+			metrics.Default.Enable()
+		}
 		out, err := e.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cronus-bench: %s failed: %v\n", e.id, err)
 			os.Exit(1)
 		}
 		fmt.Println(out.String())
+		if *showMetrics {
+			fmt.Printf("metrics appendix [%s]\n%s\n", e.id, metrics.Default.Snapshot())
+		}
 		ran++
 	}
 	if ran == 0 {

@@ -16,6 +16,7 @@ import (
 	"cronus/internal/baseline"
 	"cronus/internal/core"
 	"cronus/internal/gpu"
+	"cronus/internal/metrics"
 	"cronus/internal/sim"
 	"cronus/internal/trace"
 	"cronus/internal/workload/rodinia"
@@ -81,27 +82,68 @@ func runOn(system baseline.System, b rodinia.Benchmark) (sim.Duration, error) {
 	return elapsed, fail
 }
 
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.Default.WriteChromeTrace(f)
+}
+
+func writeMetrics(path string, snap *metrics.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return snap.WriteJSON(f)
+}
+
 func main() {
 	workload := flag.String("workload", "", "rodinia workload name")
 	system := flag.String("system", "all", "linux | trustzone | hix-trustzone | cronus | all")
 	traceOut := flag.String("trace", "", "write a Chrome trace JSON of the run to this file")
+	metricsOut := flag.String("metrics", "", "write a metrics snapshot JSON of the run to this file")
 	list := flag.Bool("list", false, "list workloads and systems")
 	flag.Parse()
 
-	if *traceOut != "" {
-		trace.Default.Enable()
+	// Both observability sinks are written after every run completes; the
+	// combined summary line reports what was captured and where it went.
+	if *traceOut != "" || *metricsOut != "" {
+		if *traceOut != "" {
+			trace.Default.Enable()
+		}
+		if *metricsOut != "" {
+			metrics.Default.Reset()
+			metrics.Default.Enable()
+		}
 		defer func() {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "cronus-run:", err)
-				return
+			var parts []string
+			failed := false
+			if *traceOut != "" {
+				if err := writeTrace(*traceOut); err != nil {
+					fmt.Fprintln(os.Stderr, "cronus-run:", err)
+					failed = true
+				} else {
+					parts = append(parts, fmt.Sprintf("%s -> %s (open in chrome://tracing or Perfetto)", trace.Default.Summary(), *traceOut))
+				}
 			}
-			defer f.Close()
-			if err := trace.Default.WriteChromeTrace(f); err != nil {
-				fmt.Fprintln(os.Stderr, "cronus-run:", err)
-				return
+			if *metricsOut != "" {
+				snap := metrics.Default.Snapshot()
+				if err := writeMetrics(*metricsOut, snap); err != nil {
+					fmt.Fprintln(os.Stderr, "cronus-run:", err)
+					failed = true
+				} else {
+					parts = append(parts, fmt.Sprintf("%s -> %s", snap.Summary(), *metricsOut))
+				}
 			}
-			fmt.Printf("%s -> %s (open in chrome://tracing or Perfetto)\n", trace.Default.Summary(), *traceOut)
+			for _, line := range parts {
+				fmt.Println(line)
+			}
+			if failed {
+				os.Exit(1)
+			}
 		}()
 	}
 

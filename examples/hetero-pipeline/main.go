@@ -12,11 +12,13 @@ import (
 
 	"cronus/internal/core"
 	"cronus/internal/gpu"
+	"cronus/internal/metrics"
 	"cronus/internal/sim"
 	"cronus/internal/workload/vtabench"
 )
 
 func main() {
+	metrics.Default.Enable()
 	err := core.Run(core.DefaultConfig(), func(pl *core.Platform, p *sim.Proc) error {
 		s, err := pl.NewSession(p, "pipeline")
 		if err != nil {
@@ -110,8 +112,10 @@ func main() {
 		}
 		fmt.Printf("\nGPU stage %v, NPU stage %v — three partitions, zero mutual trust\n",
 			sim.Duration(gpuDone-start), sim.Duration(npuDone-gpuDone))
-		fmt.Printf("stream stats: GPU %d mECalls / NPU %d mECalls\n",
-			g.Client().Calls, n.Client().Calls)
+		snap := metrics.Default.Snapshot()
+		fmt.Printf("stream stats: %d mECalls over %d streams, %d GPU launches / %d NPU programs\n",
+			snap.Counters["srpc.calls"], snap.Counters["srpc.streams.opened"],
+			snap.Counters["driver.gpu.kernel_launches"], snap.Counters["driver.npu.runs"])
 
 		// R3.2 in action: this app never created an enclave in, nor
 		// shares memory with, any partition beyond the three it attested.

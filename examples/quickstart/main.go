@@ -10,10 +10,12 @@ import (
 
 	"cronus/internal/core"
 	"cronus/internal/gpu"
+	"cronus/internal/metrics"
 	"cronus/internal/sim"
 )
 
 func main() {
+	metrics.Default.Enable()
 	err := core.Run(core.DefaultConfig(), func(pl *core.Platform, p *sim.Proc) error {
 		fmt.Println("== CRONUS quickstart ==")
 		fmt.Printf("platform: %d partition(s), GPU %s (%.0f SMs), NPU %s\n",
@@ -77,7 +79,9 @@ func main() {
 		res := gpu.UnpackF32(out)
 		fmt.Printf("vec_add(1024) on the GPU mEnclave: c[7]=%v c[1023]=%v (virtual time %v)\n",
 			res[7], res[1023], sim.Duration(p.Now()-start))
-		fmt.Printf("stream stats: %d mECalls, %d synchronous waits\n", g.Client().Calls, g.Client().SyncWaits)
+		snap := metrics.Default.Snapshot()
+		fmt.Printf("stream stats: %d mECalls, %d synchronous waits\n",
+			snap.Counters["srpc.calls"], snap.Counters["srpc.sync_waits"])
 		return nil
 	})
 	if err != nil {

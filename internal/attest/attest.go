@@ -240,5 +240,6 @@ func (v *Verifier) VerifyReport(sr *SignedReport, want Expected) error {
 			return fmt.Errorf("attest: device %q key not endorsed by vendor %q", dev, vendor)
 		}
 	}
+	mReportsVerified.Inc()
 	return nil
 }

@@ -82,6 +82,7 @@ func (c *Channel) mac(seq uint64, payload []byte) []byte {
 
 // Seal wraps a payload for sending.
 func (c *Channel) Seal(payload []byte) SealedMsg {
+	mChannelSeals.Inc()
 	c.sendSeq++
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
@@ -105,6 +106,7 @@ func (c *Channel) Open(m SealedMsg) ([]byte, error) {
 		return nil, fmt.Errorf("%w: got seq %d, want %d", ErrReplayed, m.Seq, c.recvSeq+1)
 	}
 	c.recvSeq = m.Seq
+	mChannelOpens.Inc()
 	return m.Payload, nil
 }
 
@@ -140,6 +142,11 @@ func (r *LocalReport) encode() []byte {
 
 // Seal MACs a local report with the LSK.
 func (s *LocalSealer) Seal(r LocalReport) []byte {
+	mLocalSeals.Inc()
+	return s.seal(r)
+}
+
+func (s *LocalSealer) seal(r LocalReport) []byte {
 	m := hmac.New(sha256.New, s.key)
 	m.Write(r.encode())
 	return m.Sum(nil)
@@ -147,5 +154,5 @@ func (s *LocalSealer) Seal(r LocalReport) []byte {
 
 // Verify checks that a local report was sealed by this machine's SPM.
 func (s *LocalSealer) Verify(r LocalReport, mac []byte) bool {
-	return hmac.Equal(mac, s.Seal(r))
+	return hmac.Equal(mac, s.seal(r))
 }

@@ -1,0 +1,14 @@
+package attest
+
+import "cronus/internal/metrics"
+
+// Attestation-path accounting: how often the crypto plumbing actually runs.
+// The channel counters pair naturally with srpc.calls — every lock-step
+// mECall costs one seal and one open on each side, which is exactly the
+// overhead streaming sRPC amortizes away.
+var (
+	mReportsVerified = metrics.Default.Counter("attest.reports.verified")
+	mChannelSeals    = metrics.Default.Counter("attest.channel.seals")
+	mChannelOpens    = metrics.Default.Counter("attest.channel.opens")
+	mLocalSeals      = metrics.Default.Counter("attest.local_reports.sealed")
+)

@@ -11,13 +11,18 @@ import (
 	"cronus/internal/attest"
 	"cronus/internal/gpu"
 	"cronus/internal/hw"
+	"cronus/internal/metrics"
 	"cronus/internal/mos"
 	"cronus/internal/mos/driver"
 	"cronus/internal/normal"
 	"cronus/internal/npu"
 	"cronus/internal/sim"
 	"cronus/internal/spm"
+	"cronus/internal/trace"
 )
+
+// mRemoteAttests counts full client-side remote attestation round trips.
+var mRemoteAttests = metrics.Default.Counter("attest.remote_attestations")
 
 // Config sizes a platform.
 type Config struct {
@@ -196,6 +201,8 @@ func BuildPlatform(p *sim.Proc, cfg Config) (*Platform, error) {
 // the client verifies the full chain against its trust anchors and pinned
 // measurements.
 func (pl *Platform) RemoteAttest(p *sim.Proc, nonce uint64, want attest.Expected) error {
+	mRemoteAttests.Inc()
+	defer trace.Default.Span(p, "attest", "client", "remote-attest")()
 	sr := pl.D.BuildReport(p, nonce)
 	p.Sleep(pl.Costs.VerifyFixed * 2)
 	return pl.Verifier.VerifyReport(sr, want)

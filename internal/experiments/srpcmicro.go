@@ -7,18 +7,24 @@ import (
 	"cronus/internal/core"
 	"cronus/internal/enclave"
 	"cronus/internal/gpu"
+	"cronus/internal/metrics"
 	"cronus/internal/mos"
 	"cronus/internal/mos/driver"
 	"cronus/internal/sim"
 )
 
-// SRPCMicroRow is one RPC-mechanism measurement.
+// SRPCMicroRow is one RPC-mechanism measurement. MECalls and Bytes are read
+// back from the metrics registry (snapshot deltas around each phase) rather
+// than counted by the benchmark loop, so the table reports what the transport
+// actually did.
 type SRPCMicroRow struct {
 	Mechanism string
 	Calls     int
 	Payload   int
 	Total     sim.Duration
 	PerCall   sim.Duration
+	MECalls   uint64 // mECalls observed by the transport during the phase
+	Bytes     uint64 // bytes through trusted shared memory during the phase
 }
 
 // SRPCMicro measures the cost of issuing n back-to-back mECalls under the
@@ -36,6 +42,15 @@ func SRPCMicro(calls, payload int) ([]SRPCMicroRow, error) {
 	var rows []SRPCMicroRow
 	data := make([]byte, payload)
 
+	// Deltas need a recording registry; restore the caller's choice after.
+	wasEnabled := metrics.Default.Enabled()
+	metrics.Default.Enable()
+	defer func() {
+		if !wasEnabled {
+			metrics.Default.Disable()
+		}
+	}()
+
 	err := core.Run(core.DefaultConfig(), func(pl *core.Platform, p *sim.Proc) error {
 		s, err := pl.NewSession(p, "micro")
 		if err != nil {
@@ -52,6 +67,7 @@ func SRPCMicro(calls, payload int) ([]SRPCMicroRow, error) {
 		}
 
 		// ① Streaming (async) sRPC.
+		pre := metrics.Default.Snapshot()
 		start := p.Now()
 		for i := 0; i < calls; i++ {
 			if err := conn.HtoD(p, ptr, data); err != nil {
@@ -62,12 +78,16 @@ func SRPCMicro(calls, payload int) ([]SRPCMicroRow, error) {
 			return err
 		}
 		total := sim.Duration(p.Now() - start)
+		post := metrics.Default.Snapshot()
 		rows = append(rows, SRPCMicroRow{
 			Mechanism: "sRPC streaming", Calls: calls, Payload: payload,
 			Total: total, PerCall: total / sim.Duration(calls),
+			MECalls: post.CounterDelta(pre, "srpc.calls"),
+			Bytes:   post.CounterDelta(pre, "srpc.bytes_moved"),
 		})
 
 		// ② Synchronous sRPC (wait for each result).
+		pre = metrics.Default.Snapshot()
 		start = p.Now()
 		for i := 0; i < calls; i++ {
 			if _, err := conn.DtoH(p, ptr, payload); err != nil {
@@ -75,9 +95,12 @@ func SRPCMicro(calls, payload int) ([]SRPCMicroRow, error) {
 			}
 		}
 		total = sim.Duration(p.Now() - start)
+		post = metrics.Default.Snapshot()
 		rows = append(rows, SRPCMicroRow{
 			Mechanism: "sRPC synchronous", Calls: calls, Payload: payload,
 			Total: total, PerCall: total / sim.Duration(calls),
+			MECalls: post.CounterDelta(pre, "srpc.calls"),
+			Bytes:   post.CounterDelta(pre, "srpc.bytes_moved"),
 		})
 
 		// ③ Lock-step sealed RPC over untrusted memory.
@@ -112,6 +135,7 @@ func SRPCMicro(calls, payload int) ([]SRPCMicroRow, error) {
 		if err != nil {
 			return err
 		}
+		pre = metrics.Default.Snapshot()
 		start = p.Now()
 		for i := 0; i < calls; i++ {
 			reply, err := pl.D.InvokeSealed(p, res.EID, mos.SealRequest(tx, driver.CallHtoD, driver.EncodeHtoD(lptr, data)))
@@ -123,9 +147,12 @@ func SRPCMicro(calls, payload int) ([]SRPCMicroRow, error) {
 			}
 		}
 		total = sim.Duration(p.Now() - start)
+		post = metrics.Default.Snapshot()
 		rows = append(rows, SRPCMicroRow{
 			Mechanism: "lock-step sealed", Calls: calls, Payload: payload,
 			Total: total, PerCall: total / sim.Duration(calls),
+			MECalls: post.CounterDelta(pre, "mos.mecalls.sealed"),
+			Bytes:   post.CounterDelta(pre, "srpc.bytes_moved"), // zero: sealed RPC bypasses the ring
 		})
 		return nil
 	})
@@ -139,11 +166,12 @@ func SRPCMicro(calls, payload int) ([]SRPCMicroRow, error) {
 func RenderSRPCMicro(rows []SRPCMicroRow) *Table {
 	t := &Table{
 		Title:   fmt.Sprintf("sRPC microbenchmark (%d calls, %dB payload)", rows[0].Calls, rows[0].Payload),
-		Columns: []string{"mechanism", "total(ms)", "per-call(us)"},
+		Columns: []string{"mechanism", "total(ms)", "per-call(us)", "mECalls", "smem-bytes"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
 			r.Mechanism, ms(r.Total), fmt.Sprintf("%.2f", float64(r.PerCall)/1e3),
+			fmt.Sprintf("%d", r.MECalls), fmt.Sprintf("%d", r.Bytes),
 		})
 	}
 	return t

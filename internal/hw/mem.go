@@ -183,7 +183,9 @@ func (t *TZASC) Check(w World, pa PA) error {
 		}
 	}
 	if secure && w != SecureWorld {
-		return &Fault{Kind: FaultTZASC, Space: "tzasc", Addr: uint64(pa), World: w}
+		f := &Fault{Kind: FaultTZASC, Space: "tzasc", Addr: uint64(pa), World: w}
+		reportDenial(f)
+		return f
 	}
 	return nil
 }
@@ -223,7 +225,9 @@ func (t *TZPC) Lock() { t.locked = true }
 // Check validates access to dev from world w.
 func (t *TZPC) Check(w World, dev string) error {
 	if t.secure[dev] && w != SecureWorld {
-		return &Fault{Kind: FaultTZPC, Space: "tzpc:" + dev, World: w}
+		f := &Fault{Kind: FaultTZPC, Space: "tzpc:" + dev, World: w}
+		reportDenial(f)
+		return f
 	}
 	return nil
 }

@@ -1,0 +1,36 @@
+package hw
+
+import "cronus/internal/metrics"
+
+// Isolation-hardware denial accounting. The hardware layer has no notion of
+// virtual time or processes, so it only counts; the SPM installs a denial
+// hook at boot that turns each denial into a trace instant stamped with the
+// kernel clock.
+var (
+	mTZASCDenials = metrics.Default.Counter("hw.tzasc.denials")
+	mTZPCDenials  = metrics.Default.Counter("hw.tzpc.denials")
+	mSMMUFaults   = metrics.Default.Counter("hw.smmu.faults")
+)
+
+// denialHook observes every TZASC/TZPC/SMMU denial fault.
+var denialHook func(f *Fault)
+
+// SetDenialHook installs the denial observer (nil removes it). The hook runs
+// synchronously on the faulting path and must not touch the machine.
+func SetDenialHook(h func(f *Fault)) { denialHook = h }
+
+// reportDenial counts a denial on the matching instrument and forwards it to
+// the installed hook.
+func reportDenial(f *Fault) {
+	switch f.Kind {
+	case FaultTZASC:
+		mTZASCDenials.Inc()
+	case FaultTZPC:
+		mTZPCDenials.Inc()
+	case FaultSMMU:
+		mSMMUFaults.Inc()
+	}
+	if denialHook != nil {
+		denialHook(f)
+	}
+}

@@ -161,11 +161,14 @@ func (s *SMMU) Stream(dev string) *AddrSpace {
 func (s *SMMU) Translate(dev string, iova uint64, want Perm) (PA, *Fault) {
 	t, ok := s.streams[dev]
 	if !ok {
-		return 0, &Fault{Kind: FaultSMMU, Space: "smmu:" + dev, Addr: iova}
+		f := &Fault{Kind: FaultSMMU, Space: "smmu:" + dev, Addr: iova}
+		reportDenial(f)
+		return 0, f
 	}
 	pfn, f := t.Translate(iova>>PageShift, want)
 	if f != nil {
 		f.Kind = FaultSMMU
+		reportDenial(f)
 		return 0, f
 	}
 	return PA(pfn<<PageShift | iova&(PageSize-1)), nil

@@ -9,6 +9,7 @@ import (
 	"cronus/internal/gpu"
 	"cronus/internal/mos"
 	"cronus/internal/sim"
+	"cronus/internal/trace"
 	"cronus/internal/wire"
 )
 
@@ -146,15 +147,23 @@ func (m *CUDAModel) Call(p *sim.Proc, name string, args []byte) ([]byte, error) 
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		return nil, m.ctx.HtoD(p, dst, data)
+		mGPUHtoDBytes.Add(uint64(len(data)))
+		end := trace.Default.Span(p, "driver", m.hal.dev.Name(), "dma-htod")
+		err := m.ctx.HtoD(p, dst, data)
+		end()
+		return nil, err
 	case CallDtoH:
 		src := d.U64()
 		n := d.U64()
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
+		mGPUDtoHBytes.Add(n)
 		buf := make([]byte, n)
-		if err := m.ctx.DtoH(p, buf, src); err != nil {
+		end := trace.Default.Span(p, "driver", m.hal.dev.Name(), "dma-dtoh")
+		err := m.ctx.DtoH(p, buf, src)
+		end()
+		if err != nil {
 			return nil, err
 		}
 		return wire.NewEncoder().Blob(buf).Bytes(), nil
@@ -172,7 +181,11 @@ func (m *CUDAModel) Call(p *sim.Proc, name string, args []byte) ([]byte, error) 
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		return nil, m.ctx.Launch(p, kname, grid, kargs...)
+		mGPULaunches.Inc()
+		end := trace.Default.Span(p, "driver", m.hal.dev.Name(), "kernel-launch")
+		err := m.ctx.Launch(p, kname, grid, kargs...)
+		end()
+		return nil, err
 	case CallSync:
 		// Device-level synchronization: in the model, launches already
 		// completed when executed; charge the driver round trip.

@@ -1,0 +1,16 @@
+package driver
+
+import "cronus/internal/metrics"
+
+// Device-driver traffic accounting: how many kernels each accelerator class
+// launched and how many bytes moved over DMA in each direction. The byte
+// counters complement srpc.bytes_moved — this is what reached the device,
+// that is what crossed the trusted shared-memory ring.
+var (
+	mGPULaunches  = metrics.Default.Counter("driver.gpu.kernel_launches")
+	mGPUHtoDBytes = metrics.Default.Counter("driver.gpu.htod_bytes")
+	mGPUDtoHBytes = metrics.Default.Counter("driver.gpu.dtoh_bytes")
+	mNPURuns      = metrics.Default.Counter("driver.npu.runs")
+	mNPUHtoDBytes = metrics.Default.Counter("driver.npu.htod_bytes")
+	mNPUDtoHBytes = metrics.Default.Counter("driver.npu.dtoh_bytes")
+)

@@ -9,6 +9,7 @@ import (
 	"cronus/internal/mos"
 	"cronus/internal/npu"
 	"cronus/internal/sim"
+	"cronus/internal/trace"
 	"cronus/internal/wire"
 )
 
@@ -134,15 +135,23 @@ func (m *NPUModel) Call(p *sim.Proc, name string, args []byte) ([]byte, error) {
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
-		return nil, m.ctx.HtoD(p, dst, data)
+		mNPUHtoDBytes.Add(uint64(len(data)))
+		end := trace.Default.Span(p, "driver", m.hal.dev.Name(), "dma-htod")
+		err := m.ctx.HtoD(p, dst, data)
+		end()
+		return nil, err
 	case CallVTADtoH:
 		src := d.U64()
 		n := d.U64()
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
+		mNPUDtoHBytes.Add(n)
 		buf := make([]byte, n)
-		if err := m.ctx.DtoH(p, buf, src); err != nil {
+		end := trace.Default.Span(p, "driver", m.hal.dev.Name(), "dma-dtoh")
+		err := m.ctx.DtoH(p, buf, src)
+		end()
+		if err != nil {
 			return nil, err
 		}
 		return wire.NewEncoder().Blob(buf).Bytes(), nil
@@ -151,7 +160,11 @@ func (m *NPUModel) Call(p *sim.Proc, name string, args []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return nil, m.ctx.Run(p, insns)
+		mNPURuns.Inc()
+		end := trace.Default.Span(p, "driver", m.hal.dev.Name(), "vta-run")
+		err = m.ctx.Run(p, insns)
+		end()
+		return nil, err
 	case CallVTASync:
 		p.Sleep(m.hal.costs.DeviceMMIO)
 		return nil, nil

@@ -135,6 +135,7 @@ func (em *EnclaveManager) Create(p *sim.Proc, name string, man enclave.Manifest,
 		memCap:   memCap,
 	}
 	em.enclaves[eid] = e
+	mEnclavesMade.Inc()
 	return &CreateResult{EID: eid, DHPub: dh.Pub, Hash: hash}, e, nil
 }
 
@@ -228,6 +229,8 @@ func (e *Enclave) Invoke(p *sim.Proc, name string, args []byte) ([]byte, error) 
 	if _, ok := e.EDL.Lookup(name); !ok {
 		return nil, fmt.Errorf("mos: mECall %q not declared in EDL of enclave %#x", name, e.EID)
 	}
+	mSealedCalls.Inc()
+	mCtxSwitchS2.Add(2) // enclave entry + exit each cross S-EL2
 	p.Sleep(e.em.mos.Costs.EnclaveEntry + e.em.mos.Costs.RPCDispatch)
 	return e.Model.Call(p, name, args)
 }
@@ -243,6 +246,7 @@ func (e *Enclave) InvokeStreamed(p *sim.Proc, name string, args []byte) ([]byte,
 	if _, ok := e.EDL.Lookup(name); !ok {
 		return nil, fmt.Errorf("mos: mECall %q not declared in EDL of enclave %#x", name, e.EID)
 	}
+	mStreamedCalls.Inc()
 	p.Sleep(e.em.mos.Costs.RPCDispatch)
 	return e.Model.Call(p, name, args)
 }
@@ -286,6 +290,7 @@ func (e *Enclave) Kill(p *sim.Proc) {
 		return
 	}
 	e.dead = true
+	mEnclavesDead.Inc()
 	e.Model.Destroy(p)
 	for _, gid := range e.grants {
 		_ = e.em.mos.SPM.RevokeGrant(gid, e.Name)

@@ -1,0 +1,15 @@
+package mos
+
+import "cronus/internal/metrics"
+
+// mECall dispatch and enclave lifecycle accounting. The S-EL2 context-switch
+// counter lives here because the sealed path is where the switches are paid:
+// entering an mEnclave from outside its partition crosses S-EL2 twice (in and
+// out), whereas the streamed path rides the resident executor thread.
+var (
+	mSealedCalls   = metrics.Default.Counter("mos.mecalls.sealed")
+	mStreamedCalls = metrics.Default.Counter("mos.mecalls.streamed")
+	mEnclavesMade  = metrics.Default.Counter("mos.enclaves.created")
+	mEnclavesDead  = metrics.Default.Counter("mos.enclaves.killed")
+	mCtxSwitchS2   = metrics.Default.Counter("spm.context_switches_s2")
+)

@@ -123,6 +123,7 @@ func (d *Dispatcher) CreateEnclaveAt(p *sim.Proc, partName, name string, man enc
 }
 
 func (d *Dispatcher) createAt(p *sim.Proc, m *mos.MOS, name string, man enclave.Manifest, files map[string][]byte, callerDHPub []byte) (*mos.CreateResult, error) {
+	mWorldSwitches.Add(2)
 	p.Sleep(2 * d.Costs.WorldSwitch)
 	res, e, err := m.EM.Create(p, name, man, files, callerDHPub)
 	if err != nil {
@@ -143,17 +144,20 @@ func (d *Dispatcher) InvokeSealed(p *sim.Proc, eid uint32, msg attest.SealedMsg)
 	if err != nil {
 		return attest.SealedMsg{}, err
 	}
+	mWorldSwitches.Add(2)
 	p.Sleep(2*d.Costs.WorldSwitch + d.Costs.UntrustedMsg)
 	reply, err := m.EM.InvokeSealed(p, eid, msg)
 	if err != nil {
 		return attest.SealedMsg{}, err
 	}
+	mWorldSwitches.Add(2)
 	p.Sleep(2 * d.Costs.WorldSwitch)
 	return reply, nil
 }
 
 // BuildReport relays a remote attestation request into the secure world.
 func (d *Dispatcher) BuildReport(p *sim.Proc, nonce uint64) *attest.SignedReport {
+	mWorldSwitches.Add(2)
 	p.Sleep(2 * d.Costs.WorldSwitch)
 	enclaves := make(map[string]attest.Measurement)
 	for _, m := range d.byPart {
@@ -179,6 +183,7 @@ func (d *Dispatcher) LocalReport(p *sim.Proc, eid uint32, nonce uint64) (attest.
 	if err != nil {
 		return attest.LocalReport{}, nil, err
 	}
+	mWorldSwitches.Add(2)
 	p.Sleep(2 * d.Costs.WorldSwitch)
 	return m.EM.LocalReport(eid, nonce)
 }
@@ -198,6 +203,7 @@ func (d *Dispatcher) StreamSetup(p *sim.Proc, eid uint32, streamID uint64, msg a
 	if srv == nil {
 		return attest.SealedMsg{}, fmt.Errorf("normal: no sRPC endpoint for eid %#x", eid)
 	}
+	mWorldSwitches.Add(2)
 	p.Sleep(2 * d.Costs.WorldSwitch)
 	return srv.HandleSetup(p, streamID, msg)
 }
@@ -220,6 +226,7 @@ func (d *Dispatcher) SpawnExecutor(p *sim.Proc, eid uint32, streamID uint64) err
 	proc := d.K.Spawn(fmt.Sprintf("executor-%#x-%d", eid, streamID), func(tp *sim.Proc) {
 		m.Part.Register(tp)
 		defer m.Part.Unregister(tp)
+		mWorldSwitches.Inc()
 		tp.Sleep(d.Costs.WorldSwitch)
 		srv.RunExecutor(tp, streamID)
 	})

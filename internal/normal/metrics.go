@@ -1,0 +1,10 @@
+package normal
+
+import "cronus/internal/metrics"
+
+// World-switch accounting, counted where the switches are charged to virtual
+// time: every `2 * WorldSwitch` sleep is a normal→secure→normal round trip,
+// and an executor thread pays a single entry switch when it parks inside the
+// callee's partition. The name carries the spm prefix because S-EL2 owns the
+// world boundary; the normal world merely pays the toll.
+var mWorldSwitches = metrics.Default.Counter("spm.world_switches")

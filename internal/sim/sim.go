@@ -14,7 +14,28 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"cronus/internal/metrics"
 )
+
+// Scheduler metrics: how many events the kernel dispatched, process churn,
+// and the runnable-queue high-water mark. Recording is a no-op until the
+// registry is enabled.
+var (
+	mEvents     = metrics.Default.Counter("sim.events.dispatched")
+	mSpawned    = metrics.Default.Counter("sim.procs.spawned")
+	mKilled     = metrics.Default.Counter("sim.procs.killed")
+	gQueueDepth = metrics.Default.Gauge("sim.queue.depth")
+)
+
+// traceHook, when installed, observes scheduler lifecycle transitions
+// ("spawn"/"kill" of a named process). The sim package cannot depend on
+// internal/trace (trace depends on sim for Time), so the trace package
+// installs itself here at init; the hook owns the enabled check.
+var traceHook func(at Time, kind, name string)
+
+// SetTraceHook installs the scheduler lifecycle observer. Pass nil to remove.
+func SetTraceHook(f func(at Time, kind, name string)) { traceHook = f }
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
 type Time int64
@@ -190,6 +211,10 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	}
 	k.live++
 	k.procs[p] = struct{}{}
+	mSpawned.Inc()
+	if traceHook != nil {
+		traceHook(t, "spawn", name)
+	}
 	go func() {
 		<-p.resume
 		defer func() {
@@ -259,6 +284,8 @@ func (k *Kernel) RunUntil(deadline Time) error {
 		if ev.p.state == procDead || ev.gen != ev.p.gen || ev.p.state == procRunning {
 			continue // stale wake
 		}
+		mEvents.Inc()
+		gQueueDepth.Set(int64(k.eq.Len()))
 		if ev.t > k.now {
 			k.now = ev.t
 		}
@@ -351,6 +378,10 @@ func (k *Kernel) Kill(p *Proc) {
 		return
 	}
 	p.killed = true
+	mKilled.Inc()
+	if traceHook != nil {
+		traceHook(k.now, "kill", p.name)
+	}
 	switch p.state {
 	case procParked:
 		if p.onKill != nil {

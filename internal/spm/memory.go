@@ -6,6 +6,7 @@ import (
 
 	"cronus/internal/hw"
 	"cronus/internal/sim"
+	"cronus/internal/trace"
 )
 
 // grant records one inter-partition memory share (Figure 6). The §IV-D
@@ -124,6 +125,10 @@ func (s *SPM) Share(owner *Partition, ownerIPA uint64, npages int, peer *Partiti
 	for _, pfn := range pfns {
 		s.sharedPFN[pfn] = g.id
 	}
+	mGrantsShared.Inc()
+	if trace.Default.Enabled() {
+		trace.Default.InstantAt(s.K.Now(), "spm", owner.Name, "grant-shared to "+peer.Name, nil)
+	}
 	return peerBase << hw.PageShift, g.id, nil
 }
 
@@ -153,6 +158,7 @@ func (s *SPM) Unshare(gid int) error {
 		}
 	}
 	delete(s.grants, gid)
+	mGrantsUnshared.Inc()
 	return nil
 }
 
@@ -178,6 +184,10 @@ func (s *SPM) RevokeGrant(gid int, failedBy string) error {
 		}
 	}
 	s.invalidateSMMU(g)
+	mGrantsRevoked.Inc()
+	if trace.Default.Enabled() {
+		trace.Default.InstantAt(s.K.Now(), "spm", g.owner.Name, "grant-revoked ("+failedBy+" failed)", nil)
+	}
 	return nil
 }
 
@@ -319,7 +329,11 @@ func (v *View) access(proc *sim.Proc, va uint64, buf []byte, write bool) error {
 // partition's access to pages it owns, reclaims mappings of pages the failed
 // party owned, and delivers the fault signal.
 func (s *SPM) handleTrap(proc *sim.Proc, q *Partition, ipaPage uint64, raw *hw.Fault) error {
+	mTrapsHandled.Inc()
 	if proc != nil {
+		if trace.Default.Enabled() {
+			trace.Default.Instant(proc, "spm", q.Name, "proceed-trap", nil)
+		}
 		proc.Sleep(s.Costs.PageFaultTrap)
 	}
 	for _, gid := range s.sortedGrantIDs() {

@@ -1,0 +1,18 @@
+package spm
+
+import "cronus/internal/metrics"
+
+// SPM-level accounting: partition lifecycle, shared-memory grant churn,
+// proceed-trap activity, and the failover latency distribution (§IV-D). The
+// histogram is registered eagerly so metrics snapshots always carry it, even
+// for runs with no fault — "zero failovers" is a result, not a gap.
+var (
+	mPartsCreated   = metrics.Default.Counter("spm.partitions.created")
+	mPartsFailed    = metrics.Default.Counter("spm.partitions.failed")
+	mPartsRecovered = metrics.Default.Counter("spm.partitions.recovered")
+	mGrantsShared   = metrics.Default.Counter("spm.grants.shared")
+	mGrantsUnshared = metrics.Default.Counter("spm.grants.unshared")
+	mGrantsRevoked  = metrics.Default.Counter("spm.grants.revoked")
+	mTrapsHandled   = metrics.Default.Counter("spm.traps.handled")
+	hFailoverNS     = metrics.Default.Histogram("spm.failover.latency_ns")
+)

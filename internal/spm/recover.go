@@ -105,12 +105,14 @@ func (s *SPM) Fail(p *Partition, reason FailReason) *FailureRecord {
 
 	rec := &FailureRecord{Partition: p.Name, Reason: reason, FailedAt: failedAt}
 	sig := p.restartSig
+	mPartsFailed.Inc()
 	trace.Default.InstantAt(failedAt, "spm", p.Name, "partition-failed ("+reason.String()+")", nil)
 
 	// Steps ②: clear the device and the partition's memory, then reload
 	// the mOS. Runs concurrently with other partitions' recoveries.
 	s.K.Spawn(fmt.Sprintf("spm-recover-%s", p.Name), func(proc *sim.Proc) {
 		p.state = PartRestarting
+		endClear := trace.Default.Span(proc, "spm", p.Name, "failover:device-clear")
 		proc.Sleep(s.Costs.DeviceClear)
 		// Scrub every page the failed partition owned (A3: crashed
 		// information leaks) and return it to the allocator, in IPA
@@ -130,8 +132,10 @@ func (s *SPM) Fail(p *Partition, reason FailReason) *FailureRecord {
 			_ = s.M.Bus.ResetDevice(p.Device)
 			s.M.SMMU.Stream(p.Device).Clear()
 		}
+		endClear()
 		// Reload and initialize the mOS image — the pending image if a
 		// software update was requested, else the same image.
+		endRestart := trace.Default.Span(proc, "spm", p.Name, "failover:mos-restart")
 		proc.Sleep(s.Costs.MOSRestart)
 		if p.pendingImage != nil {
 			p.mosHash = attest.Measure(p.pendingImage)
@@ -153,10 +157,14 @@ func (s *SPM) Fail(p *Partition, reason FailReason) *FailureRecord {
 				delete(s.grants, gid)
 			}
 		}
+		endRestart()
 		p.lastBeat = proc.Now()
 		p.state = PartReady // r_f = 0
 		rec.ReadyAt = proc.Now()
 		rec.Epoch = p.epoch
+		mPartsRecovered.Inc()
+		hFailoverNS.Observe(int64(rec.ReadyAt - rec.FailedAt))
+		trace.Default.SpanAt(rec.FailedAt, rec.ReadyAt, "spm", p.Name, "failover", nil)
 		trace.Default.Instant(proc, "spm", p.Name, "partition-ready", nil)
 		p.restartSig = sim.NewSignal(s.K)
 		if p.onRestart != nil {

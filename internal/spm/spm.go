@@ -15,6 +15,7 @@ import (
 	"cronus/internal/attest"
 	"cronus/internal/hw"
 	"cronus/internal/sim"
+	"cronus/internal/trace"
 )
 
 // PartitionID identifies an S-EL2 partition (the mOS id — the top 8 bits of
@@ -171,6 +172,14 @@ func Boot(k *sim.Kernel, m *hw.Machine, costs *sim.CostModel) (*SPM, error) {
 		deviceVend: make(map[string]string),
 		booted:     true,
 	}
+	// The isolation hardware has no clock; the SPM lends it one so every
+	// TZASC/TZPC/SMMU denial shows up as a trace instant at the time the
+	// access was refused.
+	hw.SetDenialHook(func(f *hw.Fault) {
+		if trace.Default.Enabled() {
+			trace.Default.InstantAt(k.Now(), "hw", f.Space, "access-denied ("+f.Kind.String()+")", nil)
+		}
+	})
 	return s, nil
 }
 
@@ -224,6 +233,8 @@ func (s *SPM) CreatePartition(name, device string, mosImage []byte) (*Partition,
 		mosHash:    attest.Measure(mosImage),
 	}
 	s.parts[id] = p
+	mPartsCreated.Inc()
+	trace.Default.InstantAt(s.K.Now(), "spm", name, "partition-created", nil)
 	return p, nil
 }
 

@@ -23,6 +23,7 @@ type Client struct {
 
 	ring     *ring
 	streamID uint64
+	track    string // precomputed trace track name ("stream-N")
 	rid      uint64 // next free slot (producer index)
 	smem     uint64 // owner-side IPA of the region
 	gid      int
@@ -30,11 +31,6 @@ type Client struct {
 	dead     bool
 
 	costs *sim.CostModel
-
-	// Stats for experiments.
-	Calls      uint64
-	SyncWaits  uint64
-	BytesMoved uint64
 }
 
 var nextStreamID uint64
@@ -58,6 +54,8 @@ func Connect(p *sim.Proc, owner *mos.Enclave, peerEID uint32, secret []byte, pee
 	// SPM's local seal key; binds identity, measurement and co-location.
 	nextStreamID++
 	streamID := nextStreamID
+	track := fmt.Sprintf("stream-%d", streamID)
+	defer trace.Default.Span(p, "srpc", track, "connect")()
 	nonce := streamID*2654435761 + 12345
 	p.Sleep(costs.UntrustedMsg)
 	rep, mac, err := tr.LocalReport(p, peerEID, nonce)
@@ -102,6 +100,7 @@ func Connect(p *sim.Proc, owner *mos.Enclave, peerEID uint32, secret []byte, pee
 		tr:       tr,
 		ring:     newRing(owner.View(), ipa, pages),
 		streamID: streamID,
+		track:    track,
 		smem:     ipa,
 		gid:      gid,
 		costs:    costs,
@@ -151,6 +150,7 @@ func Connect(p *sim.Proc, owner *mos.Enclave, peerEID uint32, secret []byte, pee
 	if err := tr.SpawnExecutor(p, peerEID, streamID); err != nil {
 		return nil, fmt.Errorf("srpc: executor creation failed: %w", err)
 	}
+	mStreams.Inc()
 	return c, nil
 }
 
@@ -172,6 +172,7 @@ func spmPartID(eid uint32) spm.PartitionID { return spm.PartitionID(eid >> 24) }
 func (c *Client) markDead() {
 	if !c.dead {
 		c.dead = true
+		mPeerFailures.Inc()
 		_ = c.owner.MOS().SPM.Unshare(c.gid)
 	}
 }
@@ -222,7 +223,7 @@ func (c *Client) CallSyncCap(p *sim.Proc, name string, args []byte, respCap int)
 	}
 	// Wait for the executor to pass the record (it publishes the result
 	// before advancing Sid).
-	c.SyncWaits++
+	mSyncWaits.Inc()
 	if err := c.waitSidPast(p, c.rid); err != nil {
 		return nil, c.fail(err)
 	}
@@ -259,6 +260,7 @@ func (c *Client) push(p *sim.Proc, name string, args []byte, kind uint32, respCa
 			return c.fail(err)
 		}
 		if c.rid+slots-sid <= c.ring.slots {
+			gRingOcc.Set(int64(c.rid + slots - sid))
 			break
 		}
 		p.Sleep(pollQuantum)
@@ -280,13 +282,13 @@ func (c *Client) push(p *sim.Proc, name string, args []byte, kind uint32, respCa
 	if err := c.ring.writeU64(p, offRid, c.rid); err != nil {
 		return c.fail(err)
 	}
-	c.Calls++
-	c.BytesMoved += uint64(len(full))
+	mCalls.Inc()
+	mBytesMoved.Add(uint64(len(full)))
 	return nil
 }
 
 func (c *Client) waitSidPast(p *sim.Proc, target uint64) error {
-	defer trace.Default.Span(p, "srpc", fmt.Sprintf("stream-%d", c.streamID), "sync-wait")()
+	defer trace.Default.Span(p, "srpc", c.track, "sync-wait")()
 	for {
 		p.Sleep(c.costs.RingPoll)
 		sid, err := c.ring.readU64(p, offSid)
@@ -332,7 +334,7 @@ func (c *Client) Barrier(p *sim.Proc) error {
 	if c.dead {
 		return ErrPeerFailed
 	}
-	c.SyncWaits++
+	mSyncWaits.Inc()
 	if err := c.waitSidPast(p, c.rid); err != nil {
 		return c.fail(err)
 	}

@@ -1,0 +1,17 @@
+package srpc
+
+import "cronus/internal/metrics"
+
+// Stream accounting lives in the process-wide registry rather than on the
+// Client so experiments read aggregates from one snapshot and the hot paths
+// stay branch-plus-atomic when metrics are disabled. Names never embed the
+// stream id — ids keep incrementing across runs in one process and would
+// break snapshot determinism.
+var (
+	mCalls        = metrics.Default.Counter("srpc.calls")
+	mSyncWaits    = metrics.Default.Counter("srpc.sync_waits")
+	mBytesMoved   = metrics.Default.Counter("srpc.bytes_moved")
+	mStreams      = metrics.Default.Counter("srpc.streams.opened")
+	mPeerFailures = metrics.Default.Counter("srpc.streams.peer_failures")
+	gRingOcc      = metrics.Default.Gauge("srpc.ring.occupancy_slots")
+)

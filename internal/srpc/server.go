@@ -6,8 +6,12 @@ import (
 	"cronus/internal/attest"
 	"cronus/internal/mos"
 	"cronus/internal/sim"
+	"cronus/internal/trace"
 	"cronus/internal/wire"
 )
+
+// noopEnd is the shared do-nothing span closer for the disabled-trace path.
+var noopEnd = func() {}
 
 // Transport is the untrusted normal world's relay role in sRPC: it carries
 // the (MAC-protected) establishment messages and creates executor threads.
@@ -35,6 +39,7 @@ type Server struct {
 type serverStream struct {
 	id      uint64
 	ring    *ring
+	track   string // precomputed trace track name ("stream-N")
 	sid     uint64
 	running bool
 }
@@ -93,8 +98,9 @@ func (s *Server) HandleSetup(p *sim.Proc, streamID uint64, msg attest.SealedMsg)
 	costs := s.enc.MOS().Costs
 	p.Sleep(costs.StreamSetup)
 	st := &serverStream{
-		id:   streamID,
-		ring: newRing(s.enc.View(), peerIPA, int(pages)),
+		id:    streamID,
+		ring:  newRing(s.enc.View(), peerIPA, int(pages)),
+		track: fmt.Sprintf("stream-%d", streamID),
 	}
 	// dCheck: prove possession of secret_dhke through the shared memory
 	// itself (§IV-C). If the SPM mapped us the wrong region — or we are a
@@ -163,7 +169,14 @@ func (s *Server) RunExecutor(p *sim.Proc, streamID uint64) {
 		if err := bd.Err(); err != nil {
 			callErr = err
 		} else {
+			// Name concatenation only happens when tracing is on — the
+			// executor loop is the hot path of every streamed mECall.
+			end := noopEnd
+			if trace.Default.Enabled() {
+				end = trace.Default.Span(p, "srpc", st.track, "exec "+name)
+			}
 			res, callErr = s.enc.InvokeStreamed(p, name, args)
+			end()
 		}
 		if kind == kindSync {
 			// Publish the result in place, then advance Sid.

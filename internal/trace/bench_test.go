@@ -1,0 +1,57 @@
+package trace_test
+
+import (
+	"testing"
+
+	"cronus/internal/sim"
+	"cronus/internal/trace"
+)
+
+// benchProc returns a spawned-but-never-run process: enough for the hooks,
+// which only read its current time.
+func benchProc() *sim.Proc {
+	k := sim.NewKernel()
+	return k.Spawn("bench", func(*sim.Proc) {})
+}
+
+func assertZeroAllocs(tb testing.TB, name string, fn func()) {
+	tb.Helper()
+	if n := testing.AllocsPerRun(100, fn); n != 0 {
+		tb.Fatalf("%s allocated %.1f objects per op when disabled", name, n)
+	}
+}
+
+// The disabled-path cost contract for trace hooks: one atomic load, one
+// branch, zero allocations.
+
+func BenchmarkDisabledInstant(b *testing.B) {
+	c := &trace.Collector{}
+	p := benchProc()
+	assertZeroAllocs(b, "Instant", func() { c.Instant(p, "cat", "track", "name", nil) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Instant(p, "cat", "track", "name", nil)
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	c := &trace.Collector{}
+	p := benchProc()
+	assertZeroAllocs(b, "Span", func() { c.Span(p, "cat", "track", "name")() })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Span(p, "cat", "track", "name")()
+	}
+}
+
+func BenchmarkDisabledInstantAt(b *testing.B) {
+	c := &trace.Collector{}
+	assertZeroAllocs(b, "InstantAt", func() { c.InstantAt(42, "cat", "track", "name", nil) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.InstantAt(42, "cat", "track", "name", nil)
+	}
+}

@@ -1,0 +1,16 @@
+package trace
+
+import "cronus/internal/sim"
+
+// The sim kernel cannot import this package (trace depends on sim for its
+// time types), so scheduler lifecycle events arrive through a hook installed
+// at init. The name is composed only once the collector is known to be
+// enabled, keeping the disabled path allocation-free.
+func init() {
+	sim.SetTraceHook(func(at sim.Time, kind, name string) {
+		if !Default.enabled.Load() {
+			return
+		}
+		Default.add(Event{Name: kind + " " + name, Cat: "sim", Track: "scheduler", Start: at})
+	})
+}

@@ -3,7 +3,11 @@
 // Chrome trace-event JSON format, so a CRONUS run can be inspected on a
 // timeline (chrome://tracing, Perfetto).
 //
-// Tracing is disabled by default and costs one branch per hook when off.
+// Tracing is disabled by default and costs one atomic load and a branch per
+// hook when off — and allocates nothing. The collector is safe to record into
+// from any goroutine and safe to Enable/Disable/Write around a running
+// kernel; recorded events are bounded by a configurable cap (see
+// SetMaxEvents) so long runs cannot grow without limit.
 package trace
 
 import (
@@ -11,9 +15,14 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cronus/internal/sim"
 )
+
+// DefaultMaxEvents bounds a collector that was not given an explicit cap.
+const DefaultMaxEvents = 1 << 20
 
 // Event is one recorded trace event.
 type Event struct {
@@ -25,61 +34,129 @@ type Event struct {
 	Args  map[string]string
 }
 
-// Collector gathers events. The zero value is a disabled collector.
+// Collector gathers events. The zero value is a disabled collector with the
+// default event cap.
 type Collector struct {
-	enabled bool
+	enabled atomic.Bool
+
+	mu      sync.Mutex
 	events  []Event
+	max     int // 0: DefaultMaxEvents; negative: unlimited
+	dropped uint64
 }
 
 // Default is the process-wide collector the hooks record into.
 var Default = &Collector{}
 
+// noop is the span terminator returned while disabled; a shared value keeps
+// the disabled path allocation-free.
+var noop = func() {}
+
 // Enable turns on collection (and clears previous events).
 func (c *Collector) Enable() {
-	c.enabled = true
+	c.mu.Lock()
 	c.events = nil
+	c.dropped = 0
+	c.mu.Unlock()
+	c.enabled.Store(true)
 }
 
-// Disable stops collection.
-func (c *Collector) Disable() { c.enabled = false }
+// Disable stops collection. Events recorded so far remain readable.
+func (c *Collector) Disable() { c.enabled.Store(false) }
 
 // Enabled reports whether events are being recorded.
-func (c *Collector) Enabled() bool { return c.enabled }
+func (c *Collector) Enabled() bool { return c.enabled.Load() }
+
+// SetMaxEvents bounds the number of retained events: once reached, further
+// events are counted as dropped instead of stored. n == 0 restores
+// DefaultMaxEvents; n < 0 removes the bound.
+func (c *Collector) SetMaxEvents(n int) {
+	c.mu.Lock()
+	c.max = n
+	c.mu.Unlock()
+}
 
 // Len returns the number of recorded events.
-func (c *Collector) Len() int { return len(c.events) }
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Dropped returns how many events were discarded because the cap was hit.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Events returns a copy of the recorded events, in recording order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// add appends one event, honoring the cap. Callers check enabled first.
+func (c *Collector) add(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	limit := c.max
+	if limit == 0 {
+		limit = DefaultMaxEvents
+	}
+	if limit > 0 && len(c.events) >= limit {
+		c.dropped++
+		return
+	}
+	c.events = append(c.events, e)
+}
 
 // Instant records a zero-duration event at the current virtual time.
 func (c *Collector) Instant(p *sim.Proc, cat, track, name string, args map[string]string) {
-	if !c.enabled {
+	if !c.enabled.Load() {
 		return
 	}
-	c.events = append(c.events, Event{Name: name, Cat: cat, Track: track, Start: p.Now(), Args: args})
+	c.add(Event{Name: name, Cat: cat, Track: track, Start: p.Now(), Args: args})
 }
 
 // InstantAt records a zero-duration event at an explicit virtual time (for
 // callers without a process context).
 func (c *Collector) InstantAt(at sim.Time, cat, track, name string, args map[string]string) {
-	if !c.enabled {
+	if !c.enabled.Load() {
 		return
 	}
-	c.events = append(c.events, Event{Name: name, Cat: cat, Track: track, Start: at, Args: args})
+	c.add(Event{Name: name, Cat: cat, Track: track, Start: at, Args: args})
 }
 
 // Span starts a span and returns the closure that ends it:
 //
 //	defer trace.Default.Span(p, "srpc", "stream-1", "sync-wait")()
 func (c *Collector) Span(p *sim.Proc, cat, track, name string) func() {
-	if !c.enabled {
-		return func() {}
+	if !c.enabled.Load() {
+		return noop
 	}
 	start := p.Now()
 	return func() {
-		c.events = append(c.events, Event{
+		if !c.enabled.Load() {
+			return
+		}
+		c.add(Event{
 			Name: name, Cat: cat, Track: track,
 			Start: start, Dur: sim.Duration(p.Now() - start),
 		})
 	}
+}
+
+// SpanAt records a completed span between two explicit virtual times (for
+// phases whose start predates the recording process, e.g. failover).
+func (c *Collector) SpanAt(start, end sim.Time, cat, track, name string, args map[string]string) {
+	if !c.enabled.Load() {
+		return
+	}
+	c.add(Event{Name: name, Cat: cat, Track: track, Start: start, Dur: sim.Duration(end - start), Args: args})
 }
 
 // chromeEvent is the trace-event JSON schema.
@@ -97,9 +174,10 @@ type chromeEvent struct {
 // WriteChromeTrace emits the recorded events as a Chrome trace JSON array,
 // with one tid lane per track.
 func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	events := c.Events()
 	tracks := make(map[string]int)
 	var names []string
-	for _, e := range c.events {
+	for _, e := range events {
 		if _, ok := tracks[e.Track]; !ok {
 			tracks[e.Track] = 0
 			names = append(names, e.Track)
@@ -109,14 +187,14 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 	for i, n := range names {
 		tracks[n] = i + 1
 	}
-	out := make([]chromeEvent, 0, len(c.events)+len(names))
+	out := make([]chromeEvent, 0, len(events)+len(names))
 	for _, n := range names {
 		out = append(out, chromeEvent{
 			Name: "thread_name", Ph: "M", PID: 1, TID: tracks[n],
 			Args: map[string]string{"name": n},
 		})
 	}
-	for _, e := range c.events {
+	for _, e := range events {
 		ce := chromeEvent{
 			Name: e.Name, Cat: e.Cat, PID: 1, TID: tracks[e.Track],
 			TS: float64(e.Start) / 1e3, Args: e.Args,
@@ -135,8 +213,9 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 
 // Summary renders a terse text digest (events per category).
 func (c *Collector) Summary() string {
+	events := c.Events()
 	counts := make(map[string]int)
-	for _, e := range c.events {
+	for _, e := range events {
 		counts[e.Cat]++
 	}
 	cats := make([]string, 0, len(counts))
@@ -144,9 +223,12 @@ func (c *Collector) Summary() string {
 		cats = append(cats, k)
 	}
 	sort.Strings(cats)
-	s := fmt.Sprintf("%d trace events:", len(c.events))
+	s := fmt.Sprintf("%d trace events:", len(events))
 	for _, k := range cats {
 		s += fmt.Sprintf(" %s=%d", k, counts[k])
+	}
+	if d := c.Dropped(); d > 0 {
+		s += fmt.Sprintf(" (%d dropped at cap)", d)
 	}
 	return s
 }

@@ -3,6 +3,7 @@ package trace_test
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 
@@ -60,6 +61,75 @@ func TestSpanAndChromeOutput(t *testing.T) {
 	}
 	if !strings.Contains(c.Summary(), "gpu=1") {
 		t.Errorf("summary %q", c.Summary())
+	}
+}
+
+func TestMaxEventsCap(t *testing.T) {
+	c := &trace.Collector{}
+	c.Enable()
+	c.SetMaxEvents(3)
+	for i := 0; i < 5; i++ {
+		c.InstantAt(sim.Time(i), "x", "t", "e", nil)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (capped)", c.Len())
+	}
+	if c.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", c.Dropped())
+	}
+	if !strings.Contains(c.Summary(), "dropped") {
+		t.Errorf("summary does not report drops: %q", c.Summary())
+	}
+	// Enable clears both the events and the drop count.
+	c.Enable()
+	if c.Len() != 0 || c.Dropped() != 0 {
+		t.Fatal("Enable did not reset the collector")
+	}
+}
+
+// Enable/Disable/Write must be safe to call around a running kernel — the
+// hooks race against the toggler and the writer (checked under -race).
+func TestConcurrentToggleAndWrite(t *testing.T) {
+	c := &trace.Collector{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			c.Enable()
+			_ = c.Len()
+			_ = c.WriteChromeTrace(io.Discard)
+			c.Disable()
+		}
+	}()
+	k := sim.NewKernel()
+	k.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < 500; i++ {
+			c.Instant(p, "a", "t", "e", nil)
+			end := c.Span(p, "a", "t", "s")
+			p.Sleep(1)
+			end()
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if err := c.WriteChromeTrace(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsAccessor(t *testing.T) {
+	c := &trace.Collector{}
+	c.Enable()
+	c.InstantAt(10, "spm", "part", "first", nil)
+	c.SpanAt(20, 50, "spm", "part", "second", nil)
+	evs := c.Events()
+	if len(evs) != 2 || evs[0].Name != "first" || evs[1].Name != "second" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[1].Start != 20 || evs[1].Dur != 30 {
+		t.Fatalf("span event = %+v", evs[1])
 	}
 }
 
