@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench examples tools figures attack loc clean
+.PHONY: all build test vet race bench bench-hotpath examples tools figures attack loc clean
 
 all: build vet test race
 
@@ -21,8 +21,18 @@ race:
 	$(GO) test -race ./... -count=1
 
 # Regenerate every table and figure as testing.B benchmarks with metrics.
-bench:
+bench: bench-hotpath
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
+
+# Hot-path microbenchmarks (simulated-TLB view accesses, TZASC checks, sRPC
+# sync calls, and the fig7/fig8 experiment benches), recorded as JSON so
+# before/after host-time numbers can be committed and diffed.
+bench-hotpath:
+	{ $(GO) test -bench 'ViewAccess|TZASCCheck|PhysMemWrite4K|Translate' -benchmem -run '^$$' ./internal/spm ./internal/hw ; \
+	  $(GO) test -bench 'SRPCSyncCall' -benchmem -benchtime=200x -run '^$$' ./internal/srpc ; \
+	  $(GO) test -bench 'Figure7Rodinia|Figure8Training|SRPCStreaming' -benchmem -benchtime=1x -run '^$$' . ; } \
+	| $(GO) run ./cmd/cronus-benchjson > BENCH_hotpath.json
+	@echo "wrote BENCH_hotpath.json"
 
 # Pretty-printed tables for all experiments.
 figures:

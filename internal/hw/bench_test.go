@@ -29,6 +29,24 @@ func BenchmarkTranslate(b *testing.B) {
 	}
 }
 
+// BenchmarkTZASCCheck measures one world-isolation verdict against a locked
+// configuration with many region slots (binary-searched index).
+func BenchmarkTZASCCheck(b *testing.B) {
+	tz := NewTZASC()
+	for i := 0; i < 16; i++ {
+		// 16 non-overlapping 1 MiB regions with 1 MiB gaps.
+		_ = tz.SetRegion(i, PA(uint64(i)*2<<20), 1<<20, i%2 == 0)
+	}
+	tz.Lock()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tz.Check(SecureWorld, PA(uint64(i%16)*2<<20)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSMMUTranslate measures one device DMA translation.
 func BenchmarkSMMUTranslate(b *testing.B) {
 	s := NewSMMU()

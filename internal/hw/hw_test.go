@@ -91,7 +91,9 @@ func TestAllocFreeReuseScrubsPage(t *testing.T) {
 	m := testMachine()
 	pa, _ := m.Mem.AllocPages("secure", 1)
 	m.Mem.Write(SecureWorld, pa, []byte("sensitive"))
-	m.Mem.FreePage("secure", pa)
+	if err := m.Mem.FreePage("secure", pa); err != nil {
+		t.Fatalf("FreePage: %v", err)
+	}
 	pa2, _ := m.Mem.AllocPages("secure", 1)
 	if pa2 != pa {
 		t.Fatalf("free page not reused: %#x vs %#x", pa2, pa)

@@ -1,6 +1,9 @@
 package hw
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // PhysMem is the machine's physical memory: sparse 4 KiB pages guarded by
 // the TZASC. Every read and write declares the world it originates from.
@@ -9,6 +12,8 @@ type PhysMem struct {
 	pages   map[uint64][]byte
 	tzasc   *TZASC
 	regions map[string]*MemRegion
+	watches []memWatch
+	watchID int
 }
 
 // MemRegion is a named physical range with a simple page-frame allocator.
@@ -18,6 +23,14 @@ type MemRegion struct {
 	Size uint64
 	next uint64 // next free page index within the region
 	free []uint64
+}
+
+// memWatch is one registered write observer (a simulated doorbell): fn runs
+// after any guarded write that overlaps [lo, hi).
+type memWatch struct {
+	id     int
+	lo, hi PA
+	fn     func()
 }
 
 // NewPhysMem creates memory of the given size guarded by tzasc.
@@ -72,13 +85,24 @@ func (m *PhysMem) AllocPages(region string, n int) (PA, error) {
 }
 
 // FreePage returns a single page to its region's free list and scrubs it.
-func (m *PhysMem) FreePage(region string, pa PA) {
+// The page must be page-aligned and lie inside the named region; freeing a
+// foreign address would scrub a frame the region allocator never owned and
+// corrupt its free list.
+func (m *PhysMem) FreePage(region string, pa PA) error {
 	r := m.regions[region]
 	if r == nil {
-		return
+		return fmt.Errorf("hw: FreePage: unknown memory region %q", region)
+	}
+	if pa.Offset() != 0 {
+		return fmt.Errorf("hw: FreePage(%q, %#x): address not page-aligned", region, uint64(pa))
+	}
+	if pa < r.Base || uint64(pa)+PageSize > uint64(r.Base)+r.Size {
+		return fmt.Errorf("hw: FreePage(%q, %#x): address outside region [%#x, %#x)",
+			region, uint64(pa), uint64(r.Base), uint64(r.Base)+r.Size)
 	}
 	m.zeroPage(pa.PFN())
 	r.free = append(r.free, (uint64(pa)-uint64(r.Base))/PageSize)
+	return nil
 }
 
 func (m *PhysMem) zeroPage(pfn uint64) {
@@ -115,10 +139,18 @@ func (m *PhysMem) access(w World, pa PA, buf []byte, write bool) error {
 		return &Fault{Kind: FaultUnmapped, Space: "physmem", Addr: uint64(pa), World: w}
 	}
 	off := 0
+	okUntil := pa // addresses below this have already passed the TZASC
 	for off < len(buf) {
 		cur := pa + PA(off)
-		if err := m.tzasc.Check(w, cur); err != nil {
-			return err
+		if cur >= okUntil {
+			// One TZASC verdict covers the whole uniform span (the
+			// configured region, or the gap up to the next region), so
+			// a multi-page access inside one region checks once.
+			end, err := m.tzasc.CheckSpan(w, cur)
+			if err != nil {
+				return err
+			}
+			okUntil = end
 		}
 		pg := m.page(cur.PFN())
 		po := int(cur.Offset())
@@ -133,7 +165,50 @@ func (m *PhysMem) access(w World, pa PA, buf []byte, write bool) error {
 		}
 		off += n
 	}
+	if write && len(m.watches) > 0 {
+		m.fireWatches(pa, pa+PA(len(buf)))
+	}
 	return nil
+}
+
+// WatchWrite registers fn to run after every guarded write that overlaps
+// [pa, pa+n) — a simulated doorbell on a physical range. Watches observe only
+// Write traffic: ScrubPage and allocator zeroing are privileged maintenance,
+// not producer stores. The returned cancel removes the watch; watches fire in
+// registration order so wakeup order is deterministic.
+func (m *PhysMem) WatchWrite(pa PA, n uint64, fn func()) (cancel func()) {
+	m.watchID++
+	id := m.watchID
+	m.watches = append(m.watches, memWatch{id: id, lo: pa, hi: pa + PA(n), fn: fn})
+	return func() {
+		for i := range m.watches {
+			if m.watches[i].id == id {
+				m.watches = append(m.watches[:i], m.watches[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+func (m *PhysMem) fireWatches(lo, hi PA) {
+	// A callback may cancel watches (including its own); iterate over a
+	// snapshot of ids via index re-validation.
+	for i := 0; i < len(m.watches); i++ {
+		w := m.watches[i]
+		if w.lo < hi && lo < w.hi {
+			w.fn()
+			// The callback may have mutated the slice; re-anchor on id.
+			if i >= len(m.watches) || m.watches[i].id != w.id {
+				for j := range m.watches {
+					if m.watches[j].id > w.id {
+						i = j - 1
+						break
+					}
+					i = j
+				}
+			}
+		}
+	}
 }
 
 // ScrubPage zeroes a physical page regardless of world — used by the SPM's
@@ -145,6 +220,19 @@ func (m *PhysMem) ScrubPage(pa PA) { m.zeroPage(pa.PFN()) }
 type TZASC struct {
 	regions map[int]tzRegion
 	locked  bool
+
+	// Region slots sorted by id: the deterministic pre-lock scan order
+	// (the map's iteration order must never decide a verdict).
+	order []tzSlot
+	dirty bool
+
+	// index is the immutable lookup structure built when the secure
+	// monitor locks the configuration at boot: region slots sorted by
+	// base, binary-searched per access. With overlapping regions the
+	// sorted index cannot answer span queries, so checks fall back to
+	// the slot-ordered scan (overlap=true).
+	index   []tzSlot
+	overlap bool
 }
 
 type tzRegion struct {
@@ -153,35 +241,97 @@ type tzRegion struct {
 	secure bool
 }
 
+type tzSlot struct {
+	id int
+	tzRegion
+}
+
 // NewTZASC creates an empty controller; unconfigured addresses default to
 // normal-world accessible.
 func NewTZASC() *TZASC { return &TZASC{regions: make(map[int]tzRegion)} }
 
-// SetRegion configures region slot id. Panics if the controller was locked
+// SetRegion configures region slot id. Fails if the controller was locked
 // (the secure monitor locks it at boot to resist reconfiguration attacks).
 func (t *TZASC) SetRegion(id int, base PA, size uint64, secure bool) error {
 	if t.locked {
 		return fmt.Errorf("hw: TZASC locked")
 	}
 	t.regions[id] = tzRegion{base: base, size: size, secure: secure}
+	t.dirty = true
 	return nil
 }
 
-// Lock freezes the configuration (done by the secure monitor during boot).
-func (t *TZASC) Lock() { t.locked = true }
+// Lock freezes the configuration (done by the secure monitor during boot)
+// and builds the sorted region index consulted on every subsequent check.
+func (t *TZASC) Lock() {
+	t.locked = true
+	t.rebuildOrder()
+	t.index = make([]tzSlot, len(t.order))
+	copy(t.index, t.order)
+	sort.SliceStable(t.index, func(i, j int) bool { return t.index[i].base < t.index[j].base })
+	t.overlap = false
+	for i := 1; i < len(t.index); i++ {
+		prev := t.index[i-1]
+		if uint64(prev.base)+prev.size > uint64(t.index[i].base) {
+			t.overlap = true
+			break
+		}
+	}
+}
 
 // Locked reports whether the configuration is frozen.
 func (t *TZASC) Locked() bool { return t.locked }
 
-// Check validates a single access at pa from world w.
-func (t *TZASC) Check(w World, pa PA) error {
-	secure := false
-	for _, r := range t.regions {
-		if pa >= r.base && uint64(pa) < uint64(r.base)+r.size {
-			secure = r.secure
-			break
+// rebuildOrder refreshes the slot-id-ordered scan list.
+func (t *TZASC) rebuildOrder() {
+	t.order = t.order[:0]
+	ids := make([]int, 0, len(t.regions))
+	for id := range t.regions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		t.order = append(t.order, tzSlot{id: id, tzRegion: t.regions[id]})
+	}
+	t.dirty = false
+}
+
+// lookup resolves the verdict for pa and the end of the uniform-verdict span
+// containing it: the end of the configured region, or — for unconfigured
+// addresses — the base of the next region above pa (PA max if none). With an
+// overlapping (or not yet locked) configuration the span degrades to the
+// single page containing pa.
+func (t *TZASC) lookup(pa PA) (secure bool, spanEnd PA) {
+	pageEnd := PA((pa.PFN() + 1) << PageShift)
+	if !t.locked || t.overlap {
+		if t.dirty {
+			t.rebuildOrder()
+		}
+		for _, r := range t.order {
+			if pa >= r.base && uint64(pa) < uint64(r.base)+r.size {
+				return r.secure, pageEnd
+			}
+		}
+		return false, pageEnd
+	}
+	// Binary search: first region with base > pa; the candidate container
+	// is the one before it (regions are non-overlapping here).
+	i := sort.Search(len(t.index), func(i int) bool { return t.index[i].base > pa })
+	if i > 0 {
+		r := t.index[i-1]
+		if uint64(pa) < uint64(r.base)+r.size {
+			return r.secure, PA(uint64(r.base) + r.size)
 		}
 	}
+	if i < len(t.index) {
+		return false, t.index[i].base
+	}
+	return false, PA(^uint64(0))
+}
+
+// Check validates a single access at pa from world w.
+func (t *TZASC) Check(w World, pa PA) error {
+	secure, _ := t.lookup(pa)
 	if secure && w != SecureWorld {
 		f := &Fault{Kind: FaultTZASC, Space: "tzasc", Addr: uint64(pa), World: w}
 		reportDenial(f)
@@ -190,14 +340,23 @@ func (t *TZASC) Check(w World, pa PA) error {
 	return nil
 }
 
+// CheckSpan validates an access at pa from world w and, when allowed, returns
+// the first address past pa where the verdict may change — callers touching a
+// contiguous range need one check per returned span, not one per page.
+func (t *TZASC) CheckSpan(w World, pa PA) (spanEnd PA, err error) {
+	secure, end := t.lookup(pa)
+	if secure && w != SecureWorld {
+		f := &Fault{Kind: FaultTZASC, Space: "tzasc", Addr: uint64(pa), World: w}
+		reportDenial(f)
+		return 0, f
+	}
+	return end, nil
+}
+
 // IsSecure reports whether pa falls inside a secure region.
 func (t *TZASC) IsSecure(pa PA) bool {
-	for _, r := range t.regions {
-		if pa >= r.base && uint64(pa) < uint64(r.base)+r.size {
-			return r.secure
-		}
-	}
-	return false
+	secure, _ := t.lookup(pa)
+	return secure
 }
 
 // TZPC filters peripheral (MMIO) access by world (the TrustZone Protection

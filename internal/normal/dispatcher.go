@@ -32,6 +32,11 @@ type Dispatcher struct {
 
 	servers map[uint32]*srpc.Server
 
+	// nextStream is this platform's stream-id counter (srpc.Transport
+	// requires per-platform minting so co-resident platforms stay
+	// deterministic).
+	nextStream uint64
+
 	// Attack knobs — everything a malicious normal OS could do.
 	RouteOverride   func(deviceType string) string                              // dispatch to the wrong partition
 	TamperSetup     func(msg attest.SealedMsg) attest.SealedMsg                 // corrupt sRPC setup traffic
@@ -67,6 +72,13 @@ func (d *Dispatcher) RegisterMOS(m *mos.MOS) {
 	d.byPart[m.Part.ID] = m
 	t := m.HAL.DeviceType()
 	d.byType[t] = append(d.byType[t], m)
+}
+
+// NextStreamID implements srpc.Transport: ids are minted per platform,
+// starting at 1.
+func (d *Dispatcher) NextStreamID() uint64 {
+	d.nextStream++
+	return d.nextStream
 }
 
 // mosFor locates the mOS hosting an enclave id.

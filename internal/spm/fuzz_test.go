@@ -47,6 +47,10 @@ func TestShareFailureStateMachineFuzz(t *testing.T) {
 		ipa   uint64
 		gid   int // 0: unshared
 		peer  *Partition
+		// view is persistent across rounds, so its simulated TLB holds
+		// warm translations when shares are torn down, partitions fail,
+		// or pages are freed — the cache-staleness oracle.
+		view *View
 	}
 	var allocs []*alloc
 	rng := rand.New(rand.NewSource(seed))
@@ -64,7 +68,13 @@ func TestShareFailureStateMachineFuzz(t *testing.T) {
 				if err != nil {
 					t.Fatalf("round %d: alloc: %v", round, err)
 				}
-				allocs = append(allocs, &alloc{part: part, epoch: part.Epoch(), ipa: ipa})
+				a := &alloc{part: part, epoch: part.Epoch(), ipa: ipa, view: s.NewView(part, nil)}
+				// Warm the view's TLB immediately so later teardown paths
+				// race against a populated cache.
+				if err := a.view.Write(p, a.ipa, []byte{0xAA}); err != nil {
+					t.Fatalf("round %d: warming access failed: %v", round, err)
+				}
+				allocs = append(allocs, a)
 			case 3, 4: // share an unshared allocation with another partition
 				if len(allocs) == 0 {
 					continue
@@ -117,9 +127,16 @@ func TestShareFailureStateMachineFuzz(t *testing.T) {
 				}
 				a := allocs[rng.Intn(len(allocs))]
 				if a.epoch != a.part.Epoch() || a.part.State() != PartReady {
+					// A view from a dead incarnation must never succeed,
+					// no matter what its TLB cached before the restart.
+					if a.epoch != a.part.Epoch() {
+						if err := a.view.Write(p, a.ipa, []byte{byte(round)}); err == nil {
+							t.Fatalf("round %d: stale-epoch view access succeeded", round)
+						}
+					}
 					continue
 				}
-				v := s.NewView(a.part, nil)
+				v := a.view
 				err := v.Write(p, a.ipa, []byte{byte(round)})
 				if err != nil {
 					// Only legal reason: a peer involved in the grant

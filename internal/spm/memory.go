@@ -75,8 +75,11 @@ func (s *SPM) FreeMem(p *Partition, ipa uint64, npages int) {
 		delete(p.ownPages, vpn+uint64(i))
 		delete(s.sharedPFN, op.pfn)
 		p.stage2.Unmap(vpn + uint64(i))
-		s.M.Mem.FreePage(op.region, hw.PA(op.pfn<<hw.PageShift))
+		// ownPages records the region each frame came from, so this
+		// cannot fail unless the SPM's own bookkeeping is corrupt.
+		_ = s.M.Mem.FreePage(op.region, hw.PA(op.pfn<<hw.PageShift))
 	}
+	s.isolationChanged()
 }
 
 // Share maps npages of owner's memory (starting at ownerIPA) into peer's
@@ -159,6 +162,7 @@ func (s *SPM) Unshare(gid int) error {
 	}
 	delete(s.grants, gid)
 	mGrantsUnshared.Inc()
+	s.isolationChanged()
 	return nil
 }
 
@@ -188,6 +192,7 @@ func (s *SPM) RevokeGrant(gid int, failedBy string) error {
 	if trace.Default.Enabled() {
 		trace.Default.InstantAt(s.K.Now(), "spm", g.owner.Name, "grant-revoked ("+failedBy+" failed)", nil)
 	}
+	s.isolationChanged()
 	return nil
 }
 
@@ -247,19 +252,26 @@ func (e *PartitionDownError) Error() string {
 
 // View is a memory view used by code executing inside a partition: an
 // optional stage-1 table (the mEnclave's VA space) over the partition's
-// stage-2 table. Every access performs the full two-level walk, so stage-2
-// invalidation genuinely traps the access — the mechanism the proceed-trap
-// protocol builds on.
+// stage-2 table. A per-view simulated TLB (tlb.go) caches completed walks;
+// any table mutation bumps the backing AddrSpace generation and flushes it,
+// so stage-2 invalidation still genuinely traps the access — the mechanism
+// the proceed-trap protocol builds on.
 type View struct {
 	spm   *SPM
 	part  *Partition
 	s1    *hw.AddrSpace // nil: the view addresses IPA directly (mOS view)
 	epoch uint64
+
+	// Simulated TLB: vpn → cached walk result, valid only while the
+	// generations below match the backing tables (see tlb.go).
+	tlb      map[uint64]tlbEntry
+	tlbS1Gen uint64
+	tlbS2Gen uint64
 }
 
 // NewView creates a view for the partition's current incarnation.
 func (s *SPM) NewView(p *Partition, s1 *hw.AddrSpace) *View {
-	return &View{spm: s, part: p, s1: s1, epoch: p.epoch}
+	return &View{spm: s, part: p, s1: s1, epoch: p.epoch, tlb: make(map[uint64]tlbEntry)}
 }
 
 // Stage1 returns the view's stage-1 table (nil for an mOS view).
@@ -286,24 +298,18 @@ func (v *View) access(proc *sim.Proc, va uint64, buf []byte, write bool) error {
 	if write {
 		want = hw.PermW
 	}
+	v.tlbValidate()
 	off := 0
 	for off < len(buf) {
 		cur := va + uint64(off)
 		vpn := cur >> hw.PageShift
-		ipaPage := vpn
-		if v.s1 != nil {
-			p, f := v.s1.Translate(vpn, want)
-			if f != nil {
-				return f
+		pfn, hit := v.tlbLookup(vpn, want)
+		if !hit {
+			var err error
+			pfn, err = v.walkSlow(proc, vpn, want)
+			if err != nil {
+				return err
 			}
-			ipaPage = p
-		}
-		pfn, f := v.part.stage2.Translate(ipaPage, want)
-		if f != nil {
-			if f.Kind == hw.FaultInvalidated {
-				return v.spm.handleTrap(proc, v.part, ipaPage, f)
-			}
-			return f
 		}
 		pa := hw.PA(pfn<<hw.PageShift | cur&(hw.PageSize-1))
 		n := hw.PageSize - int(cur&(hw.PageSize-1))
@@ -322,6 +328,35 @@ func (v *View) access(proc *sim.Proc, va uint64, buf []byte, write bool) error {
 		off += n
 	}
 	return nil
+}
+
+// walkSlow is the TLB miss path: the full two-stage walk with the original
+// fault semantics (stage-1 faults surface raw; an invalidated stage-2 entry
+// enters the proceed-trap protocol), filling the TLB on success with the
+// intersection of the stage-1 and stage-2 permissions so a cached read
+// mapping can never satisfy a later write.
+func (v *View) walkSlow(proc *sim.Proc, vpn uint64, want hw.Perm) (uint64, error) {
+	ipaPage := vpn
+	perm := hw.PermRW | hw.PermX
+	if v.s1 != nil {
+		p, f := v.s1.Translate(vpn, want)
+		if f != nil {
+			return 0, f
+		}
+		ipaPage = p
+		e1, _ := v.s1.Lookup(vpn)
+		perm = e1.Perm
+	}
+	pfn, f := v.part.stage2.Translate(ipaPage, want)
+	if f != nil {
+		if f.Kind == hw.FaultInvalidated {
+			return 0, v.spm.handleTrap(proc, v.part, ipaPage, f)
+		}
+		return 0, f
+	}
+	e2, _ := v.part.stage2.Lookup(ipaPage)
+	v.tlb[vpn] = tlbEntry{pfn: pfn, perm: perm & e2.Perm}
+	return pfn, nil
 }
 
 // handleTrap implements §IV-D step ③: a partition touched shared memory
@@ -356,6 +391,7 @@ func (s *SPM) handleTrap(proc *sim.Proc, q *Partition, ipaPage uint64, raw *hw.F
 			}
 			failed := g.failedBy
 			delete(s.grants, g.id)
+			s.isolationChanged()
 			return &PeerFault{Failed: failed, IPA: ipaPage << hw.PageShift}
 		case g.peer == q && g.coversPeer(ipaPage):
 			// Pages owned by the failed partition: reclaim the
@@ -366,6 +402,7 @@ func (s *SPM) handleTrap(proc *sim.Proc, q *Partition, ipaPage uint64, raw *hw.F
 			}
 			failed := g.failedBy
 			delete(s.grants, g.id)
+			s.isolationChanged()
 			return &PeerFault{Failed: failed, IPA: ipaPage << hw.PageShift}
 		}
 	}

@@ -15,4 +15,10 @@ var (
 	mGrantsRevoked  = metrics.Default.Counter("spm.grants.revoked")
 	mTrapsHandled   = metrics.Default.Counter("spm.traps.handled")
 	hFailoverNS     = metrics.Default.Histogram("spm.failover.latency_ns")
+
+	// Simulated-TLB effectiveness (tlb.go): hits skip both stage walks,
+	// flushes count whole-cache invalidations after a table mutation.
+	mTLBHits    = metrics.Default.Counter("spm.tlb.hits")
+	mTLBMisses  = metrics.Default.Counter("spm.tlb.misses")
+	mTLBFlushes = metrics.Default.Counter("spm.tlb.flushes")
 )

@@ -105,6 +105,7 @@ func (s *SPM) Fail(p *Partition, reason FailReason) *FailureRecord {
 
 	rec := &FailureRecord{Partition: p.Name, Reason: reason, FailedAt: failedAt}
 	sig := p.restartSig
+	s.isolationChanged()
 	mPartsFailed.Inc()
 	trace.Default.InstantAt(failedAt, "spm", p.Name, "partition-failed ("+reason.String()+")", nil)
 
@@ -125,7 +126,7 @@ func (s *SPM) Fail(p *Partition, reason FailReason) *FailureRecord {
 		for _, vpn := range vpns {
 			op := p.ownPages[vpn]
 			delete(s.sharedPFN, op.pfn)
-			s.M.Mem.FreePage(op.region, hw.PA(op.pfn<<hw.PageShift))
+			_ = s.M.Mem.FreePage(op.region, hw.PA(op.pfn<<hw.PageShift))
 		}
 		p.ownPages = make(map[uint64]ownedPage)
 		if p.Device != "" {
@@ -167,6 +168,7 @@ func (s *SPM) Fail(p *Partition, reason FailReason) *FailureRecord {
 		trace.Default.SpanAt(rec.FailedAt, rec.ReadyAt, "spm", p.Name, "failover", nil)
 		trace.Default.Instant(proc, "spm", p.Name, "partition-ready", nil)
 		p.restartSig = sim.NewSignal(s.K)
+		s.isolationChanged()
 		if p.onRestart != nil {
 			p.onRestart(p.epoch)
 		}

@@ -121,6 +121,12 @@ type SPM struct {
 	// shared at most once: pfn -> grant id.
 	sharedPFN map[uint64]int
 
+	// isoWatches are the isolation-change observers (see tlb.go): waiters
+	// parked on shared-memory doorbells that must re-check state when the
+	// SPM tears down a mapping without writing the watched word.
+	isoWatches []isoWatch
+	isoNext    int
+
 	// Attestation state.
 	rotPriv    attest.PrivateKey
 	atkPriv    attest.PrivateKey

@@ -1,0 +1,138 @@
+package spm
+
+import (
+	"cronus/internal/hw"
+)
+
+// This file implements the simulated TLB: a per-View translation cache in
+// front of the stage-1/stage-2 walks, plus the notification hooks (physical
+// write watches and isolation-change callbacks) that let waiters model
+// doorbell interrupts without polling.
+//
+// The TLB caches vpn → (stage-2 output frame, effective permission) and is
+// validated against s1.Gen(), stage2.Gen() and the partition epoch before
+// use, exactly like hardware TLB invalidation-on-TLBI: any Map/Unmap/
+// Invalidate/Restore/Clear on either table bumps the generation and the next
+// access flushes. Physical-layer checks (TZASC) are NOT cached here — every
+// access still goes through PhysMem, so world-isolation verdicts cannot go
+// stale. Faults therefore surface on exactly the accesses that would have
+// faulted with the cache disabled.
+
+// tlbEntry is one cached translation: the stage-2 output frame for a view
+// page, and the intersection of the stage-1 and stage-2 permissions.
+type tlbEntry struct {
+	pfn  uint64
+	perm hw.Perm
+}
+
+// tlbValidate flushes the cache if either backing table mutated since the
+// last access. Called once per Read/Write: the tables cannot change while
+// the page loop runs (translation never yields the simulated CPU).
+func (v *View) tlbValidate() {
+	s2g := v.part.stage2.Gen()
+	var s1g uint64
+	if v.s1 != nil {
+		s1g = v.s1.Gen()
+	}
+	if len(v.tlb) > 0 && (v.tlbS1Gen != s1g || v.tlbS2Gen != s2g) {
+		for vpn := range v.tlb {
+			delete(v.tlb, vpn)
+		}
+		mTLBFlushes.Inc()
+	}
+	v.tlbS1Gen, v.tlbS2Gen = s1g, s2g
+}
+
+// tlbLookup is the hit path: zero allocations, no table walk.
+func (v *View) tlbLookup(vpn uint64, want hw.Perm) (uint64, bool) {
+	e, ok := v.tlb[vpn]
+	if !ok || e.perm&want != want {
+		mTLBMisses.Inc()
+		return 0, false
+	}
+	mTLBHits.Inc()
+	return e.pfn, true
+}
+
+// isoWatch is one registered isolation-change observer.
+type isoWatch struct {
+	id int
+	fn func()
+}
+
+// OnIsolationChange registers fn to run whenever the SPM changes the
+// isolation state of any partition — grant teardown (Unshare/RevokeGrant),
+// FreeMem, partition failure, recovery completion, and proceed-trap
+// resolution. Waiters parked on shared-memory doorbells use this to re-check
+// their predicate on failure paths that never write the watched word.
+// Callbacks run in registration order; the returned cancel removes the hook.
+func (s *SPM) OnIsolationChange(fn func()) (cancel func()) {
+	s.isoNext++
+	id := s.isoNext
+	s.isoWatches = append(s.isoWatches, isoWatch{id: id, fn: fn})
+	return func() {
+		for i := range s.isoWatches {
+			if s.isoWatches[i].id == id {
+				s.isoWatches = append(s.isoWatches[:i], s.isoWatches[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// isolationChanged notifies every registered observer. Spurious
+// notifications are harmless — observers re-check state and re-park.
+func (s *SPM) isolationChanged() {
+	if len(s.isoWatches) == 0 {
+		return
+	}
+	// Callbacks may register/cancel watches; iterate a snapshot.
+	ws := make([]isoWatch, len(s.isoWatches))
+	copy(ws, s.isoWatches)
+	for _, w := range ws {
+		w.fn()
+	}
+}
+
+// ResolvePA resolves va to a physical address under the view's current
+// mappings without charging virtual time or entering the trap protocol —
+// used to locate doorbell words, never to authorize an access.
+func (v *View) ResolvePA(va uint64) (hw.PA, bool) {
+	if v.part.state != PartReady || v.part.epoch != v.epoch {
+		return 0, false
+	}
+	vpn := va >> hw.PageShift
+	ipa := vpn
+	if v.s1 != nil {
+		e, ok := v.s1.Lookup(vpn)
+		if !ok || !e.Valid {
+			return 0, false
+		}
+		ipa = e.Frame
+	}
+	e, ok := v.part.stage2.Lookup(ipa)
+	if !ok || !e.Valid {
+		return 0, false
+	}
+	return hw.PA(e.Frame<<hw.PageShift | va&(hw.PageSize-1)), true
+}
+
+// WatchWrite arms a doorbell on the n bytes at va: fn runs after every
+// guarded physical write overlapping the range. The range must not cross a
+// page boundary (doorbell words are within-page by construction). ok is
+// false when va is not currently mapped — callers fall back to polling.
+func (v *View) WatchWrite(va, n uint64, fn func()) (cancel func(), ok bool) {
+	if (va&(hw.PageSize-1))+n > hw.PageSize {
+		return nil, false
+	}
+	pa, ok := v.ResolvePA(va)
+	if !ok {
+		return nil, false
+	}
+	return v.spm.M.Mem.WatchWrite(pa, n, fn), true
+}
+
+// OnIsolationChange forwards to the owning SPM's registry.
+func (v *View) OnIsolationChange(fn func()) (cancel func()) {
+	return v.spm.OnIsolationChange(fn)
+}

@@ -1,0 +1,277 @@
+package spm
+
+import (
+	"errors"
+	"testing"
+
+	"cronus/internal/hw"
+	"cronus/internal/metrics"
+	"cronus/internal/sim"
+)
+
+// tlbRig is the common fixture for the TLB-staleness tests: a booted SPM
+// with a CPU partition and a device partition, driven from one test proc.
+type tlbRig struct {
+	k    *sim.Kernel
+	s    *SPM
+	a, b *Partition
+}
+
+func runTLBCase(t *testing.T, body func(t *testing.T, p *sim.Proc, e *tlbRig)) {
+	t.Helper()
+	k := sim.NewKernel()
+	m := hw.NewMachine(hw.Config{NormalMemBytes: 4 << 20, SecureMemBytes: 32 << 20})
+	if err := m.Fuses.Burn("platform-rot", []byte("tlb")); err != nil {
+		t.Fatal(err)
+	}
+	m.DT.Add(hw.DTNode{Name: "gpu0", IRQ: 32, Secure: true})
+	s, err := Boot(k, m, sim.DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := s.CreatePartition("pa", "", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := s.CreatePartition("pb", "gpu0", []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("tlb-test", func(p *sim.Proc) {
+		defer k.Stop()
+		body(t, p, &tlbRig{k: k, s: s, a: pa, b: pb})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("simulation error: %v", err)
+	}
+}
+
+func faultKind(t *testing.T, err error, want hw.FaultKind) {
+	t.Helper()
+	var f *hw.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want *hw.Fault(%v), got %v", want, err)
+	}
+	if f.Kind != want {
+		t.Fatalf("want fault kind %v, got %v (%v)", want, f.Kind, err)
+	}
+}
+
+// TestTLBInvalidation asserts that every teardown path flushes previously
+// cached translations: a warm TLB entry must never outlive the mapping it
+// caches. Each case warms a persistent view, mutates isolation state, and
+// checks the very next access through the same view.
+func TestTLBInvalidation(t *testing.T) {
+	buf := []byte{0x5A}
+	cases := []struct {
+		name string
+		run  func(t *testing.T, p *sim.Proc, e *tlbRig)
+	}{
+		{"freemem-unmaps-cached-page", func(t *testing.T, p *sim.Proc, e *tlbRig) {
+			ipa, err := e.s.AllocMem(e.a, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := e.s.NewView(e.a, nil)
+			if err := v.Write(p, ipa, buf); err != nil {
+				t.Fatalf("warm write: %v", err)
+			}
+			e.s.FreeMem(e.a, ipa, 1)
+			faultKind(t, v.Write(p, ipa, buf), hw.FaultUnmapped)
+		}},
+		{"unshare-revokes-peer-cache", func(t *testing.T, p *sim.Proc, e *tlbRig) {
+			ipa, err := e.s.AllocMem(e.a, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			peerIPA, gid, err := e.s.Share(e.a, ipa, 1, e.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pv := e.s.NewView(e.b, nil)
+			if err := pv.Write(p, peerIPA, buf); err != nil {
+				t.Fatalf("peer warm write: %v", err)
+			}
+			if err := e.s.Unshare(gid); err != nil {
+				t.Fatal(err)
+			}
+			faultKind(t, pv.Write(p, peerIPA, buf), hw.FaultUnmapped)
+		}},
+		{"revoke-traps-warm-owner-then-recovers", func(t *testing.T, p *sim.Proc, e *tlbRig) {
+			ipa, err := e.s.AllocMem(e.a, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, gid, err := e.s.Share(e.a, ipa, 1, e.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ov := e.s.NewView(e.a, nil)
+			if err := ov.Write(p, ipa, buf); err != nil {
+				t.Fatalf("owner warm write: %v", err)
+			}
+			if err := e.s.RevokeGrant(gid, "pb"); err != nil {
+				t.Fatal(err)
+			}
+			var pf *PeerFault
+			if err := ov.Write(p, ipa, buf); !errors.As(err, &pf) {
+				t.Fatalf("want PeerFault through warm view, got %v", err)
+			}
+			// The trap restored exclusive access; the same view (with its
+			// flushed cache) must work again.
+			if err := ov.Write(p, ipa, buf); err != nil {
+				t.Fatalf("post-trap write: %v", err)
+			}
+		}},
+		{"revoke-traps-warm-peer-then-unmaps", func(t *testing.T, p *sim.Proc, e *tlbRig) {
+			ipa, err := e.s.AllocMem(e.a, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			peerIPA, gid, err := e.s.Share(e.a, ipa, 1, e.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pv := e.s.NewView(e.b, nil)
+			if err := pv.Write(p, peerIPA, buf); err != nil {
+				t.Fatalf("peer warm write: %v", err)
+			}
+			if err := e.s.RevokeGrant(gid, "pa"); err != nil {
+				t.Fatal(err)
+			}
+			var pf *PeerFault
+			if err := pv.Write(p, peerIPA, buf); !errors.As(err, &pf) {
+				t.Fatalf("want PeerFault through warm peer view, got %v", err)
+			}
+			faultKind(t, pv.Write(p, peerIPA, buf), hw.FaultUnmapped)
+		}},
+		{"restart-epoch-kills-warm-view", func(t *testing.T, p *sim.Proc, e *tlbRig) {
+			ipa, err := e.s.AllocMem(e.a, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := e.s.NewView(e.a, nil)
+			if err := v.Write(p, ipa, buf); err != nil {
+				t.Fatalf("warm write: %v", err)
+			}
+			e.s.Fail(e.a, FailPanic)
+			e.s.AwaitReady(p, e.a)
+			var down *PartitionDownError
+			if err := v.Write(p, ipa, buf); !errors.As(err, &down) {
+				t.Fatalf("want PartitionDownError through stale view, got %v", err)
+			}
+			// The new incarnation works through a fresh view.
+			ipa2, err := e.s.AllocMem(e.a, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.s.NewView(e.a, nil).Write(p, ipa2, buf); err != nil {
+				t.Fatalf("fresh-view write after restart: %v", err)
+			}
+		}},
+		{"stage1-invalidate-then-restore", func(t *testing.T, p *sim.Proc, e *tlbRig) {
+			ipa, err := e.s.AllocMem(e.a, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s1 := hw.NewAddrSpace("s1:test")
+			const vpn = 0x40
+			s1.Map(vpn, ipa>>hw.PageShift, hw.PermRW)
+			v := e.s.NewView(e.a, s1)
+			va := uint64(vpn << hw.PageShift)
+			if err := v.Write(p, va, buf); err != nil {
+				t.Fatalf("warm write: %v", err)
+			}
+			s1.Invalidate(vpn)
+			faultKind(t, v.Write(p, va, buf), hw.FaultInvalidated)
+			// Restore: re-mapping makes the same view work again.
+			s1.Map(vpn, ipa>>hw.PageShift, hw.PermRW)
+			if err := v.Write(p, va, buf); err != nil {
+				t.Fatalf("write after restore: %v", err)
+			}
+		}},
+		{"stage1-unmap-faults-warm-view", func(t *testing.T, p *sim.Proc, e *tlbRig) {
+			ipa, err := e.s.AllocMem(e.a, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s1 := hw.NewAddrSpace("s1:test")
+			const vpn = 0x40
+			s1.Map(vpn, ipa>>hw.PageShift, hw.PermRW)
+			v := e.s.NewView(e.a, s1)
+			va := uint64(vpn << hw.PageShift)
+			if err := v.Read(p, va, buf); err != nil {
+				t.Fatalf("warm read: %v", err)
+			}
+			s1.Unmap(vpn)
+			faultKind(t, v.Read(p, va, buf), hw.FaultUnmapped)
+		}},
+		{"cached-read-perm-never-satisfies-write", func(t *testing.T, p *sim.Proc, e *tlbRig) {
+			ipa, err := e.s.AllocMem(e.a, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s1 := hw.NewAddrSpace("s1:test")
+			const vpn = 0x40
+			s1.Map(vpn, ipa>>hw.PageShift, hw.PermR)
+			v := e.s.NewView(e.a, s1)
+			va := uint64(vpn << hw.PageShift)
+			if err := v.Read(p, va, buf); err != nil {
+				t.Fatalf("warm read: %v", err)
+			}
+			faultKind(t, v.Write(p, va, buf), hw.FaultPerm)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runTLBCase(t, tc.run)
+		})
+	}
+}
+
+// TestTLBCounters checks the hit/miss/flush accounting: repeated access hits,
+// a table mutation flushes, and the next access misses.
+func TestTLBCounters(t *testing.T) {
+	metrics.Default.Reset()
+	metrics.Default.Enable()
+	defer metrics.Default.Disable()
+	runTLBCase(t, func(t *testing.T, p *sim.Proc, e *tlbRig) {
+		ipa, err := e.s.AllocMem(e.a, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := e.s.NewView(e.a, nil)
+		buf := []byte{1}
+		pre := metrics.Default.Snapshot()
+		if err := v.Write(p, ipa, buf); err != nil {
+			t.Fatal(err)
+		}
+		afterMiss := metrics.Default.Snapshot()
+		if d := afterMiss.CounterDelta(pre, "spm.tlb.misses"); d != 1 {
+			t.Fatalf("first access: want 1 miss, got %d", d)
+		}
+		for i := 0; i < 5; i++ {
+			if err := v.Write(p, ipa, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		afterHits := metrics.Default.Snapshot()
+		if d := afterHits.CounterDelta(afterMiss, "spm.tlb.hits"); d != 5 {
+			t.Fatalf("want 5 hits, got %d", d)
+		}
+		// Any stage-2 mutation flushes on the next access.
+		if _, err := e.s.AllocMem(e.a, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Write(p, ipa, buf); err != nil {
+			t.Fatal(err)
+		}
+		afterFlush := metrics.Default.Snapshot()
+		if d := afterFlush.CounterDelta(afterHits, "spm.tlb.flushes"); d != 1 {
+			t.Fatalf("want 1 flush after stage-2 mutation, got %d", d)
+		}
+		if d := afterFlush.CounterDelta(afterHits, "spm.tlb.misses"); d != 1 {
+			t.Fatalf("want 1 miss after flush, got %d", d)
+		}
+	})
+}

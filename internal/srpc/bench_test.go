@@ -1,0 +1,84 @@
+package srpc_test
+
+import (
+	"testing"
+
+	"cronus/internal/metrics"
+	"cronus/internal/mos/driver"
+	"cronus/internal/sim"
+	"cronus/internal/testrig"
+)
+
+// BenchmarkSRPCSyncCall measures host time per synchronous mECall round trip
+// (push + doorbell wait + result read) on an established stream — the path
+// dominated by the ring-wait mechanics this package optimizes.
+func BenchmarkSRPCSyncCall(b *testing.B) {
+	b.ReportAllocs()
+	err := testrig.Run(testrig.DefaultOptions(), func(rig *testrig.Rig, _ []testrig.ExtraGPU, p *sim.Proc) error {
+		h, err := setup(p, rig)
+		if err != nil {
+			return err
+		}
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		args := driver.EncodeMemAlloc(4096)
+		if _, err := c.Call(p, driver.CallMemAlloc, args); err != nil {
+			return err
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Call(p, driver.CallMemAlloc, args); err != nil {
+				return err
+			}
+		}
+		b.StopTimer()
+		return c.Close(p)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestSyncCallEventBudget is the event-efficiency regression guard: with the
+// doorbell waits in place, a synchronous mECall must cost a bounded number of
+// simulator events regardless of how long the executor takes. The polling
+// implementation this replaced burned ~33 events per call on this workload
+// (two timer events per 480 ns quantum); the doorbell version needs ~8. The
+// bound sits between the two so a regression to per-quantum polling fails.
+func TestSyncCallEventBudget(t *testing.T) {
+	const calls = 100
+	metrics.Default.Reset()
+	metrics.Default.Enable()
+	defer metrics.Default.Disable()
+	err := testrig.Run(testrig.DefaultOptions(), func(rig *testrig.Rig, _ []testrig.ExtraGPU, p *sim.Proc) error {
+		h, err := setup(p, rig)
+		if err != nil {
+			return err
+		}
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		args := driver.EncodeMemAlloc(4096)
+		if _, err := c.Call(p, driver.CallMemAlloc, args); err != nil {
+			return err
+		}
+		pre := metrics.Default.Snapshot()
+		for i := 0; i < calls; i++ {
+			if _, err := c.Call(p, driver.CallMemAlloc, args); err != nil {
+				return err
+			}
+		}
+		post := metrics.Default.Snapshot()
+		perCall := post.CounterDelta(pre, "sim.events.dispatched") / calls
+		if perCall > 16 {
+			t.Errorf("sync call costs %d dispatched events; the doorbell wait should need at most 16", perCall)
+		}
+		return c.Close(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,8 +33,6 @@ type Client struct {
 	costs *sim.CostModel
 }
 
-var nextStreamID uint64
-
 // Connect establishes a stream from the owner enclave to peer eid (§IV-C):
 // ① local attestation of the peer (automatic, verified against want),
 // ② trusted shared memory establishment through the SPM,
@@ -52,8 +50,9 @@ func Connect(p *sim.Proc, owner *mos.Enclave, peerEID uint32, secret []byte, pee
 
 	// ① Local attestation via untrusted memory, MAC-verified through the
 	// SPM's local seal key; binds identity, measurement and co-location.
-	nextStreamID++
-	streamID := nextStreamID
+	// Stream ids come from the transport so independently booted platforms
+	// in one process cannot interleave each other's id sequences.
+	streamID := tr.NextStreamID()
 	track := fmt.Sprintf("stream-%d", streamID)
 	defer trace.Default.Span(p, "srpc", track, "connect")()
 	nonce := streamID*2654435761 + 12345
@@ -253,17 +252,34 @@ func (c *Client) push(p *sim.Proc, name string, args []byte, kind uint32, respCa
 	if slots > c.ring.slots {
 		return fmt.Errorf("srpc: record of %d bytes exceeds ring capacity", body)
 	}
-	// Flow control: wait until the ring has room.
+	// Flow control: wait until the ring has room. Same read grid as the
+	// polling loop it replaced — immediately, then every quantum — with a
+	// doorbell park instead of per-quantum timer events.
+	first := p.Now()
+	var db *doorbell
 	for {
 		sid, err := c.ring.readU64(p, offSid)
 		if err != nil {
+			if db != nil {
+				db.disarm()
+			}
 			return c.fail(err)
 		}
 		if c.rid+slots-sid <= c.ring.slots {
+			if db != nil {
+				db.disarm()
+			}
 			gRingOcc.Set(int64(c.rid + slots - sid))
 			break
 		}
-		p.Sleep(pollQuantum)
+		if db == nil {
+			db = c.ring.armDoorbell(p.Kernel(), [2]uint64{offSid, 8})
+		}
+		if db == nil {
+			p.Sleep(pollQuantum)
+			continue
+		}
+		alignedWait(p, db, first, pollQuantum, p.Now())
 	}
 	rec := wire.NewEncoder().U32(uint32(len(payload))).U32(kind).U32(uint32(slots)).U32(uint32(respCap))
 	full := append(rec.Bytes(), payload...)
@@ -287,10 +303,24 @@ func (c *Client) push(p *sim.Proc, name string, args []byte, kind uint32, respCa
 	return nil
 }
 
+// waitSidPast blocks until the executor advances Sid past target. It models
+// the polling loop it replaced — first read RingPoll after entry, then one
+// read every RingPoll+pollQuantum — but parks on a doorbell between reads
+// instead of scheduling a timer event per quantum; alignedWait restores the
+// grid instant before each re-read, so the observed Sid values, faults, and
+// the return instant are identical to polling.
 func (c *Client) waitSidPast(p *sim.Proc, target uint64) error {
 	defer trace.Default.Span(p, "srpc", c.track, "sync-wait")()
+	first := p.Now() + sim.Time(c.costs.RingPoll)
+	period := c.costs.RingPoll + pollQuantum
+	var db *doorbell
+	defer func() {
+		if db != nil {
+			db.disarm()
+		}
+	}()
+	p.Sleep(c.costs.RingPoll)
 	for {
-		p.Sleep(c.costs.RingPoll)
 		sid, err := c.ring.readU64(p, offSid)
 		if err != nil {
 			return err
@@ -298,7 +328,16 @@ func (c *Client) waitSidPast(p *sim.Proc, target uint64) error {
 		if sid >= target {
 			return nil
 		}
-		p.Sleep(pollQuantum)
+		if db == nil {
+			db = c.ring.armDoorbell(p.Kernel(), [2]uint64{offSid, 8})
+		}
+		if db == nil {
+			// Header word not mapped (teardown in progress): keep the
+			// plain polling cadence; the next read faults.
+			p.Sleep(period)
+			continue
+		}
+		alignedWait(p, db, first, period, p.Now())
 	}
 }
 

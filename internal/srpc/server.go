@@ -26,6 +26,11 @@ type Transport interface {
 	// SpawnExecutor asks the normal world to start the executor thread
 	// for an established stream.
 	SpawnExecutor(p *sim.Proc, eid uint32, streamID uint64) error
+	// NextStreamID mints the next stream id on this platform. Keeping the
+	// counter on the transport (not a package global) means independently
+	// booted platforms in one process each get a deterministic 1,2,3,…
+	// sequence regardless of interleaving.
+	NextStreamID() uint64
 }
 
 // Server is the callee-side sRPC endpoint wrapped around one mEnclave. The
@@ -129,8 +134,23 @@ func (s *Server) RunExecutor(p *sim.Proc, streamID uint64) {
 	defer delete(s.streams, streamID)
 	costs := s.enc.MOS().Costs
 	r := st.ring
+	// Idle stretches poll Rid/Closed on the grid {anchor + k·(RingPoll+
+	// quantum)}; between grid reads the thread parks on a doorbell instead
+	// of burning a timer event per quantum. idleAnchor < 0 means the last
+	// iteration did work, so the next read is RingPoll after it finished —
+	// exactly the replaced loop's cadence.
+	idleAnchor := sim.Time(-1)
+	idlePeriod := costs.RingPoll + pollQuantum
+	var db *doorbell
+	defer func() {
+		if db != nil {
+			db.disarm()
+		}
+	}()
 	for {
-		p.Sleep(costs.RingPoll)
+		if idleAnchor < 0 {
+			p.Sleep(costs.RingPoll)
+		}
 		rid, err := r.readU64(p, offRid)
 		if err != nil {
 			return // peer failed: traps handled, thread exits (no deadlock, A2)
@@ -141,9 +161,20 @@ func (s *Server) RunExecutor(p *sim.Proc, streamID uint64) {
 				delete(s.streams, streamID)
 				return
 			}
-			p.Sleep(pollQuantum)
+			if idleAnchor < 0 {
+				idleAnchor = p.Now()
+			}
+			if db == nil {
+				db = r.armDoorbell(p.Kernel(), [2]uint64{offRid, 8}, [2]uint64{offClosed, 4})
+			}
+			if db == nil {
+				p.Sleep(idlePeriod)
+				continue
+			}
+			alignedWait(p, db, idleAnchor, idlePeriod, p.Now())
 			continue
 		}
+		idleAnchor = -1
 		// Read the record header at sid.
 		hdr, err := r.readSlots(p, st.sid, recHdrSize)
 		if err != nil {

@@ -165,6 +165,60 @@ func slotsFor(n int) uint64 {
 	return uint64((n + SlotSize - 1) / SlotSize)
 }
 
+// doorbell is the event-efficient replacement for ring-header poll loops: a
+// condition wired to physical write-watches on the header words a waiter
+// polls, plus the SPM's isolation-change hook (failure paths tear mappings
+// down without writing the words). Waking is a host-level optimization only —
+// the waiter still performs its reads on the exact virtual-time grid the
+// polling loop would have used (see alignedWait), so simulated results are
+// unchanged; the event queue just carries one wakeup instead of one timer
+// per poll quantum.
+type doorbell struct {
+	cond    *sim.Cond
+	cancels []func()
+}
+
+// armDoorbell watches the given (offset, length) header words. It returns
+// nil when any word is not currently mapped — callers then keep the plain
+// polling loop, whose next read faults or observes the teardown.
+func (r *ring) armDoorbell(k *sim.Kernel, watch ...[2]uint64) *doorbell {
+	db := &doorbell{cond: sim.NewCond(k)}
+	for _, w := range watch {
+		cancel, ok := r.view.WatchWrite(r.base+w[0], w[1], db.cond.Broadcast)
+		if !ok {
+			db.disarm()
+			return nil
+		}
+		db.cancels = append(db.cancels, cancel)
+	}
+	db.cancels = append(db.cancels, r.view.OnIsolationChange(db.cond.Broadcast))
+	return db
+}
+
+func (db *doorbell) disarm() {
+	for _, c := range db.cancels {
+		c()
+	}
+	db.cancels = nil
+}
+
+// alignedWait parks p until the doorbell rings, then sleeps to the next read
+// instant on the polling grid {first + k·period} that is strictly after
+// lastRead — the instant the replaced polling loop would have performed its
+// next read. A wake landing exactly on a grid instant reads immediately
+// (zero sleep): the producer's write is already visible, as it would be to a
+// poll read dispatched after the write at the same instant.
+func alignedWait(p *sim.Proc, db *doorbell, first sim.Time, period sim.Duration, lastRead sim.Time) {
+	db.cond.Wait(p)
+	readAt := sim.NextPollInstant(first, period, p.Now())
+	if readAt <= lastRead {
+		readAt = lastRead + sim.Time(period)
+	}
+	if d := sim.Duration(readAt - p.Now()); d > 0 {
+		p.Sleep(d)
+	}
+}
+
 // dcheckMAC computes the dCheck proof: possession of secret_dhke bound to
 // this stream and challenge, written through the shared region itself.
 func dcheckMAC(secret []byte, streamID, challenge uint64) []byte {
