@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-hotpath examples tools figures attack loc clean
+.PHONY: all build test vet race bench bench-hotpath bench-serve ci examples tools figures attack loc clean
 
 all: build vet test race
 
@@ -33,6 +33,22 @@ bench-hotpath:
 	  $(GO) test -bench 'Figure7Rodinia|Figure8Training|SRPCStreaming' -benchmem -benchtime=1x -run '^$$' . ; } \
 	| $(GO) run ./cmd/cronus-benchjson > BENCH_hotpath.json
 	@echo "wrote BENCH_hotpath.json"
+
+# Serving-plane throughput/latency vs dynamic batch cap, recorded as JSON.
+# The vreq/s and vp50_ns metrics are virtual-time and deterministic; ns/op is
+# host time.
+bench-serve:
+	$(GO) test -bench ServeLoad -benchtime=1x -run '^$$' ./internal/serve \
+	| $(GO) run ./cmd/cronus-benchjson > BENCH_serve.json
+	@echo "wrote BENCH_serve.json"
+
+# Exactly what .github/workflows/ci.yml runs: build, vet, the full test
+# suite, and the race detector over the concurrency-heavy packages.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./... -count=1
+	$(GO) test -race -count=1 ./internal/serve ./internal/srpc ./internal/spm
 
 # Pretty-printed tables for all experiments.
 figures:

@@ -130,6 +130,13 @@ func experimentsList() []experiment {
 			}
 			return experiments.RenderAblationSwitchCost(rows), nil
 		}},
+		{"serve", "Serving plane: batch-cap sweep at fixed offered load", func() (fmt.Stringer, error) {
+			rows, err := experiments.ServeBatchSweep(nil)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderServeBatchSweep(rows), nil
+		}},
 	}
 }
 

@@ -246,6 +246,37 @@ func (h *Histogram) Count() uint64 {
 	return h.count.Load()
 }
 
+// value copies the histogram's current state into its serialized form (the
+// same shape Snapshot produces).
+func (h *Histogram) value() HistValue {
+	hv := HistValue{Count: h.count.Load(), Sum: h.sum.Load()}
+	if hv.Count > 0 {
+		hv.Min = h.min.Load()
+		hv.Max = h.max.Load()
+	}
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := uint64(math.MaxUint64)
+		if i < 64 {
+			le = 1<<uint(i) - 1
+		}
+		hv.Buckets = append(hv.Buckets, HistBucket{Le: le, Count: n})
+	}
+	return hv
+}
+
+// Quantile estimates the q-quantile of the recorded samples (see
+// HistValue.Quantile). A nil or empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.value().Quantile(q)
+}
+
 func (h *Histogram) reset() {
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
@@ -276,6 +307,61 @@ type HistValue struct {
 	Min     int64        `json:"min"`
 	Max     int64        `json:"max"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// bucketLo returns the inclusive lower bound of the bucket whose upper
+// bound is le: buckets hold values by bit length, so bucket [0], [1],
+// [2,3], [4,7], ...
+func bucketLo(le uint64) float64 {
+	if le == 0 {
+		return 0
+	}
+	return float64(le/2 + 1)
+}
+
+// Quantile estimates the q-quantile (q in [0,1], clamped) of the recorded
+// samples: it walks the cumulative bucket counts to the bucket containing
+// the target rank, interpolates linearly inside that bucket's value range,
+// and clamps the estimate to the observed min/max so single-bucket and
+// extreme quantiles stay exact at the boundaries. An empty histogram
+// reports 0.
+func (h HistValue) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := float64(0)
+	clamp := func(v float64) float64 {
+		if v < float64(h.Min) {
+			return float64(h.Min)
+		}
+		if v > float64(h.Max) {
+			return float64(h.Max)
+		}
+		return v
+	}
+	for i, b := range h.Buckets {
+		n := float64(b.Count)
+		if cum+n >= rank || i == len(h.Buckets)-1 {
+			lo, hi := bucketLo(b.Le), float64(b.Le)
+			pos := (rank - cum) / n
+			if pos < 0 {
+				pos = 0
+			}
+			if pos > 1 {
+				pos = 1
+			}
+			return clamp(lo + pos*(hi-lo))
+		}
+		cum += n
+	}
+	return float64(h.Max)
 }
 
 // Mean returns the average sample (0 when empty).
@@ -310,23 +396,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Gauges[name] = GaugeValue{Value: g.v.Load(), Max: g.max.Load()}
 	}
 	for name, h := range r.hists {
-		hv := HistValue{Count: h.count.Load(), Sum: h.sum.Load()}
-		if hv.Count > 0 {
-			hv.Min = h.min.Load()
-			hv.Max = h.max.Load()
-		}
-		for i := 0; i < histBuckets; i++ {
-			n := h.buckets[i].Load()
-			if n == 0 {
-				continue
-			}
-			le := uint64(math.MaxUint64)
-			if i < 64 {
-				le = 1<<uint(i) - 1
-			}
-			hv.Buckets = append(hv.Buckets, HistBucket{Le: le, Count: n})
-		}
-		s.Histograms[name] = hv
+		s.Histograms[name] = h.value()
 	}
 	return s
 }

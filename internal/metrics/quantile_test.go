@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantile is the table-driven Quantile contract: empty
+// histograms report 0, single-bucket histograms clamp to the observed
+// values, multi-bucket histograms interpolate inside the target bucket.
+func TestHistogramQuantile(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []int64
+		q       float64
+		want    float64
+		tol     float64 // absolute tolerance; 0 means exact
+	}{
+		{name: "empty", samples: nil, q: 0.5, want: 0},
+		{name: "empty p99", samples: nil, q: 0.99, want: 0},
+
+		// Single bucket: every estimate must clamp to the only value seen.
+		{name: "single sample p50", samples: []int64{100}, q: 0.5, want: 100},
+		{name: "single sample p0", samples: []int64{100}, q: 0, want: 100},
+		{name: "single sample p100", samples: []int64{100}, q: 1, want: 100},
+		{name: "zero sample", samples: []int64{0}, q: 0.5, want: 0},
+		{
+			name:    "one bucket many samples",
+			samples: []int64{100, 100, 100, 100},
+			q:       0.99,
+			want:    100,
+		},
+
+		// Interpolation: samples spread over distinct buckets; the p50
+		// must land in the middle bucket's range, not at an edge.
+		{
+			// Low bucket is [8,15]; rank 1 of 2 bucket samples -> pos 0.5
+			// -> 8 + 0.5*(15-8) = 11.5 (inside the bucket, above min).
+			name:    "two buckets p25 in low bucket",
+			samples: []int64{10, 10, 1000, 1000},
+			q:       0.25,
+			want:    11.5,
+		},
+		{
+			name:    "two buckets p99 in high bucket",
+			samples: []int64{10, 10, 1000, 1000},
+			q:       0.99,
+			want:    1000, // clamped to max inside the high bucket
+		},
+		{
+			// Bucket for 1000 is [512,1023]; rank 1.5 of 3 falls in it at
+			// pos (1.5-1)/2 = 0.25 -> 512 + 0.25*(1023-512) = 639.75.
+			name:    "interpolated midpoint",
+			samples: []int64{10, 1000, 1000},
+			q:       0.5,
+			want:    639.75,
+			tol:     0.01,
+		},
+		{
+			// q is clamped into [0,1].
+			name: "q below range", samples: []int64{5, 7}, q: -1, want: 5,
+		},
+		{
+			name: "q above range", samples: []int64{5, 7}, q: 2, want: 7,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			r.Enable()
+			h := r.Histogram("q.test_ns")
+			for _, s := range tc.samples {
+				h.Observe(s)
+			}
+			got := h.Quantile(tc.q)
+			if tc.tol == 0 && got != tc.want {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+			if tc.tol > 0 && math.Abs(got-tc.want) > tc.tol {
+				t.Fatalf("Quantile(%v) = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+			}
+		})
+	}
+}
+
+// TestHistogramQuantileMonotone: quantile estimates never decrease in q and
+// always stay inside [min, max].
+func TestHistogramQuantileMonotone(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	h := r.Histogram("mono.test_ns")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 37 % 4096)
+	}
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < Quantile at lower q %v", q, v, prev)
+		}
+		if v < 0 || v > 4095 {
+			t.Fatalf("Quantile(%v) = %v outside observed range", q, v)
+		}
+		prev = v
+	}
+}
+
+// TestNilHistogramQuantile: nil handles are valid no-ops like the rest of
+// the instrument API.
+func TestNilHistogramQuantile(t *testing.T) {
+	var h *Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("nil Quantile = %v, want 0", got)
+	}
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"fmt"
+
+	"cronus/internal/metrics"
+	"cronus/internal/sim"
+)
+
+// OverloadError is the typed shed result of the admission controller: the
+// tenant's bounded queue was full, so the request was refused instead of
+// queueing without limit. Callers distinguish it from execution failures
+// with errors.As.
+type OverloadError struct {
+	Tenant string
+	Cap    int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: tenant %s overloaded (queue cap %d)", e.Tenant, e.Cap)
+}
+
+// queue is one tenant's bounded admission queue. All access happens on
+// simulated procs (the kernel runs one at a time), so no locking is needed;
+// blocking uses the kernel's park/wake primitives.
+type queue struct {
+	k     *sim.Kernel
+	cap   int
+	items []*Request
+	depth *metrics.Gauge
+	cond  *sim.Cond
+	// batching is the dispatcher proc currently holding a batch window
+	// open in an interruptible sleep; a push cuts the sleep short so the
+	// new arrival can join the batch.
+	batching *sim.Proc
+	closed   bool
+}
+
+func newQueue(k *sim.Kernel, capacity int, depth *metrics.Gauge) *queue {
+	return &queue{k: k, cap: capacity, depth: depth, cond: sim.NewCond(k)}
+}
+
+// inSystem counts the tenant's requests currently inside the plane:
+// queued, held by the dispatcher's open batch window, or outstanding on
+// replicas. The admission bound applies to this total — a fast dispatcher
+// moving requests onto replica queues must not defeat the cap.
+func (t *tenant) inSystem() int {
+	n := len(t.q.items) + t.held
+	for _, rep := range t.reps {
+		n += rep.outstanding
+	}
+	return n
+}
+
+// push appends an admitted request and wakes the dispatcher.
+func (q *queue) push(r *Request) {
+	q.items = append(q.items, r)
+	q.depth.Set(int64(len(q.items)))
+	q.cond.Broadcast()
+	if q.batching != nil {
+		q.k.Interrupt(q.batching)
+	}
+}
+
+// pushFront re-enqueues replayed requests at the head, preserving their
+// original order ahead of newer arrivals. Replays bypass the admission cap:
+// the requests were already admitted once.
+func (q *queue) pushFront(rs []*Request) {
+	q.items = append(append(make([]*Request, 0, len(rs)+len(q.items)), rs...), q.items...)
+	q.depth.Set(int64(len(q.items)))
+	q.cond.Broadcast()
+	if q.batching != nil {
+		q.k.Interrupt(q.batching)
+	}
+}
+
+// waitFirst blocks until a request is available and pops it. ok is false
+// once the queue is closed and drained.
+func (q *queue) waitFirst(p *sim.Proc) (*Request, bool) {
+	for {
+		if len(q.items) > 0 {
+			return q.pop(), true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait(p)
+	}
+}
+
+// popMatching pops the head request only if it belongs to cl — batches stay
+// FIFO and single-class.
+func (q *queue) popMatching(cl *workClass) *Request {
+	if len(q.items) == 0 || q.items[0].class != cl {
+		return nil
+	}
+	return q.pop()
+}
+
+func (q *queue) pop() *Request {
+	r := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	q.depth.Set(int64(len(q.items)))
+	return r
+}
+
+func (q *queue) close() {
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// submit runs the admission decision for one offered request: shed with a
+// typed *OverloadError when the tenant's queue is at capacity, otherwise
+// assign an id, record arrival time, and enqueue. withSignal attaches a
+// completion signal for closed-loop callers.
+func (srv *Server) submit(p *sim.Proc, t *tenant, cl *workClass, withSignal bool) (*Request, error) {
+	t.offered++
+	if t.inSystem() >= t.q.cap {
+		t.shed++
+		return nil, &OverloadError{Tenant: t.spec.Name, Cap: t.q.cap}
+	}
+	srv.nextID++
+	r := &Request{
+		ID:      srv.nextID,
+		Tenant:  t.spec.Name,
+		Class:   cl.spec.Name,
+		Arrived: p.Now(),
+		class:   cl,
+	}
+	if withSignal {
+		r.done = sim.NewSignal(srv.pl.K)
+	}
+	t.admitted++
+	srv.admittedTotal++
+	if srv.cfg.KeepRequests {
+		srv.requests = append(srv.requests, r)
+	}
+	t.q.push(r)
+	return r, nil
+}

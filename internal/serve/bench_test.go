@@ -1,0 +1,52 @@
+package serve_test
+
+import (
+	"testing"
+
+	"cronus/internal/serve"
+	"cronus/internal/sim"
+	"cronus/internal/tvm"
+)
+
+// benchConfig is the saturation load used for BENCH_serve.json: one tenant
+// offering more than an unbatched replica can serve, swept over batch caps.
+func benchConfig(maxBatch int) serve.Config {
+	return serve.Config{
+		Seed:          17,
+		Window:        20 * sim.Millisecond,
+		Policy:        serve.RoundRobin,
+		MaxBatch:      maxBatch,
+		BatchWindow:   40 * sim.Microsecond,
+		GPUPartitions: 1,
+		GPUFlopsPerNs: 400,
+		Tenants: []serve.TenantSpec{
+			{
+				Name: "load", Arrival: serve.FixedRate, Rate: 90000, QueueCap: 64,
+				Mix: []serve.WorkClass{{Name: "resnet50", Graph: tvm.ResNet50()}},
+			},
+		},
+	}
+}
+
+// benchServe runs the serving plane and reports virtual-time throughput and
+// latency as custom metrics; ns/op is host time and machine-dependent, the
+// vreq/s and vp50_ns metrics are deterministic.
+func benchServe(b *testing.B, maxBatch int) {
+	b.Helper()
+	var last *serve.Result
+	for i := 0; i < b.N; i++ {
+		res, err := serve.Run(benchConfig(maxBatch))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	tr := last.Tenants[0]
+	b.ReportMetric(tr.GoodputRPS, "vreq/s")
+	b.ReportMetric(tr.P50NS, "vp50_ns")
+	b.ReportMetric(last.AvgBatch(), "vbatch")
+}
+
+func BenchmarkServeLoadBatch1(b *testing.B) { benchServe(b, 1) }
+func BenchmarkServeLoadBatch4(b *testing.B) { benchServe(b, 4) }
+func BenchmarkServeLoadBatch8(b *testing.B) { benchServe(b, 8) }

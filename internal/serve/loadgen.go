@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cronus/internal/sim"
+)
+
+// This file is the serving plane's load generator: per-tenant arrival
+// processes driven by seeded math/rand streams. Every stream's seed is a
+// pure function of Config.Seed and the tenant (and client) index, and every
+// decision consumes the stream in a fixed order, so identical configs
+// produce identical arrival timelines — the determinism contract the
+// byte-identical-run acceptance test checks.
+
+// tenantSeed derives the RNG seed for one tenant's arrival stream.
+func tenantSeed(base int64, ti, client int) int64 {
+	return base + int64(ti)*1_000_003 + int64(client)*7919
+}
+
+// pickClass samples the tenant's workload mix by cumulative weight.
+func (t *tenant) pickClass(rng *rand.Rand) *workClass {
+	total := t.classes[len(t.classes)-1].cum
+	u := rng.Float64() * total
+	for _, cl := range t.classes {
+		if u < cl.cum {
+			return cl
+		}
+	}
+	return t.classes[len(t.classes)-1]
+}
+
+// startLoad spawns the arrival processes for every tenant. Open-loop
+// tenants get one generator proc; closed-loop tenants get one proc per
+// client. Generation stops at srv.endAt; in-flight requests drain after.
+func (srv *Server) startLoad() {
+	k := srv.pl.K
+	for _, t := range srv.tenants {
+		t := t
+		switch t.spec.Arrival {
+		case ClosedLoop:
+			n := t.spec.Clients
+			if n < 1 {
+				n = 1
+			}
+			for ci := 0; ci < n; ci++ {
+				ci := ci
+				k.Spawn(fmt.Sprintf("serve-load-%s-c%d", t.spec.Name, ci), func(p *sim.Proc) {
+					srv.closedLoopClient(p, t, ci)
+				})
+			}
+		default:
+			k.Spawn("serve-load-"+t.spec.Name, func(p *sim.Proc) {
+				srv.openLoop(p, t)
+			})
+		}
+	}
+}
+
+// openLoop submits requests on a Poisson or fixed-rate schedule. Rates at
+// or below zero generate nothing. Shed requests are dropped on the floor —
+// an open-loop source does not retry (that is what the shed-rate metric
+// measures).
+func (srv *Server) openLoop(p *sim.Proc, t *tenant) {
+	rate := t.spec.Rate
+	if rate <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(tenantSeed(srv.cfg.Seed, t.idx, 0)))
+	for {
+		var gap sim.Duration
+		if t.spec.Arrival == FixedRate {
+			gap = sim.Duration(1e9 / rate)
+		} else {
+			gap = sim.Duration(rng.ExpFloat64() / rate * 1e9)
+		}
+		if gap < 1 {
+			gap = 1
+		}
+		p.Sleep(gap)
+		if p.Now() >= srv.endAt {
+			return
+		}
+		_, _ = srv.submit(p, t, t.pickClass(rng), false)
+	}
+}
+
+// closedLoopClient is one synchronous caller: submit, wait for completion,
+// think, repeat. A shed response counts as an instant (failed) reply, so an
+// overloaded closed-loop tenant spins against the admission controller at
+// think-time rate rather than queueing unboundedly.
+func (srv *Server) closedLoopClient(p *sim.Proc, t *tenant, ci int) {
+	rng := rand.New(rand.NewSource(tenantSeed(srv.cfg.Seed, t.idx, ci+1)))
+	think := t.spec.Think
+	if think <= 0 {
+		think = 100 * sim.Microsecond
+	}
+	for p.Now() < srv.endAt {
+		r, err := srv.submit(p, t, t.pickClass(rng), true)
+		if err == nil {
+			r.done.Wait(p)
+		}
+		p.Sleep(think)
+	}
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"cronus/internal/core"
+	"cronus/internal/gpu"
+	"cronus/internal/sim"
+	"cronus/internal/srpc"
+)
+
+// replica is one (tenant, partition) serving endpoint: a CUDA mEnclave on
+// the partition, owned by the tenant's session, with a worker proc that
+// executes placed batches in order. When the partition proceed-traps, the
+// worker requeues everything it held (in-flight batch first, then pending,
+// preserving FIFO order), waits out the SPM recovery, and reconnects with a
+// fresh enclave in the partition's new epoch — the failover-aware retry
+// layer of the plane.
+type replica struct {
+	srv      *Server
+	t        *tenant
+	partIdx  int
+	partName string
+
+	cubin    []byte
+	inCap    int
+	smDemand uint64
+
+	conn   *core.CUDAConn
+	outPtr uint64
+	inPtr  uint64
+	gen    int // enclave incarnation, bumped per reconnect for unique names
+
+	pending     []*batch
+	outstanding int
+	down        bool
+	cond        *sim.Cond
+}
+
+func newReplica(p *sim.Proc, srv *Server, t *tenant, pi int, smDemand uint64) (*replica, error) {
+	kernels := []string{serveKernel}
+	seen := map[string]bool{serveKernel: true}
+	maxIn := 4
+	for _, cl := range t.classes {
+		if cl.spec.Bench != nil {
+			for _, kn := range cl.spec.Bench.Kernels {
+				if !seen[kn] {
+					seen[kn] = true
+					kernels = append(kernels, kn)
+				}
+			}
+			continue
+		}
+		if cl.inBytes > maxIn {
+			maxIn = cl.inBytes
+		}
+	}
+	rep := &replica{
+		srv:      srv,
+		t:        t,
+		partIdx:  pi,
+		partName: fmt.Sprintf("gpu-part%d", pi),
+		cubin:    gpu.BuildCubin(kernels...),
+		inCap:    maxIn * srv.cfg.MaxBatch,
+		smDemand: smDemand,
+		cond:     sim.NewCond(srv.pl.K),
+	}
+	if err := rep.connect(p); err != nil {
+		return nil, err
+	}
+	srv.pl.K.Spawn(fmt.Sprintf("serve-worker-%s-p%d", t.spec.Name, pi), rep.run)
+	return rep, nil
+}
+
+// connect creates a fresh CUDA mEnclave on the replica's partition and
+// allocates its staging buffers. Each incarnation gets a unique enclave
+// name so post-failover attestation manifests stay distinguishable.
+func (rep *replica) connect(p *sim.Proc) error {
+	rep.gen++
+	conn, err := rep.t.sess.OpenCUDA(p, core.CUDAOptions{
+		Cubin:     rep.cubin,
+		Partition: rep.partName,
+		Name:      fmt.Sprintf("%s/r%d.%d", rep.t.spec.Name, rep.partIdx, rep.gen),
+	})
+	if err != nil {
+		return err
+	}
+	out, err := conn.MemAlloc(p, 4)
+	if err != nil {
+		_ = conn.Close(p)
+		return err
+	}
+	in, err := conn.MemAlloc(p, uint64(rep.inCap))
+	if err != nil {
+		_ = conn.Close(p)
+		return err
+	}
+	rep.conn, rep.outPtr, rep.inPtr = conn, out, in
+	return nil
+}
+
+// enqueue places a batch on the replica (called by the dispatcher).
+func (rep *replica) enqueue(b *batch) {
+	rep.pending = append(rep.pending, b)
+	rep.outstanding += len(b.reqs)
+	rep.cond.Broadcast()
+}
+
+// run is the worker body: execute pending batches in order; on peer failure
+// requeue and reconnect.
+func (rep *replica) run(p *sim.Proc) {
+	for {
+		if rep.down {
+			rep.failover(p)
+			continue
+		}
+		if len(rep.pending) == 0 {
+			rep.cond.Wait(p)
+			continue
+		}
+		b := rep.pending[0]
+		rep.pending[0] = nil
+		rep.pending = rep.pending[1:]
+		err := rep.exec(p, b)
+		if err != nil && errors.Is(err, srpc.ErrPeerFailed) {
+			// The partition proceed-trapped under us. Requeue the
+			// in-flight batch and everything behind it, oldest first, and
+			// enter failover. Nothing completes here, so nothing is lost;
+			// nothing completed earlier is requeued, so nothing
+			// duplicates.
+			rep.down = true
+			rs := append([]*Request{}, b.reqs...)
+			for _, pb := range rep.pending {
+				rs = append(rs, pb.reqs...)
+			}
+			rep.pending = nil
+			rep.requeue(rs)
+			continue
+		}
+		rep.outstanding -= len(b.reqs)
+		for _, r := range b.reqs {
+			rep.srv.complete(p, rep.t, r, err)
+		}
+	}
+}
+
+// requeue sends held requests back through the tenant queue (at the front,
+// bypassing admission: they were admitted once already) for re-placement on
+// a live replica.
+func (rep *replica) requeue(rs []*Request) {
+	rep.outstanding -= len(rs)
+	for _, r := range rs {
+		r.Replays++
+		rep.t.replayed++
+	}
+	rep.t.q.pushFront(rs)
+}
+
+// failover drains anything still held, waits for the SPM to finish the
+// partition's proceed-trap recovery, and reconnects. The retry loop covers
+// a partition that fails again while we reconnect.
+func (rep *replica) failover(p *sim.Proc) {
+	if len(rep.pending) > 0 {
+		var rs []*Request
+		for _, b := range rep.pending {
+			rs = append(rs, b.reqs...)
+		}
+		rep.pending = nil
+		rep.requeue(rs)
+	}
+	rep.srv.pl.SPM.AwaitReady(p, rep.srv.pl.GPUs[rep.partIdx].Part)
+	// Driver re-probe settle time before the session re-creates enclaves.
+	p.Sleep(500 * sim.Microsecond)
+	for {
+		if err := rep.connect(p); err == nil {
+			break
+		}
+		p.Sleep(sim.Millisecond)
+	}
+	rep.down = false
+}
+
+// exec runs one batch on the device. Inference batches upload the combined
+// input and launch the serve kernel once with the batch's total work —
+// per-launch dispatch, world switches and sRPC round trips are paid once
+// per batch instead of once per request. General-compute batches run the
+// full rodinia pass (always a single request).
+func (rep *replica) exec(p *sim.Proc, b *batch) error {
+	cl := b.class
+	if cl.spec.Bench != nil {
+		return cl.spec.Bench.Run(p, rep.conn)
+	}
+	n := len(b.reqs)
+	in := make([]byte, cl.inBytes*n)
+	if err := rep.conn.HtoD(p, rep.inPtr, in); err != nil {
+		return err
+	}
+	work := uint64(cl.itemNS) * uint64(n)
+	if err := rep.conn.Launch(p, serveKernel, gpu.Dim{n, 1, 1},
+		rep.outPtr, uint64(n), work, rep.smDemand); err != nil {
+		return err
+	}
+	return rep.conn.Sync(p)
+}

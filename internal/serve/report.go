@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"cronus/internal/sim"
+)
+
+// TenantResult is one tenant's per-run SLO accounting.
+type TenantResult struct {
+	Name string
+
+	Offered    uint64
+	Admitted   uint64
+	Shed       uint64
+	Completed  uint64
+	Failed     uint64
+	Replayed   uint64 // failover replays (requeue events, summed over requests)
+	Duplicates uint64 // duplicate completions observed (must stay 0)
+
+	// Latency quantiles over completed requests, virtual nanoseconds.
+	P50NS  float64
+	P95NS  float64
+	P99NS  float64
+	MeanNS float64
+
+	// GoodputRPS is completed requests per virtual second of load window.
+	GoodputRPS float64
+	// ShedRate is shed/offered (0 when nothing was offered).
+	ShedRate float64
+}
+
+// FailureSummary is one partition failure observed during the run.
+// Recovered is false when the run drained before the partition's mOS
+// restart completed (replays were absorbed by surviving replicas).
+type FailureSummary struct {
+	Partition  string
+	FailedAt   sim.Time
+	Recovered  bool
+	DowntimeNS sim.Duration
+}
+
+// Result is the outcome of one serving-plane run. All fields derive from
+// virtual time and seeded RNG streams, so Report() is byte-identical across
+// runs of the same Config.
+type Result struct {
+	Seed     int64
+	Policy   Policy
+	MaxBatch int
+	Window   sim.Duration
+
+	Tenants []TenantResult
+
+	Batches   uint64
+	BatchReqs uint64
+
+	Failures []FailureSummary
+
+	// Requests is the per-request record (set when Config.KeepRequests).
+	Requests []*Request
+
+	// DrainedAt is the virtual time the last admitted request completed.
+	DrainedAt sim.Time
+}
+
+// AvgBatch is the mean requests per placed batch.
+func (r *Result) AvgBatch() float64 {
+	if r.Batches == 0 {
+		return 0
+	}
+	return float64(r.BatchReqs) / float64(r.Batches)
+}
+
+// Tenant returns the named tenant's result row.
+func (r *Result) Tenant(name string) *TenantResult {
+	for i := range r.Tenants {
+		if r.Tenants[i].Name == name {
+			return &r.Tenants[i]
+		}
+	}
+	return nil
+}
+
+// Report renders the run as a deterministic text table.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serving plane: seed=%d policy=%s max-batch=%d window=%s avg-batch=%.2f\n",
+		r.Seed, r.Policy, r.MaxBatch, r.Window, r.AvgBatch())
+	fmt.Fprintf(&b, "%-12s %8s %8s %6s %9s %6s %7s %5s %10s %10s %10s %9s %6s\n",
+		"tenant", "offered", "admitted", "shed", "completed", "failed", "replays", "dups",
+		"p50", "p95", "p99", "goodput/s", "shed%")
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&b, "%-12s %8d %8d %6d %9d %6d %7d %5d %10s %10s %10s %9.0f %5.1f%%\n",
+			t.Name, t.Offered, t.Admitted, t.Shed, t.Completed, t.Failed, t.Replayed, t.Duplicates,
+			fmtQ(t.P50NS), fmtQ(t.P95NS), fmtQ(t.P99NS), t.GoodputRPS, t.ShedRate*100)
+	}
+	for _, f := range r.Failures {
+		if f.Recovered {
+			fmt.Fprintf(&b, "failover: %s failed at %s, down %s\n",
+				f.Partition, sim.Duration(f.FailedAt), f.DowntimeNS)
+		} else {
+			fmt.Fprintf(&b, "failover: %s failed at %s, still recovering when the run drained\n",
+				f.Partition, sim.Duration(f.FailedAt))
+		}
+	}
+	return b.String()
+}
+
+func fmtQ(ns float64) string { return sim.Duration(ns).String() }
+
+// result assembles the Result after the drain completes.
+func (srv *Server) result() *Result {
+	res := &Result{
+		Seed:      srv.cfg.Seed,
+		Policy:    srv.cfg.Policy,
+		MaxBatch:  srv.cfg.MaxBatch,
+		Window:    srv.cfg.Window,
+		Batches:   srv.batches,
+		BatchReqs: srv.batchReqs,
+		DrainedAt: srv.pl.K.Now(),
+		Requests:  srv.requests,
+	}
+	winSec := float64(srv.cfg.Window) / 1e9
+	for _, t := range srv.tenants {
+		tr := TenantResult{
+			Name:       t.spec.Name,
+			Offered:    t.offered,
+			Admitted:   t.admitted,
+			Shed:       t.shed,
+			Completed:  t.completed,
+			Failed:     t.failed,
+			Replayed:   t.replayed,
+			Duplicates: t.duplicates,
+			P50NS:      t.latHist.Quantile(0.50),
+			P95NS:      t.latHist.Quantile(0.95),
+			P99NS:      t.latHist.Quantile(0.99),
+		}
+		if n := t.latHist.Count(); n > 0 {
+			tr.MeanNS = float64(srv.latSum(t)) / float64(n)
+		}
+		if winSec > 0 {
+			tr.GoodputRPS = float64(t.completed) / winSec
+		}
+		if t.offered > 0 {
+			tr.ShedRate = float64(t.shed) / float64(t.offered)
+		}
+		res.Tenants = append(res.Tenants, tr)
+	}
+	for _, rec := range srv.failures {
+		fs := FailureSummary{Partition: rec.Partition, FailedAt: rec.FailedAt}
+		if rec.ReadyAt > 0 {
+			fs.Recovered = true
+			fs.DowntimeNS = rec.Downtime()
+		}
+		res.Failures = append(res.Failures, fs)
+	}
+	return res
+}
+
+// latSum reads the tenant's total completed latency from the histogram
+// snapshot (the histogram keeps the exact sum).
+func (srv *Server) latSum(t *tenant) int64 {
+	snap := srv.reg.Snapshot()
+	return snap.Histograms["serve.tenant."+t.spec.Name+".latency_ns"].Sum
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+
+	"cronus/internal/core"
+	"cronus/internal/sim"
+	"cronus/internal/spm"
+)
+
+// Serve runs the configured load against the booted plane: spawn workers
+// are already live (New started them); this starts dispatchers, the load
+// generators and the optional failure injector, sleeps out the load window,
+// then drains — it returns only after every admitted request has completed,
+// so a Result never has requests unaccounted for.
+func (srv *Server) Serve(p *sim.Proc) (*Result, error) {
+	srv.endAt = p.Now() + sim.Time(srv.cfg.Window)
+	srv.startDispatchers()
+	srv.startLoad()
+	if srv.cfg.FailAt > 0 {
+		srv.startFailInjector()
+	}
+	p.Sleep(srv.cfg.Window)
+	for srv.completedTotal < srv.admittedTotal {
+		srv.drainCond.Wait(p)
+	}
+	srv.cancelFail()
+	return srv.result(), nil
+}
+
+// startFailInjector arms the single mid-run FailPanic the config asked for:
+// at FailAt, the named GPU partition (default gpu-part0) proceed-traps as
+// if its mOS hit an unhandled fault.
+func (srv *Server) startFailInjector() {
+	srv.pl.K.Spawn("serve-fail-injector", func(p *sim.Proc) {
+		p.Sleep(srv.cfg.FailAt)
+		name := srv.cfg.FailPartition
+		if name == "" {
+			name = "gpu-part0"
+		}
+		for _, g := range srv.pl.GPUs {
+			if g.Part.Name == name {
+				srv.pl.SPM.Fail(g.Part, spm.FailPanic)
+				return
+			}
+		}
+	})
+}
+
+// Run boots a fresh platform sized for cfg, serves the configured load, and
+// returns the drained Result — the one-call entry point used by
+// cmd/cronus-serve, the ServeTable experiment and the tests.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	pcfg := core.DefaultConfig()
+	pcfg.GPUs = cfg.GPUPartitions
+	pcfg.NPUs = 0 // the serving pool is GPU-backed; skip NPU boot time
+	pcfg.MPS = true
+	var res *Result
+	err := core.Run(pcfg, func(pl *core.Platform, p *sim.Proc) error {
+		srv, err := New(p, pl, cfg)
+		if err != nil {
+			return err
+		}
+		r, err := srv.Serve(p)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return res, nil
+}

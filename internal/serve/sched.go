@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"fmt"
+
+	"cronus/internal/sim"
+)
+
+// This file is the scheduler: one dispatcher proc per tenant pulls admitted
+// requests, forms dynamic batches, and places them on replicas under the
+// configured policy.
+
+// batch is one placement unit: same tenant, same work class, FIFO order.
+type batch struct {
+	class *workClass
+	reqs  []*Request
+}
+
+// startDispatchers spawns the per-tenant dispatcher procs.
+func (srv *Server) startDispatchers() {
+	for _, t := range srv.tenants {
+		t := t
+		srv.pl.K.Spawn("serve-dispatch-"+t.spec.Name, func(p *sim.Proc) {
+			srv.dispatch(p, t)
+		})
+	}
+}
+
+// dispatch is the dispatcher body: pop the queue head, hold a batch window
+// open for more same-class arrivals (dynamic batching), then place the
+// batch. The window closes at MaxBatch requests or BatchWindow after the
+// first request, whichever comes first; general-compute (rodinia) classes
+// are unbatchable and always ship alone.
+func (srv *Server) dispatch(p *sim.Proc, t *tenant) {
+	for {
+		first, ok := t.q.waitFirst(p)
+		if !ok {
+			return
+		}
+		b := &batch{class: first.class, reqs: []*Request{first}}
+		t.held = 1
+		if first.class.spec.Graph != nil && srv.cfg.MaxBatch > 1 {
+			deadline := p.Now() + sim.Time(srv.cfg.BatchWindow)
+			for len(b.reqs) < srv.cfg.MaxBatch {
+				if next := t.q.popMatching(b.class); next != nil {
+					b.reqs = append(b.reqs, next)
+					t.held++
+					continue
+				}
+				// Head is a different class (close the batch so FIFO order
+				// holds) or the queue is empty (wait out the window).
+				if len(t.q.items) > 0 {
+					break
+				}
+				remaining := sim.Duration(deadline - p.Now())
+				if remaining <= 0 {
+					break
+				}
+				t.q.batching = p
+				interrupted := p.SleepInterruptible(remaining)
+				t.q.batching = nil
+				if !interrupted {
+					break
+				}
+			}
+		}
+		rep := srv.place(p, t, b)
+		rep.enqueue(b)
+		t.held = 0
+	}
+}
+
+// place picks a replica for the batch under the configured policy, waiting
+// out total outages (every replica down, e.g. mid-failover on a one-
+// partition pool) by polling: the batch is already popped, so it must land
+// somewhere.
+func (srv *Server) place(p *sim.Proc, t *tenant, b *batch) *replica {
+	for {
+		if rep := srv.pick(t); rep != nil {
+			srv.batches++
+			srv.batchReqs += uint64(len(b.reqs))
+			return rep
+		}
+		p.Sleep(100 * sim.Microsecond)
+	}
+}
+
+// pick applies the placement policy over the tenant's live replicas.
+func (srv *Server) pick(t *tenant) *replica {
+	switch srv.cfg.Policy {
+	case DeviceAffinity:
+		rep := t.reps[t.idx%len(t.reps)]
+		if rep.down {
+			return nil
+		}
+		return rep
+	case RoundRobin:
+		for i := 0; i < len(t.reps); i++ {
+			rep := t.reps[t.rrNext%len(t.reps)]
+			t.rrNext++
+			if !rep.down {
+				return rep
+			}
+		}
+		return nil
+	case LeastOutstanding:
+		var best *replica
+		for _, rep := range t.reps {
+			if rep.down {
+				continue
+			}
+			if best == nil || rep.outstanding < best.outstanding {
+				best = rep
+			}
+		}
+		return best
+	default:
+		panic(fmt.Sprintf("serve: unknown policy %q", srv.cfg.Policy))
+	}
+}

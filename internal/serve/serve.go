@@ -1,0 +1,380 @@
+// Package serve is CRONUS's multi-tenant serving plane: the policy layer
+// that sits above internal/core sessions and turns the simulated platform
+// into an inference server shared by mutually-distrusting tenants (the
+// paper's multi-tenant sharing scenario, §VI-E, scaled toward the ROADMAP's
+// "heavy traffic" north star).
+//
+// The plane has four parts:
+//
+//   - a load generator (loadgen.go): seeded, deterministic open-loop
+//     (Poisson or fixed-rate) and closed-loop arrival processes per tenant,
+//     with per-tenant workload mixes drawn from the repo's workload
+//     packages (tvm inference graphs, rodinia general-compute passes);
+//   - an admission controller (admission.go): one bounded FIFO queue per
+//     tenant; requests beyond the bound are shed with a typed
+//     *OverloadError so callers see backpressure instead of unbounded
+//     queueing;
+//   - a scheduler (sched.go): per-tenant dispatchers that form dynamic
+//     batches (up to MaxBatch requests or BatchWindow of virtual time,
+//     whichever first — amortizing sRPC and world-switch costs the way
+//     Fig. 8 amortizes streaming) and place them onto a pool of accelerator
+//     mEnclave replicas under a pluggable policy (round-robin,
+//     least-outstanding, device-affinity);
+//   - a failover-aware retry layer (replica.go): replicas subscribe to SPM
+//     failure records, requests in flight on a proceed-trapped partition
+//     are replayed exactly once after the mOS restarts, and survivors on
+//     other partitions are untouched.
+//
+// Tenant isolation is preserved end to end: every tenant owns its session
+// (CPU mEnclave) and its own accelerator mEnclaves on each pooled
+// partition; batches never mix tenants, only a tenant's own requests.
+//
+// Determinism contract: all decisions are functions of virtual time and
+// per-tenant seeded RNG streams, so a Run with a fixed Config is
+// byte-identical across invocations — reports, metrics snapshots and
+// per-request records included.
+package serve
+
+import (
+	"fmt"
+
+	"cronus/internal/core"
+	"cronus/internal/gpu"
+	"cronus/internal/metrics"
+	"cronus/internal/sim"
+	"cronus/internal/spm"
+	"cronus/internal/tvm"
+	"cronus/internal/workload/rodinia"
+)
+
+// Policy selects how a tenant's batches are placed onto its replicas.
+type Policy string
+
+const (
+	// RoundRobin cycles through the tenant's live replicas.
+	RoundRobin Policy = "round-robin"
+	// LeastOutstanding picks the live replica with the fewest queued or
+	// executing requests (ties: lowest partition index).
+	LeastOutstanding Policy = "least-outstanding"
+	// DeviceAffinity pins each tenant to one partition (tenant index mod
+	// pool size): no cross-tenant sharing of a device, at the price of no
+	// load spreading.
+	DeviceAffinity Policy = "device-affinity"
+)
+
+// ArrivalKind selects a tenant's arrival process.
+type ArrivalKind string
+
+const (
+	// Poisson is an open-loop process with exponential inter-arrivals.
+	Poisson ArrivalKind = "poisson"
+	// FixedRate is an open-loop process with constant inter-arrivals.
+	FixedRate ArrivalKind = "fixed"
+	// ClosedLoop models Clients synchronous callers with think time.
+	ClosedLoop ArrivalKind = "closed-loop"
+)
+
+// WorkClass is one entry of a tenant's workload mix.
+type WorkClass struct {
+	Name   string
+	Weight float64
+	// Graph makes this a batchable DNN inference class: per-item device
+	// time is derived from the graph's FLOPs at the serving rate.
+	Graph *tvm.Graph
+	// Bench makes this an unbatchable general-compute class: one full
+	// rodinia benchmark pass per request (forced batch size 1).
+	Bench *rodinia.Benchmark
+	// InBytes is the per-request input upload for inference classes
+	// (default 1024).
+	InBytes int
+}
+
+// TenantSpec describes one tenant's traffic.
+type TenantSpec struct {
+	Name    string
+	Arrival ArrivalKind
+	// Rate is the open-loop offered load in requests per virtual second.
+	Rate float64
+	// Clients and Think shape the closed-loop process.
+	Clients int
+	Think   sim.Duration
+	// QueueCap bounds the admission queue (default 64).
+	QueueCap int
+	Mix      []WorkClass
+}
+
+// Config sizes one serving-plane run.
+type Config struct {
+	Seed   int64
+	Window sim.Duration // load-generation window (drain runs past it)
+	Policy Policy
+
+	// MaxBatch and BatchWindow control dynamic batching: a batch closes at
+	// MaxBatch requests or BatchWindow after its first request, whichever
+	// comes first. MaxBatch 1 disables batching.
+	MaxBatch    int
+	BatchWindow sim.Duration
+
+	Tenants []TenantSpec
+
+	// GPUPartitions sizes the replica pool: each tenant gets one
+	// accelerator mEnclave per partition.
+	GPUPartitions int
+
+	// FailAt / FailPartition inject one FailPanic proceed-trap mid-run
+	// (0 = none), exercising the failover-aware retry layer.
+	FailAt        sim.Duration
+	FailPartition string
+
+	// KeepRequests retains a per-request record in the Result (tests, and
+	// the zero-lost/zero-duplicated accounting of cronus-serve).
+	KeepRequests bool
+
+	// GPUFlopsPerNs calibrates inference service time (default 40 — an
+	// order of magnitude above the CPU fallback rate).
+	GPUFlopsPerNs float64
+	// SMShare is the SM fraction one batch kernel occupies (default 0.5,
+	// so two tenants share a device spatially under MPS).
+	SMShare float64
+}
+
+func (c *Config) defaults() {
+	if c.Window <= 0 {
+		c.Window = 100 * sim.Millisecond
+	}
+	if c.Policy == "" {
+		c.Policy = LeastOutstanding
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 1
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 50 * sim.Microsecond
+	}
+	if c.GPUPartitions < 1 {
+		c.GPUPartitions = 1
+	}
+	if c.GPUFlopsPerNs <= 0 {
+		c.GPUFlopsPerNs = 40
+	}
+	if c.SMShare <= 0 {
+		c.SMShare = 0.5
+	}
+}
+
+// Request is one admitted unit of tenant work.
+type Request struct {
+	ID      uint64
+	Tenant  string
+	Class   string
+	Arrived sim.Time
+	Done    sim.Time
+	Err     error
+	// Replays counts failover replays (0 for requests never caught by a
+	// partition failure).
+	Replays int
+
+	class       *workClass
+	done        *sim.Signal
+	completions int
+}
+
+// Latency is the admitted-to-completed virtual time.
+func (r *Request) Latency() sim.Duration { return sim.Duration(r.Done - r.Arrived) }
+
+// workClass is a resolved mix entry with precomputed costs.
+type workClass struct {
+	spec    WorkClass
+	itemNS  sim.Duration // per-item device work (inference classes)
+	inBytes int
+	cum     float64 // cumulative sampling weight
+}
+
+// tenant is the runtime state of one TenantSpec.
+type tenant struct {
+	spec    TenantSpec
+	idx     int
+	classes []*workClass
+	sess    *core.Session
+	q       *queue
+	reps    []*replica
+	rrNext  int
+	// held counts requests popped into the dispatcher's open batch window
+	// (out of the queue, not yet on a replica).
+	held int
+
+	latHist *metrics.Histogram
+
+	offered, admitted, shed uint64
+	completed, failed       uint64
+	replayed, duplicates    uint64
+}
+
+// Server is one booted serving plane.
+type Server struct {
+	pl  *core.Platform
+	cfg Config
+	reg *metrics.Registry
+
+	tenants []*tenant
+	nextID  uint64
+
+	endAt sim.Time // load-generation deadline
+
+	admittedTotal  uint64
+	completedTotal uint64
+	drainCond      *sim.Cond
+
+	batches   uint64
+	batchReqs uint64
+
+	failures   []*spm.FailureRecord
+	cancelFail func()
+
+	requests []*Request // retained when cfg.KeepRequests
+}
+
+// serveKernel is the batchable inference kernel: its cost is carried in the
+// launch arguments (total batch work in ns, SM demand), so one registration
+// serves every class and calibration.
+const serveKernel = "serve_infer"
+
+func init() {
+	gpu.Register(&gpu.Kernel{
+		Name: serveKernel,
+		Cost: func(_ gpu.Dim, args []uint64) gpu.LaunchCost {
+			return gpu.LaunchCost{Work: sim.Duration(args[2]), SMDemand: float64(args[3])}
+		},
+		Func: func(e *gpu.Exec) error {
+			out, err := e.Bytes(e.Arg(0), 4)
+			if err != nil {
+				return err
+			}
+			out[0]++
+			return nil
+		},
+	})
+}
+
+// New boots a serving plane on an already-built platform: one session per
+// tenant, one accelerator mEnclave per (tenant, pooled partition), buffers
+// allocated, SPM failure records subscribed.
+func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
+	cfg.defaults()
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("serve: no tenants configured")
+	}
+	if cfg.GPUPartitions > len(pl.GPUs) {
+		return nil, fmt.Errorf("serve: %d partitions requested, platform has %d GPUs",
+			cfg.GPUPartitions, len(pl.GPUs))
+	}
+	// The pool's rodinia kernels live in the global GPU registry alongside
+	// the std kernels BuildPlatform installs (Register replaces, so this
+	// is idempotent across servers in one process).
+	rodinia.RegisterKernels(pl.GPUs[0].Dev.SMs())
+	reg := metrics.NewRegistry()
+	reg.Enable()
+	srv := &Server{
+		pl:        pl,
+		cfg:       cfg,
+		reg:       reg,
+		drainCond: sim.NewCond(pl.K),
+	}
+	smDemand := uint64(pl.GPUs[0].Dev.SMs() * cfg.SMShare)
+	if smDemand < 1 {
+		smDemand = 1
+	}
+	for ti := range cfg.Tenants {
+		spec := cfg.Tenants[ti]
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("tenant-%d", ti)
+		}
+		if spec.QueueCap <= 0 {
+			spec.QueueCap = 64
+		}
+		if spec.Arrival == "" {
+			spec.Arrival = Poisson
+		}
+		if len(spec.Mix) == 0 {
+			return nil, fmt.Errorf("serve: tenant %s has an empty workload mix", spec.Name)
+		}
+		t := &tenant{spec: spec, idx: ti}
+		cum := 0.0
+		for _, wc := range spec.Mix {
+			if (wc.Graph == nil) == (wc.Bench == nil) {
+				return nil, fmt.Errorf("serve: class %s of tenant %s must set exactly one of Graph or Bench",
+					wc.Name, spec.Name)
+			}
+			w := wc.Weight
+			if w <= 0 {
+				w = 1
+			}
+			cum += w
+			cl := &workClass{spec: wc, inBytes: wc.InBytes, cum: cum}
+			if cl.inBytes <= 0 {
+				cl.inBytes = 1024
+			}
+			if wc.Graph != nil {
+				cl.itemNS = sim.Duration(wc.Graph.FLOPs() / cfg.GPUFlopsPerNs)
+			}
+			t.classes = append(t.classes, cl)
+		}
+		sess, err := pl.NewSession(p, spec.Name)
+		if err != nil {
+			return nil, fmt.Errorf("serve: session for %s: %w", spec.Name, err)
+		}
+		t.sess = sess
+		t.q = newQueue(pl.K, spec.QueueCap,
+			reg.Gauge("serve.tenant."+spec.Name+".queue_depth"))
+		t.latHist = reg.Histogram("serve.tenant." + spec.Name + ".latency_ns")
+		for pi := 0; pi < cfg.GPUPartitions; pi++ {
+			rep, err := newReplica(p, srv, t, pi, smDemand)
+			if err != nil {
+				return nil, fmt.Errorf("serve: replica %s/gpu-part%d: %w", spec.Name, pi, err)
+			}
+			t.reps = append(t.reps, rep)
+		}
+		srv.tenants = append(srv.tenants, t)
+	}
+	// Subscribe to SPM failure records: mark every replica on the failed
+	// partition down the instant the proceed-trap fires, so the scheduler
+	// routes around it while its mOS restarts.
+	srv.cancelFail = pl.SPM.OnFailure(func(rec *spm.FailureRecord) {
+		srv.failures = append(srv.failures, rec)
+		for _, t := range srv.tenants {
+			for _, rep := range t.reps {
+				if rep.partName == rec.Partition {
+					rep.down = true
+					rep.cond.Broadcast() // wake an idle worker into failover
+				}
+			}
+		}
+	})
+	return srv, nil
+}
+
+// Registry exposes the run's private metrics registry.
+func (srv *Server) Registry() *metrics.Registry { return srv.reg }
+
+// complete finalizes one request exactly once; duplicate completions are
+// counted and dropped.
+func (srv *Server) complete(p *sim.Proc, t *tenant, r *Request, err error) {
+	r.completions++
+	if r.completions > 1 {
+		t.duplicates++
+		return
+	}
+	r.Done = p.Now()
+	r.Err = err
+	if err != nil {
+		t.failed++
+	} else {
+		t.completed++
+		t.latHist.Observe(int64(r.Latency()))
+	}
+	srv.completedTotal++
+	if r.done != nil {
+		r.done.Fire()
+	}
+	srv.drainCond.Broadcast()
+}

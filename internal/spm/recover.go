@@ -108,6 +108,7 @@ func (s *SPM) Fail(p *Partition, reason FailReason) *FailureRecord {
 	s.isolationChanged()
 	mPartsFailed.Inc()
 	trace.Default.InstantAt(failedAt, "spm", p.Name, "partition-failed ("+reason.String()+")", nil)
+	s.notifyFailure(rec)
 
 	// Steps ②: clear the device and the partition's memory, then reload
 	// the mOS. Runs concurrently with other partitions' recoveries.

@@ -107,6 +107,41 @@ func (p *Partition) Heartbeat(t sim.Time) { p.lastBeat = t }
 // SetRestartHook installs the mOS reload callback.
 func (p *Partition) SetRestartHook(fn func(epoch uint64)) { p.onRestart = fn }
 
+// failObserver is one registered OnFailure callback.
+type failObserver struct {
+	id int
+	fn func(*FailureRecord)
+}
+
+// OnFailure registers an observer invoked synchronously from Fail, right
+// after step ① completes (sharers invalidated, r_f set, partition threads
+// killed) and before the asynchronous recovery starts. The record's
+// ReadyAt/Epoch fields are filled in later, when the recovery completes;
+// observers wanting the ready instant should AwaitReady. Observers must not
+// block; they run in the failing caller's context. The returned function
+// cancels the registration.
+func (s *SPM) OnFailure(fn func(*FailureRecord)) func() {
+	s.failNext++
+	id := s.failNext
+	s.failObs = append(s.failObs, failObserver{id: id, fn: fn})
+	return func() {
+		for i, o := range s.failObs {
+			if o.id == id {
+				s.failObs = append(s.failObs[:i], s.failObs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// notifyFailure runs the registered OnFailure observers in registration
+// order.
+func (s *SPM) notifyFailure(rec *FailureRecord) {
+	for _, o := range s.failObs {
+		o.fn(rec)
+	}
+}
+
 // SPM is the secure partition manager.
 type SPM struct {
 	K     *sim.Kernel
@@ -126,6 +161,12 @@ type SPM struct {
 	// SPM tears down a mapping without writing the watched word.
 	isoWatches []isoWatch
 	isoNext    int
+
+	// failObs are the failure-record observers (OnFailure): policy layers
+	// above the sessions (e.g. the serving plane's scheduler) that must
+	// learn of a proceed-trap recovery the instant it starts.
+	failObs  []failObserver
+	failNext int
 
 	// Attestation state.
 	rotPriv    attest.PrivateKey

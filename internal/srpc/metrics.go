@@ -14,4 +14,9 @@ var (
 	mStreams      = metrics.Default.Counter("srpc.streams.opened")
 	mPeerFailures = metrics.Default.Counter("srpc.streams.peer_failures")
 	gRingOcc      = metrics.Default.Gauge("srpc.ring.occupancy_slots")
+	// mDoorbellFallback counts waits that fell back to plain quantum
+	// polling because a doorbell could not be armed (header word unmapped,
+	// e.g. teardown in progress). Serving-plane runs watch this to detect
+	// event-efficient waits silently degrading.
+	mDoorbellFallback = metrics.Default.Counter("srpc.doorbell.fallback")
 )

@@ -168,6 +168,7 @@ func (s *Server) RunExecutor(p *sim.Proc, streamID uint64) {
 				db = r.armDoorbell(p.Kernel(), [2]uint64{offRid, 8}, [2]uint64{offClosed, 4})
 			}
 			if db == nil {
+				mDoorbellFallback.Inc()
 				p.Sleep(idlePeriod)
 				continue
 			}
