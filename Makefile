@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-hotpath bench-serve ci examples tools figures attack loc clean
+.PHONY: all build test vet race bench bench-hotpath bench-serve chaos doc-lint ci examples tools figures attack loc clean
 
 all: build vet test race
 
@@ -42,13 +42,26 @@ bench-serve:
 	| $(GO) run ./cmd/cronus-benchjson > BENCH_serve.json
 	@echo "wrote BENCH_serve.json"
 
+# Documentation bar: package docs plus doc comments on every exported
+# identifier of the API-bearing packages (serve, srpc, spm, chaos).
+doc-lint:
+	$(GO) run ./cmd/cronus-doclint
+
+# Short deterministic chaos soak: 3 seeds, all fault kinds, every report
+# replay-verified byte-for-byte. The full soak is `go run ./cmd/cronus-chaos`.
+chaos:
+	$(GO) run ./cmd/cronus-chaos -seeds 3 -verify
+
 # Exactly what .github/workflows/ci.yml runs: build, vet, the full test
-# suite, and the race detector over the concurrency-heavy packages.
+# suite, the race detector over the concurrency-heavy packages, the
+# documentation bar, and a short replay-verified chaos soak.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./... -count=1
 	$(GO) test -race -count=1 ./internal/serve ./internal/srpc ./internal/spm
+	$(GO) run ./cmd/cronus-doclint
+	$(GO) run ./cmd/cronus-chaos -seeds 3 -verify
 
 # Pretty-printed tables for all experiments.
 figures:

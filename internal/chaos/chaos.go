@@ -1,0 +1,237 @@
+// Package chaos is the serving plane's deterministic fault-injection
+// harness: it compiles seeded fault schedules, arms them against a booted
+// CRONUS platform through the repo's injection hooks, and checks that the
+// plane's isolation and exactly-once guarantees survive.
+//
+// A Schedule is compiled from a seed alone (Compile): every fault kind,
+// target and trigger is drawn from one seeded RNG stream, so the same seed
+// always yields the same schedule. Triggers are either virtual-time instants
+// (a partition crash After a fixed offset) or predicates over deterministic
+// event ordinals (the Nth record pushed on sRPC stream S, the Nth kernel
+// launch on a device, the first K local-attestation reports after a
+// partition restart). Because every ordinal is itself a pure function of
+// virtual time and the serving plane's seeded load, a trigger maps to
+// exactly one instant in the run — rerunning the same seed replays the same
+// faults at the same virtual nanoseconds.
+//
+// An Injector arms a schedule on a platform: crashes ride the SPM's
+// proceed-trap entry point (spm.SPM.Fail), ring corruption rides the sRPC
+// call hook (srpc.SetCallHook + Client.InjectRecordCorruption), device hangs
+// ride the GPU launch path (gpu.Device.ArmLaunchHang), and attestation
+// outages ride the SPM report veto (spm.SPM.SetAttestFault).
+//
+// RunOne executes one seed twice — a fault-free baseline and a faulted run
+// over the identical serving config — and checks the invariants: request
+// conservation with zero duplicates, typed failures only, survivor-tenant
+// latency within tolerance of baseline, and memory of a crashed partition
+// never readable by survivors (probe.go). RunCampaign soaks N consecutive
+// seeds; cronus-chaos is the CLI front end. Reports are deterministic text:
+// same seed, byte-identical report.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cronus/internal/sim"
+)
+
+// Kind names one injectable fault class.
+type Kind string
+
+const (
+	// KindCrash proceed-traps a GPU partition at a virtual instant: its
+	// mOS panics, enclaves die, and the SPM runs the recovery protocol.
+	KindCrash Kind = "crash"
+	// KindRingCorrupt flips bits in the header of a just-pushed sRPC
+	// record, exercising the executor's framing validation and the typed
+	// ErrRingCorrupt teardown.
+	KindRingCorrupt Kind = "ring-corrupt"
+	// KindDeviceHang parks one kernel launch forever, exercising the
+	// serving plane's request watchdog and bounded retry.
+	KindDeviceHang Kind = "device-hang"
+	// KindAttestFail vetoes local-attestation reports for a partition
+	// after its restart, delaying replica reconnection; Compile always
+	// pairs it with a KindCrash on the same partition so the restart path
+	// actually runs.
+	KindAttestFail Kind = "attest-fail"
+)
+
+// AllKinds is the default fault mix for compiled schedules.
+var AllKinds = []Kind{KindCrash, KindRingCorrupt, KindDeviceHang, KindAttestFail}
+
+// Fault is one compiled fault with its trigger. Which fields are meaningful
+// depends on Kind; the zero values of the others are ignored.
+type Fault struct {
+	// Kind selects the fault class.
+	Kind Kind
+	// Partition is the target GPU partition index (crash, attest-fail)
+	// or device index (device-hang; the pool maps partition i to gpu i).
+	Partition int
+	// After is the crash instant as a virtual-time offset from arming.
+	After sim.Duration
+	// Launch is the device-lifetime launch ordinal that hangs (1-based).
+	Launch uint64
+	// Stream and AfterCalls trigger ring corruption after the AfterCalls-th
+	// record pushed on sRPC stream Stream.
+	Stream uint64
+	// AfterCalls is the push ordinal on Stream that triggers corruption.
+	AfterCalls uint64
+	// Mask is XORed into the corrupted record's slots header word.
+	Mask uint32
+	// Fails is how many post-restart attestation reports are vetoed.
+	Fails int
+	// Tenant is the tenant index whose stream a ring corruption targets
+	// (recorded for survivor analysis).
+	Tenant int
+}
+
+// String renders the fault and its trigger deterministically.
+func (f *Fault) String() string {
+	switch f.Kind {
+	case KindCrash:
+		return fmt.Sprintf("crash      partition=gpu-part%d after=%v", f.Partition, f.After)
+	case KindRingCorrupt:
+		return fmt.Sprintf("ring-corrupt tenant=%d stream=%d after-calls=%d mask=%#x",
+			f.Tenant, f.Stream, f.AfterCalls, f.Mask)
+	case KindDeviceHang:
+		return fmt.Sprintf("device-hang  device=gpu%d launch=%d", f.Partition, f.Launch)
+	case KindAttestFail:
+		return fmt.Sprintf("attest-fail partition=gpu-part%d fails=%d", f.Partition, f.Fails)
+	}
+	return string(f.Kind)
+}
+
+// Schedule is one compiled fault plan: the seed it derives from and the
+// fault list in arming order.
+type Schedule struct {
+	// Seed is the RNG seed the schedule was compiled from.
+	Seed int64
+	// Faults is the compiled fault list, in arming order.
+	Faults []*Fault
+}
+
+// String renders the schedule deterministically, one fault per line.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule seed=%d (%d faults)\n", s.Seed, len(s.Faults))
+	for i, f := range s.Faults {
+		fmt.Fprintf(&b, "  [%d] %s\n", i, f)
+	}
+	return b.String()
+}
+
+// has reports whether the schedule contains a fault of kind k.
+func (s *Schedule) has(k Kind) bool {
+	for _, f := range s.Faults {
+		if f.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Options shapes both schedule compilation and the serving runs that a
+// schedule is injected into. The zero value selects the documented defaults.
+type Options struct {
+	// Tenants is the tenant count of the serving config (default 2).
+	Tenants int
+	// Partitions is the GPU partition pool size (default 2).
+	Partitions int
+	// Window is the load-generation window (default 10ms).
+	Window sim.Duration
+	// Rate is the per-tenant Poisson offered load in requests per virtual
+	// second (default 2500).
+	Rate float64
+	// Faults is the number of faults Compile draws (default 3; an
+	// attest-fail draw adds its paired crash on top).
+	Faults int
+	// Kinds restricts the fault mix (default AllKinds).
+	Kinds []Kind
+	// RelTol is the survivor-tenant p95 latency tolerance relative to
+	// baseline (default 0.02).
+	RelTol float64
+	// AbsTol is the absolute survivor p95 slack floor (default 20µs).
+	AbsTol sim.Duration
+}
+
+func (o *Options) defaults() {
+	if o.Tenants <= 0 {
+		o.Tenants = 2
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 2
+	}
+	if o.Window <= 0 {
+		o.Window = 10 * sim.Millisecond
+	}
+	if o.Rate <= 0 {
+		o.Rate = 2500
+	}
+	if o.Faults <= 0 {
+		o.Faults = 3
+	}
+	if len(o.Kinds) == 0 {
+		o.Kinds = AllKinds
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 0.02
+	}
+	if o.AbsTol <= 0 {
+		o.AbsTol = 20 * sim.Microsecond
+	}
+}
+
+// Compile derives a fault schedule from the seed: kinds, targets and
+// triggers all come from one seeded stream, so the same (seed, Options)
+// always compiles the same schedule.
+//
+// Crash instants land in the middle three fifths of the window, so the
+// plane has traffic in flight when the partition dies and time to recover
+// before the drain. Ring corruptions target the tenant's active replica
+// stream under device-affinity placement (stream ids are minted 1,2,3,… in
+// replica creation order, tenant-major) at a push ordinal past the two
+// setup calls every replica issues. Hang ordinals are deduplicated per
+// device, since a launch can only hang once.
+func Compile(seed int64, opts Options) *Schedule {
+	opts.defaults()
+	rng := rand.New(rand.NewSource(seed ^ 0x63686173)) // domain-separate from serve seeds
+	s := &Schedule{Seed: seed}
+	crashAfter := func() sim.Duration {
+		return opts.Window/5 + sim.Duration(rng.Int63n(int64(3*opts.Window/5)))
+	}
+	hangArmed := map[[2]uint64]bool{} // (device, launch) pairs already taken
+	for n := 0; n < opts.Faults; n++ {
+		f := &Fault{Kind: opts.Kinds[rng.Intn(len(opts.Kinds))]}
+		switch f.Kind {
+		case KindCrash:
+			f.Partition = rng.Intn(opts.Partitions)
+			f.After = crashAfter()
+		case KindDeviceHang:
+			f.Partition = rng.Intn(opts.Partitions)
+			f.Launch = uint64(2 + rng.Intn(40))
+			for hangArmed[[2]uint64{uint64(f.Partition), f.Launch}] {
+				f.Launch++
+			}
+			hangArmed[[2]uint64{uint64(f.Partition), f.Launch}] = true
+		case KindRingCorrupt:
+			f.Tenant = rng.Intn(opts.Tenants)
+			// The tenant's device-affinity replica: streams are minted
+			// tenant-major at boot, one per (tenant, partition).
+			f.Stream = uint64(f.Tenant*opts.Partitions + f.Tenant%opts.Partitions + 1)
+			f.AfterCalls = uint64(3 + rng.Intn(38))
+			f.Mask = uint32(1) << uint(rng.Intn(20))
+		case KindAttestFail:
+			f.Partition = rng.Intn(opts.Partitions)
+			f.Fails = 1 + rng.Intn(2)
+			// Without a restart there is no report to veto: pair the
+			// outage with a crash on the same partition.
+			s.Faults = append(s.Faults, &Fault{
+				Kind: KindCrash, Partition: f.Partition, After: crashAfter(),
+			})
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	return s
+}

@@ -1,0 +1,148 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScheduleDeterministic pins Compile to its seed: same (seed, Options),
+// same schedule; different seeds, (almost surely) different schedules.
+func TestScheduleDeterministic(t *testing.T) {
+	a := Compile(42, Options{})
+	b := Compile(42, Options{})
+	if a.String() != b.String() {
+		t.Fatalf("same seed compiled different schedules:\n%s\nvs\n%s", a, b)
+	}
+	c := Compile(43, Options{})
+	if a.String() == c.String() {
+		t.Errorf("seeds 42 and 43 compiled identical schedules:\n%s", a)
+	}
+	if len(a.Faults) < 3 {
+		t.Errorf("schedule has %d faults, want >= 3", len(a.Faults))
+	}
+}
+
+// TestDeterministicReplay is the replay contract: running the same seed
+// twice must produce byte-identical reports — schedules, fired flags,
+// serving tables, probe lines and verdicts all derive from virtual time and
+// the seed alone.
+func TestDeterministicReplay(t *testing.T) {
+	a, err := RunOne(7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOne(7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.Report(), b.Report()
+	if ra != rb {
+		t.Fatalf("same-seed reports differ:\n--- first ---\n%s\n--- second ---\n%s", ra, rb)
+	}
+	if !a.Passed() {
+		t.Errorf("seed 7 violated invariants:\n%s", ra)
+	}
+}
+
+// TestCampaignInvariants is the soak: 25 consecutive seeds (5 under -short),
+// every invariant upheld on each — conservation with zero duplicates,
+// survivors within tolerance of baseline, crashed partitions unreadable.
+func TestCampaignInvariants(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 5
+	}
+	cr, err := RunCampaign(1, n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Passed() {
+		t.Fatalf("campaign violations:\n%s", cr.Report())
+	}
+	fired := 0
+	for _, rr := range cr.Runs {
+		fired += rr.FiredCount()
+	}
+	if fired == 0 {
+		t.Fatalf("no fault fired across %d seeds — the harness is injecting nothing:\n%s", n, cr.Report())
+	}
+}
+
+// TestHangRecoveryExactlyOnce drives hang-only schedules: every fired hang
+// must be absorbed by the watchdog (a timeout, then a successful retry) with
+// zero lost and zero duplicated requests.
+func TestHangRecoveryExactlyOnce(t *testing.T) {
+	o := Options{Kinds: []Kind{KindDeviceHang}, Faults: 2}
+	rr, err := RunOne(3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Passed() {
+		t.Fatalf("hang run violated invariants:\n%s", rr.Report())
+	}
+	if rr.FiredCount() == 0 {
+		t.Fatalf("no hang fired:\n%s", rr.Report())
+	}
+	var timeouts, retried, failed, dups uint64
+	for _, tr := range rr.Faulted.Tenants {
+		timeouts += tr.Timeouts
+		retried += tr.Retried
+		failed += tr.Failed
+		dups += tr.Duplicates
+	}
+	if timeouts != uint64(rr.FiredCount()) {
+		t.Errorf("timeouts = %d, want %d (one per fired one-shot hang)", timeouts, rr.FiredCount())
+	}
+	if retried == 0 {
+		t.Error("no retries recorded despite fired hangs")
+	}
+	if failed != 0 {
+		t.Errorf("failed = %d, want 0 — one-shot hangs must be recovered within the retry budget", failed)
+	}
+	if dups != 0 {
+		t.Errorf("duplicates = %d, want 0", dups)
+	}
+}
+
+// TestCrashIsolationProbe drives a crash-only schedule and checks the probe
+// audit actually ran: the stale stream failed typed and the restarted
+// partition read back scrubbed.
+func TestCrashIsolationProbe(t *testing.T) {
+	o := Options{Kinds: []Kind{KindCrash}, Faults: 1}
+	rr, err := RunOne(11, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Passed() {
+		t.Fatalf("crash run violated invariants:\n%s", rr.Report())
+	}
+	if rr.FiredCount() != 1 {
+		t.Fatalf("crash did not fire:\n%s", rr.Report())
+	}
+	if len(rr.ProbeLines) == 0 {
+		t.Fatal("no probe audit lines — the isolation check never ran")
+	}
+	for _, l := range rr.ProbeLines {
+		if !strings.Contains(l, "stale-read=peer-failed") || !strings.Contains(l, "scrub=zeros") {
+			t.Errorf("probe line %q, want stale-read=peer-failed scrub=zeros", l)
+		}
+	}
+}
+
+// TestAttestOutageRecovered drives the attest-fail kind (always paired with
+// its crash): the vetoed reports must only delay reconnection, never break
+// conservation or leak requests.
+func TestAttestOutageRecovered(t *testing.T) {
+	o := Options{Kinds: []Kind{KindAttestFail}, Faults: 1}
+	rr, err := RunOne(5, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Passed() {
+		t.Fatalf("attest run violated invariants:\n%s", rr.Report())
+	}
+	// The schedule carries the crash + the outage; both should fire.
+	if rr.FiredCount() != len(rr.Schedule.Faults) {
+		t.Errorf("fired %d of %d faults:\n%s", rr.FiredCount(), len(rr.Schedule.Faults), rr.Report())
+	}
+}

@@ -1,0 +1,120 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"cronus/internal/core"
+	"cronus/internal/sim"
+	"cronus/internal/spm"
+	"cronus/internal/srpc"
+)
+
+// Injector arms one compiled Schedule on one booted platform. Arm installs
+// every hook; Disarm removes the package-global ones (the sRPC call hook and
+// the SPM attestation veto), so at most one Injector may be armed per
+// process at a time — the one-campaign-at-a-time rule shared with
+// srpc.SetCallHook.
+type Injector struct {
+	pl    *core.Platform
+	sched *Schedule
+	fired []bool
+}
+
+// attestOutage is the per-fault countdown of an armed KindAttestFail.
+type attestOutage struct {
+	part      *spm.Partition
+	epoch0    uint64 // partition epoch when armed; veto only after a restart
+	remaining int
+	idx       int // fault index, for fired bookkeeping
+}
+
+// NewInjector binds a schedule to a platform without arming anything.
+func NewInjector(pl *core.Platform, sched *Schedule) *Injector {
+	return &Injector{pl: pl, sched: sched, fired: make([]bool, len(sched.Faults))}
+}
+
+// Arm installs every fault in the schedule: crash timer procs, the shared
+// sRPC call hook for ring corruptions, one-shot launch hangs, and the SPM
+// attestation veto. Call it after the serving plane (and any probes) are
+// built, immediately before Serve, so trigger ordinals count from the same
+// origin on every run.
+func (in *Injector) Arm(p *sim.Proc) {
+	var outages []*attestOutage
+	for i, f := range in.sched.Faults {
+		i, f := i, f
+		mFaultsArmed.Inc()
+		switch f.Kind {
+		case KindCrash:
+			part := in.pl.GPUs[f.Partition].Part
+			in.pl.K.Spawn(fmt.Sprintf("chaos-crash-%d", i), func(cp *sim.Proc) {
+				cp.Sleep(f.After)
+				// Fail returns nil when the partition is already down
+				// (e.g. a second crash landing inside the first
+				// recovery); only a real trap counts as fired.
+				if rec := in.pl.SPM.Fail(part, spm.FailPanic); rec != nil {
+					in.hit(i)
+				}
+			})
+		case KindDeviceHang:
+			in.pl.GPUs[f.Partition].Dev.ArmLaunchHang(f.Launch)
+		case KindAttestFail:
+			part := in.pl.GPUs[f.Partition].Part
+			outages = append(outages, &attestOutage{
+				part: part, epoch0: part.Epoch(), remaining: f.Fails, idx: i,
+			})
+		}
+	}
+	if in.sched.has(KindRingCorrupt) {
+		srpc.SetCallHook(func(hp *sim.Proc, c *srpc.Client, n uint64) {
+			for i, f := range in.sched.Faults {
+				if f.Kind == KindRingCorrupt && !in.fired[i] &&
+					c.StreamID() == f.Stream && n == f.AfterCalls {
+					in.hit(i)
+					_ = c.InjectRecordCorruption(hp, f.Mask)
+				}
+			}
+		})
+	}
+	if len(outages) > 0 {
+		in.pl.SPM.SetAttestFault(func(part *spm.Partition) error {
+			for _, o := range outages {
+				if o.part != part || part.Epoch() == o.epoch0 || o.remaining <= 0 {
+					continue
+				}
+				o.remaining--
+				in.hit(o.idx)
+				return errors.New("provisioning infrastructure unavailable (chaos-injected)")
+			}
+			return nil
+		})
+	}
+}
+
+// Disarm removes the package-global hooks and settles the fired flags of
+// launch-hang faults (a hang fired iff the device's launch counter passed
+// its ordinal). Call it once Serve has returned, before any probe checks —
+// probes reconnect to restarted partitions and must not be vetoed.
+func (in *Injector) Disarm() {
+	srpc.SetCallHook(nil)
+	in.pl.SPM.SetAttestFault(nil)
+	for i, f := range in.sched.Faults {
+		if f.Kind == KindDeviceHang && !in.fired[i] &&
+			in.pl.GPUs[f.Partition].Dev.Launches() >= f.Launch {
+			in.hit(i)
+		}
+	}
+}
+
+// hit marks fault i as fired exactly once.
+func (in *Injector) hit(i int) {
+	if !in.fired[i] {
+		in.fired[i] = true
+		mFaultsFired.Inc()
+	}
+}
+
+// Fired returns the per-fault fired flags, index-aligned with
+// Schedule.Faults. Dormant faults (triggers the run never reached) are
+// normal for ordinal-based triggers.
+func (in *Injector) Fired() []bool { return in.fired }

@@ -1,0 +1,15 @@
+package chaos
+
+import "cronus/internal/metrics"
+
+var (
+	// mRuns counts completed chaos runs (one baseline + one faulted
+	// execution each).
+	mRuns = metrics.Default.Counter("chaos.runs")
+	// mFaultsArmed counts faults installed by Injector.Arm.
+	mFaultsArmed = metrics.Default.Counter("chaos.faults.armed")
+	// mFaultsFired counts faults whose trigger was actually reached.
+	mFaultsFired = metrics.Default.Counter("chaos.faults.fired")
+	// mViolations counts invariant violations across all runs.
+	mViolations = metrics.Default.Counter("chaos.violations")
+)

@@ -1,0 +1,141 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"cronus/internal/serve"
+	"cronus/internal/sim"
+)
+
+// RunReport is the outcome of one chaos seed: the compiled schedule, both
+// serving results, which faults fired, the probe audit lines, and every
+// invariant violation (empty on a clean run).
+type RunReport struct {
+	// Seed is the schedule seed.
+	Seed int64
+	// Opts are the (defaulted) options the run used.
+	Opts Options
+	// Schedule is the compiled fault plan.
+	Schedule *Schedule
+	// Fired is index-aligned with Schedule.Faults.
+	Fired []bool
+	// Baseline and Faulted are the two serving results.
+	Baseline, Faulted *serve.Result
+	// ProbeLines are the isolation-probe audit lines.
+	ProbeLines []string
+	// Violations lists every invariant the run broke.
+	Violations []string
+}
+
+// Passed reports whether the run upheld every invariant.
+func (rr *RunReport) Passed() bool { return len(rr.Violations) == 0 }
+
+// FiredCount is the number of faults that actually triggered.
+func (rr *RunReport) FiredCount() int {
+	n := 0
+	for _, f := range rr.Fired {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// Report renders the run as deterministic text: same (seed, Options) in,
+// byte-identical text out — the replay contract cronus-chaos -verify checks.
+func (rr *RunReport) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos seed=%d tenants=%d partitions=%d window=%v: %d faults, %d fired\n",
+		rr.Seed, rr.Opts.Tenants, rr.Opts.Partitions, rr.Opts.Window,
+		len(rr.Schedule.Faults), rr.FiredCount())
+	for i, f := range rr.Schedule.Faults {
+		state := "dormant"
+		if rr.Fired[i] {
+			state = "fired"
+		}
+		fmt.Fprintf(&b, "  [%d] %-58s %s\n", i, f, state)
+	}
+	b.WriteString("faulted run:\n")
+	b.WriteString(indent(rr.Faulted.Report()))
+	victims := rr.Schedule.victimTenants(rr.Opts)
+	for ti := range rr.Faulted.Tenants {
+		if victims[ti] || ti >= len(rr.Baseline.Tenants) {
+			continue
+		}
+		ft, bt := &rr.Faulted.Tenants[ti], &rr.Baseline.Tenants[ti]
+		fmt.Fprintf(&b, "survivor %s: p95 %s (baseline %s)\n",
+			ft.Name, sim.Duration(ft.P95NS), sim.Duration(bt.P95NS))
+	}
+	for _, l := range rr.ProbeLines {
+		fmt.Fprintf(&b, "%s\n", l)
+	}
+	if rr.Passed() {
+		b.WriteString("verdict: PASS\n")
+	} else {
+		fmt.Fprintf(&b, "verdict: FAIL (%d violations)\n", len(rr.Violations))
+		for _, v := range rr.Violations {
+			fmt.Fprintf(&b, "  violation: %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// CampaignReport aggregates a soak over consecutive seeds.
+type CampaignReport struct {
+	// BaseSeed is the first seed of the campaign.
+	BaseSeed int64
+	// Opts are the shared run options.
+	Opts Options
+	// Runs holds one report per seed, in seed order.
+	Runs []*RunReport
+}
+
+// Violations is the total violation count across all runs.
+func (cr *CampaignReport) Violations() int {
+	n := 0
+	for _, rr := range cr.Runs {
+		n += len(rr.Violations)
+	}
+	return n
+}
+
+// Passed reports whether every seed upheld every invariant.
+func (cr *CampaignReport) Passed() bool { return cr.Violations() == 0 }
+
+// Report renders the campaign summary: one line per seed, then the verdict.
+// Failing seeds additionally get their full run report appended, so a soak
+// failure is diagnosable from the text alone.
+func (cr *CampaignReport) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos campaign: seeds %d..%d (%d runs)\n",
+		cr.BaseSeed, cr.BaseSeed+int64(len(cr.Runs))-1, len(cr.Runs))
+	fired := 0
+	for _, rr := range cr.Runs {
+		verdict := "PASS"
+		if !rr.Passed() {
+			verdict = fmt.Sprintf("FAIL (%d violations)", len(rr.Violations))
+		}
+		fmt.Fprintf(&b, "  seed %4d: %d faults, %d fired, %s\n",
+			rr.Seed, len(rr.Schedule.Faults), rr.FiredCount(), verdict)
+		fired += rr.FiredCount()
+	}
+	fmt.Fprintf(&b, "total: %d faults fired, %d violations\n", fired, cr.Violations())
+	for _, rr := range cr.Runs {
+		if !rr.Passed() {
+			fmt.Fprintf(&b, "--- seed %d ---\n%s", rr.Seed, rr.Report())
+		}
+	}
+	return b.String()
+}
+
+// indent prefixes every non-empty line with two spaces.
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = "  " + l
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,223 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cronus/internal/core"
+	"cronus/internal/serve"
+	"cronus/internal/sim"
+	"cronus/internal/srpc"
+	"cronus/internal/tvm"
+)
+
+// serveConfig is the serving-plane load a chaos seed runs against:
+// device-affinity placement (so fault blast radii are attributable to
+// tenants), dynamic batching, per-request records kept for the conservation
+// audit, and the watchdog/retry layer enabled so hangs and corruption are
+// recoverable.
+func serveConfig(seed int64, o Options) serve.Config {
+	cfg := serve.Config{
+		Seed:           seed,
+		Window:         o.Window,
+		Policy:         serve.DeviceAffinity,
+		MaxBatch:       4,
+		BatchWindow:    50 * sim.Microsecond,
+		GPUPartitions:  o.Partitions,
+		GPUFlopsPerNs:  400,
+		KeepRequests:   true,
+		RequestTimeout: 500 * sim.Microsecond,
+		MaxRetries:     3,
+		RetryBackoff:   100 * sim.Microsecond,
+	}
+	for ti := 0; ti < o.Tenants; ti++ {
+		cfg.Tenants = append(cfg.Tenants, serve.TenantSpec{
+			Name:     fmt.Sprintf("tenant-%d", ti),
+			Arrival:  serve.Poisson,
+			Rate:     o.Rate,
+			QueueCap: 512,
+			Mix:      []serve.WorkClass{{Name: "resnet18", Graph: tvm.ResNet18()}},
+		})
+	}
+	return cfg
+}
+
+// crashTargets returns the distinct partition indices of the schedule's
+// crash faults, in first-occurrence order.
+func (s *Schedule) crashTargets() []int {
+	var parts []int
+	seen := make(map[int]bool)
+	for _, f := range s.Faults {
+		if f.Kind == KindCrash && !seen[f.Partition] {
+			seen[f.Partition] = true
+			parts = append(parts, f.Partition)
+		}
+	}
+	return parts
+}
+
+// victimTenants marks every tenant a schedule can touch: tenants pinned to
+// a crashed/hung/attest-vetoed partition (device-affinity: tenant i runs on
+// partition i mod pool) and tenants whose stream a corruption targets.
+// Everyone else is a survivor and must be indistinguishable from baseline.
+func (s *Schedule) victimTenants(o Options) map[int]bool {
+	targetPart := make(map[int]bool)
+	victims := make(map[int]bool)
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case KindCrash, KindDeviceHang, KindAttestFail:
+			targetPart[f.Partition] = true
+		case KindRingCorrupt:
+			victims[f.Tenant] = true
+		}
+	}
+	for ti := 0; ti < o.Tenants; ti++ {
+		if targetPart[ti%o.Partitions] {
+			victims[ti] = true
+		}
+	}
+	return victims
+}
+
+// execute runs one serving window on a fresh platform. With inject=true the
+// schedule is armed before Serve and audited after; the baseline run still
+// plants the probes so the two timelines stay identical until the first
+// fault fires.
+func execute(sched *Schedule, o Options, inject bool) (res *serve.Result, fired []bool, probeLines, probeViol []string, err error) {
+	cfg := serveConfig(sched.Seed, o)
+	pcfg := core.DefaultConfig()
+	pcfg.GPUs = o.Partitions
+	pcfg.NPUs = 0
+	runErr := core.Run(pcfg, func(pl *core.Platform, p *sim.Proc) error {
+		srv, err := serve.New(p, pl, cfg)
+		if err != nil {
+			return err
+		}
+		ps, err := newProbeSet(p, pl, sched.crashTargets())
+		if err != nil {
+			return err
+		}
+		var inj *Injector
+		if inject {
+			inj = NewInjector(pl, sched)
+			inj.Arm(p)
+		}
+		r, err := srv.Serve(p)
+		if err != nil {
+			return err
+		}
+		res = r
+		if inject {
+			inj.Disarm()
+			fired = inj.Fired()
+			probeLines, probeViol = ps.check(p)
+		}
+		return nil
+	})
+	return res, fired, probeLines, probeViol, runErr
+}
+
+// RunOne compiles the seed's schedule and executes it: a fault-free
+// baseline, then the faulted run, then every invariant check. The returned
+// report is fully deterministic — same (seed, Options), byte-identical
+// Report().
+func RunOne(seed int64, o Options) (*RunReport, error) {
+	o.defaults()
+	mRuns.Inc()
+	rr := &RunReport{Seed: seed, Opts: o, Schedule: Compile(seed, o)}
+	var err error
+	rr.Baseline, _, _, _, err = execute(rr.Schedule, o, false)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: baseline run (seed %d): %w", seed, err)
+	}
+	var probeViol []string
+	rr.Faulted, rr.Fired, rr.ProbeLines, probeViol, err = execute(rr.Schedule, o, true)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: faulted run (seed %d): %w", seed, err)
+	}
+	rr.Violations = append(rr.checkInvariants(), probeViol...)
+	mViolations.Add(uint64(len(rr.Violations)))
+	return rr, nil
+}
+
+// checkInvariants audits one finished seed. Every violated invariant
+// becomes one deterministic line.
+func (rr *RunReport) checkInvariants() []string {
+	var v []string
+	v = append(v, conservation("baseline", rr.Baseline)...)
+	v = append(v, conservation("faulted", rr.Faulted)...)
+	// Exactly-once per request: everything admitted completes exactly once
+	// (conservation covers the counts; here we catch lost records and
+	// untyped failures).
+	for _, r := range rr.Faulted.Requests {
+		if r.Done == 0 {
+			v = append(v, fmt.Sprintf("request %d (%s) admitted but never completed", r.ID, r.Tenant))
+			continue
+		}
+		if r.Err != nil {
+			var te *serve.TimeoutError
+			if !errors.As(r.Err, &te) && !errors.Is(r.Err, srpc.ErrRingCorrupt) {
+				v = append(v, fmt.Sprintf("request %d (%s) failed with untyped error %q",
+					r.ID, r.Tenant, r.Err))
+			}
+		}
+	}
+	// Survivors must be indistinguishable from baseline: identical
+	// accounting, p95 within tolerance.
+	victims := rr.Schedule.victimTenants(rr.Opts)
+	for ti := range rr.Faulted.Tenants {
+		if victims[ti] || ti >= len(rr.Baseline.Tenants) {
+			continue
+		}
+		ft, bt := &rr.Faulted.Tenants[ti], &rr.Baseline.Tenants[ti]
+		if ft.Offered != bt.Offered || ft.Completed != bt.Completed ||
+			ft.Shed != bt.Shed || ft.Failed != bt.Failed {
+			v = append(v, fmt.Sprintf(
+				"survivor %s: accounting drifted from baseline (offered %d/%d completed %d/%d shed %d/%d failed %d/%d)",
+				ft.Name, ft.Offered, bt.Offered, ft.Completed, bt.Completed,
+				ft.Shed, bt.Shed, ft.Failed, bt.Failed))
+		}
+		tol := math.Max(rr.Opts.RelTol*bt.P95NS, float64(rr.Opts.AbsTol))
+		if math.Abs(ft.P95NS-bt.P95NS) > tol {
+			v = append(v, fmt.Sprintf("survivor %s: p95 %s drifted beyond tolerance of baseline %s",
+				ft.Name, sim.Duration(ft.P95NS), sim.Duration(bt.P95NS)))
+		}
+	}
+	return v
+}
+
+// conservation checks the flow balance of one run: offered = admitted +
+// shed, admitted = completed + failed, and zero duplicate completions.
+func conservation(label string, res *serve.Result) []string {
+	var v []string
+	for _, t := range res.Tenants {
+		if t.Offered != t.Admitted+t.Shed {
+			v = append(v, fmt.Sprintf("%s %s: offered %d != admitted %d + shed %d",
+				label, t.Name, t.Offered, t.Admitted, t.Shed))
+		}
+		if t.Admitted != t.Completed+t.Failed {
+			v = append(v, fmt.Sprintf("%s %s: admitted %d != completed %d + failed %d",
+				label, t.Name, t.Admitted, t.Completed, t.Failed))
+		}
+		if t.Duplicates != 0 {
+			v = append(v, fmt.Sprintf("%s %s: %d duplicate completions", label, t.Name, t.Duplicates))
+		}
+	}
+	return v
+}
+
+// RunCampaign soaks n consecutive seeds starting at baseSeed. It returns an
+// error only when a run cannot execute at all; invariant violations are
+// collected in the report.
+func RunCampaign(baseSeed int64, n int, o Options) (*CampaignReport, error) {
+	cr := &CampaignReport{BaseSeed: baseSeed, Opts: o}
+	for i := 0; i < n; i++ {
+		rr, err := RunOne(baseSeed+int64(i), o)
+		if err != nil {
+			return nil, err
+		}
+		cr.Runs = append(cr.Runs, rr)
+	}
+	return cr, nil
+}

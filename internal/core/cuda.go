@@ -176,5 +176,12 @@ func (c *CUDAConn) Launch(p *sim.Proc, kernel string, grid gpu.Dim, args ...uint
 // Sync implements accel.CUDA (streamCheck).
 func (c *CUDAConn) Sync(p *sim.Proc) error { return c.client.Barrier(p) }
 
+// Abandon tears down the owner side of the connection without draining the
+// ring or waiting for the executor — the recovery action after a timed-out
+// or corrupted stream, where a graceful Close could block forever. The
+// enclave is left to the partition's lifecycle; callers reconnect with a
+// fresh OpenCUDA.
+func (c *CUDAConn) Abandon() { c.client.Abandon() }
+
 // Close implements accel.CUDA.
 func (c *CUDAConn) Close(p *sim.Proc) error { return c.client.Close(p) }

@@ -35,6 +35,9 @@ type Device struct {
 	nextCtx   int
 	gen       uint64 // bumped on Reset; stale contexts die
 
+	launches uint64          // device-lifetime kernel launch ordinal
+	hangAt   map[uint64]bool // chaos: launch ordinals that never complete
+
 	priv attest.PrivateKey // fused device key (PvK_acc)
 }
 
@@ -124,6 +127,28 @@ func (d *Device) Reset() {
 	d.gen++
 	d.sms.Drain()
 }
+
+// hangPark is how long a hang-injected launch parks: far beyond any
+// experiment window, but far from the int64 horizon so arithmetic on
+// now+hangPark cannot overflow.
+const hangPark = sim.Duration(1) << 61
+
+// ArmLaunchHang makes the n-th kernel launch on this device (1-based,
+// counted over the device's lifetime across all contexts) hang: the
+// launching proc parks for hangPark virtual time without ever occupying the
+// SM engine, modelling a wedged command queue. The arm is one-shot. Chaos
+// uses this to exercise the serving plane's per-request timeout + retry
+// path; co-resident contexts are unaffected because no engine capacity is
+// held while parked.
+func (d *Device) ArmLaunchHang(n uint64) {
+	if d.hangAt == nil {
+		d.hangAt = make(map[uint64]bool)
+	}
+	d.hangAt[n] = true
+}
+
+// Launches returns the device-lifetime kernel launch count.
+func (d *Device) Launches() uint64 { return d.launches }
 
 // PubKey returns the device's authenticity public key (PubK_acc).
 func (d *Device) PubKey() attest.PublicKey { return d.priv.Public().(attest.PublicKey) }

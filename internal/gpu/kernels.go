@@ -156,6 +156,16 @@ func (c *Context) Launch(p *sim.Proc, name string, grid Dim, args ...uint64) err
 		}
 	}
 	p.Sleep(c.dev.costs.KernelDispatch)
+	c.dev.launches++
+	if c.dev.hangAt[c.dev.launches] {
+		// Chaos-injected hang: the launch was dispatched but never
+		// completes. Park without touching the SM engine so co-resident
+		// contexts see no contention; the parking proc is either killed
+		// (partition failure, watchdog) or outlives the run harmlessly.
+		delete(c.dev.hangAt, c.dev.launches)
+		p.Sleep(hangPark)
+		return fmt.Errorf("gpu: kernel %q launch hung (injected) and was released after %v", name, hangPark)
+	}
 	endSpan := trace.Default.Span(p, "gpu", c.dev.name, name)
 	defer endSpan()
 	if c.dev.mps || c.dev.migSlices > 0 {

@@ -16,6 +16,7 @@ type OverloadError struct {
 	Cap    int
 }
 
+// Error implements error.
 func (e *OverloadError) Error() string {
 	return fmt.Sprintf("serve: tenant %s overloaded (queue cap %d)", e.Tenant, e.Cap)
 }

@@ -107,6 +107,24 @@ func (rep *replica) enqueue(b *batch) {
 	rep.cond.Broadcast()
 }
 
+// TimeoutError is the typed completion error of a batch that exhausted its
+// retry budget: every attempt (the first plus Config.MaxRetries retries)
+// was abandoned by the request watchdog. It counts as Failed in the tenant
+// accounting, so conservation still holds.
+type TimeoutError struct {
+	Tenant   string
+	Attempts int
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("serve: request timed out on tenant %s after %d attempts", e.Tenant, e.Attempts)
+}
+
+// errAttemptTimeout marks one batch attempt abandoned by the watchdog. It is
+// internal: after retries it is rewrapped as *TimeoutError.
+var errAttemptTimeout = errors.New("serve: batch attempt timed out")
+
 // run is the worker body: execute pending batches in order; on peer failure
 // requeue and reconnect.
 func (rep *replica) run(p *sim.Proc) {
@@ -122,7 +140,7 @@ func (rep *replica) run(p *sim.Proc) {
 		b := rep.pending[0]
 		rep.pending[0] = nil
 		rep.pending = rep.pending[1:]
-		err := rep.exec(p, b)
+		err := rep.execWithRetry(p, b)
 		if err != nil && errors.Is(err, srpc.ErrPeerFailed) {
 			// The partition proceed-trapped under us. Requeue the
 			// in-flight batch and everything behind it, oldest first, and
@@ -179,6 +197,97 @@ func (rep *replica) failover(p *sim.Proc) {
 		p.Sleep(sim.Millisecond)
 	}
 	rep.down = false
+}
+
+// execWithRetry drives one batch through bounded attempts. Peer failures
+// pass straight up to the failover path (they are handled by requeueing, not
+// retrying); watchdog timeouts and ring corruption recycle the connection
+// and retry with exponential backoff; any other error is a deterministic
+// request failure and is returned as-is. Retries never complete a request —
+// only the final return from run() does — so exactly-once accounting is
+// preserved by construction.
+func (rep *replica) execWithRetry(p *sim.Proc, b *batch) error {
+	backoff := rep.srv.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := rep.execAttempt(p, b)
+		if err == nil || errors.Is(err, srpc.ErrPeerFailed) {
+			return err
+		}
+		timedOut := errors.Is(err, errAttemptTimeout)
+		if timedOut {
+			rep.t.timeouts++
+			rep.srv.ctrTimeouts.Inc()
+		}
+		if !timedOut && !errors.Is(err, srpc.ErrRingCorrupt) {
+			return err
+		}
+		if attempt >= rep.srv.cfg.MaxRetries {
+			// Budget exhausted: still recycle, so the wedged stream does
+			// not bleed one more timeout into the next batch.
+			rep.recycle(p)
+			if timedOut {
+				return &TimeoutError{Tenant: rep.t.spec.Name, Attempts: attempt + 1}
+			}
+			return err
+		}
+		for _, r := range b.reqs {
+			r.Retries++
+		}
+		rep.t.retried += uint64(len(b.reqs))
+		rep.srv.ctrRetries.Inc()
+		rep.recycle(p)
+		p.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// execAttempt runs one attempt of a batch. Without a configured
+// RequestTimeout it is exactly exec. With one, exec runs on a child proc and
+// this worker acts as the watchdog: it parks until the child finishes or the
+// deadline passes, then kills an overdue child and reports errAttemptTimeout.
+// The child signals completion through an interrupt, so a finishing attempt
+// wakes the watchdog immediately rather than at the deadline.
+func (rep *replica) execAttempt(p *sim.Proc, b *batch) error {
+	to := rep.srv.cfg.RequestTimeout
+	if to <= 0 {
+		return rep.exec(p, b)
+	}
+	var (
+		done    bool
+		execErr error
+	)
+	child := rep.srv.pl.K.Spawn(
+		fmt.Sprintf("serve-exec-%s-p%d", rep.t.spec.Name, rep.partIdx),
+		func(cp *sim.Proc) {
+			execErr = rep.exec(cp, b)
+			done = true
+			rep.srv.pl.K.Interrupt(p)
+		})
+	deadline := p.Now() + sim.Time(to)
+	for !done && p.Now() < deadline {
+		p.SleepInterruptible(sim.Duration(deadline - p.Now()))
+	}
+	if done {
+		return execErr
+	}
+	rep.srv.pl.K.Kill(child)
+	return errAttemptTimeout
+}
+
+// recycle tears the replica's connection down without draining it — the
+// stream may be wedged on a hung launch or poisoned by corruption — and
+// connects a fresh enclave incarnation. If the partition happens to be in
+// proceed-trap recovery, the reconnect loop waits it out exactly like
+// failover does.
+func (rep *replica) recycle(p *sim.Proc) {
+	rep.conn.Abandon()
+	rep.srv.pl.SPM.AwaitReady(p, rep.srv.pl.GPUs[rep.partIdx].Part)
+	for {
+		if err := rep.connect(p); err == nil {
+			return
+		}
+		p.Sleep(sim.Millisecond)
+	}
 }
 
 // exec runs one batch on the device. Inference batches upload the combined

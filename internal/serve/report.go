@@ -17,6 +17,8 @@ type TenantResult struct {
 	Completed  uint64
 	Failed     uint64
 	Replayed   uint64 // failover replays (requeue events, summed over requests)
+	Retried    uint64 // watchdog retries (timeout/corruption, summed over requests)
+	Timeouts   uint64 // batch attempts abandoned by the request watchdog
 	Duplicates uint64 // duplicate completions observed (must stay 0)
 
 	// Latency quantiles over completed requests, virtual nanoseconds.
@@ -87,12 +89,12 @@ func (r *Result) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "serving plane: seed=%d policy=%s max-batch=%d window=%s avg-batch=%.2f\n",
 		r.Seed, r.Policy, r.MaxBatch, r.Window, r.AvgBatch())
-	fmt.Fprintf(&b, "%-12s %8s %8s %6s %9s %6s %7s %5s %10s %10s %10s %9s %6s\n",
-		"tenant", "offered", "admitted", "shed", "completed", "failed", "replays", "dups",
+	fmt.Fprintf(&b, "%-12s %8s %8s %6s %9s %6s %7s %7s %5s %10s %10s %10s %9s %6s\n",
+		"tenant", "offered", "admitted", "shed", "completed", "failed", "replays", "retries", "dups",
 		"p50", "p95", "p99", "goodput/s", "shed%")
 	for _, t := range r.Tenants {
-		fmt.Fprintf(&b, "%-12s %8d %8d %6d %9d %6d %7d %5d %10s %10s %10s %9.0f %5.1f%%\n",
-			t.Name, t.Offered, t.Admitted, t.Shed, t.Completed, t.Failed, t.Replayed, t.Duplicates,
+		fmt.Fprintf(&b, "%-12s %8d %8d %6d %9d %6d %7d %7d %5d %10s %10s %10s %9.0f %5.1f%%\n",
+			t.Name, t.Offered, t.Admitted, t.Shed, t.Completed, t.Failed, t.Replayed, t.Retried, t.Duplicates,
 			fmtQ(t.P50NS), fmtQ(t.P95NS), fmtQ(t.P99NS), t.GoodputRPS, t.ShedRate*100)
 	}
 	for _, f := range r.Failures {
@@ -131,6 +133,8 @@ func (srv *Server) result() *Result {
 			Completed:  t.completed,
 			Failed:     t.failed,
 			Replayed:   t.replayed,
+			Retried:    t.retried,
+			Timeouts:   t.timeouts,
 			Duplicates: t.duplicates,
 			P50NS:      t.latHist.Quantile(0.50),
 			P95NS:      t.latHist.Quantile(0.95),

@@ -23,7 +23,13 @@
 //   - a failover-aware retry layer (replica.go): replicas subscribe to SPM
 //     failure records, requests in flight on a proceed-trapped partition
 //     are replayed exactly once after the mOS restarts, and survivors on
-//     other partitions are untouched.
+//     other partitions are untouched. A per-request watchdog
+//     (Config.RequestTimeout) bounds each batch attempt: hung devices and
+//     corrupted sRPC rings are recycled and retried with exponential
+//     backoff up to Config.MaxRetries times, after which the batch
+//     completes with a typed *TimeoutError — so conservation (offered =
+//     completed + shed, zero duplicates) holds under every fault the chaos
+//     harness injects.
 //
 // Tenant isolation is preserved end to end: every tenant owns its session
 // (CPU mEnclave) and its own accelerator mEnclaves on each pooled
@@ -136,6 +142,21 @@ type Config struct {
 	// SMShare is the SM fraction one batch kernel occupies (default 0.5,
 	// so two tenants share a device spatially under MPS).
 	SMShare float64
+
+	// RequestTimeout bounds one batch execution attempt on a replica: a
+	// watchdog abandons the attempt — stream and enclave torn down, a
+	// fresh one connected — when it has not completed within the bound.
+	// 0 disables the watchdog (attempts may block on a hung device
+	// forever, the pre-chaos behaviour).
+	RequestTimeout sim.Duration
+	// MaxRetries bounds additional attempts per batch after the first
+	// (default 3 when RequestTimeout is set; negative means no retries).
+	// A batch that exhausts its attempts completes with a *TimeoutError,
+	// keeping the conservation accounting exact.
+	MaxRetries int
+	// RetryBackoff is the pause before the first retry, doubling on each
+	// subsequent one (default 200µs when RequestTimeout is set).
+	RetryBackoff sim.Duration
 }
 
 func (c *Config) defaults() {
@@ -160,6 +181,17 @@ func (c *Config) defaults() {
 	if c.SMShare <= 0 {
 		c.SMShare = 0.5
 	}
+	if c.RequestTimeout > 0 {
+		if c.MaxRetries == 0 {
+			c.MaxRetries = 3
+		}
+		if c.RetryBackoff <= 0 {
+			c.RetryBackoff = 200 * sim.Microsecond
+		}
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
 }
 
 // Request is one admitted unit of tenant work.
@@ -173,6 +205,9 @@ type Request struct {
 	// Replays counts failover replays (0 for requests never caught by a
 	// partition failure).
 	Replays int
+	// Retries counts watchdog-driven attempt retries (timeouts, ring
+	// corruption) — distinct from Replays, which are partition failovers.
+	Retries int
 
 	class       *workClass
 	done        *sim.Signal
@@ -208,6 +243,7 @@ type tenant struct {
 	offered, admitted, shed uint64
 	completed, failed       uint64
 	replayed, duplicates    uint64
+	retried, timeouts       uint64
 }
 
 // Server is one booted serving plane.
@@ -227,6 +263,9 @@ type Server struct {
 
 	batches   uint64
 	batchReqs uint64
+
+	ctrTimeouts *metrics.Counter // watchdog-expired batch attempts
+	ctrRetries  *metrics.Counter // batch attempts retried after recycle
 
 	failures   []*spm.FailureRecord
 	cancelFail func()
@@ -275,10 +314,12 @@ func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
 	reg := metrics.NewRegistry()
 	reg.Enable()
 	srv := &Server{
-		pl:        pl,
-		cfg:       cfg,
-		reg:       reg,
-		drainCond: sim.NewCond(pl.K),
+		pl:          pl,
+		cfg:         cfg,
+		reg:         reg,
+		drainCond:   sim.NewCond(pl.K),
+		ctrTimeouts: reg.Counter("serve.timeouts"),
+		ctrRetries:  reg.Counter("serve.retries"),
 	}
 	smDemand := uint64(pl.GPUs[0].Dev.SMs() * cfg.SMShare)
 	if smDemand < 1 {

@@ -1,0 +1,172 @@
+package serve_test
+
+import (
+	"errors"
+	"testing"
+
+	"cronus/internal/core"
+	"cronus/internal/serve"
+	"cronus/internal/sim"
+	"cronus/internal/tvm"
+)
+
+// hangConfig is the shared load for the timeout/retry table: one tenant on
+// one partition at a rate where every batch holds a single request, per-item
+// device work (~11µs at 400 flops/ns) far below the 500µs watchdog, so only
+// injected hangs ever trip it.
+func hangConfig(maxRetries int, backoff sim.Duration) serve.Config {
+	return serve.Config{
+		Seed:           13,
+		Window:         10 * sim.Millisecond,
+		Policy:         serve.RoundRobin,
+		MaxBatch:       4,
+		BatchWindow:    50 * sim.Microsecond,
+		GPUPartitions:  1,
+		GPUFlopsPerNs:  400,
+		KeepRequests:   true,
+		RequestTimeout: 500 * sim.Microsecond,
+		MaxRetries:     maxRetries,
+		RetryBackoff:   backoff,
+		Tenants: []serve.TenantSpec{
+			{
+				Name: "ten", Arrival: serve.FixedRate, Rate: 2000, QueueCap: 256,
+				Mix: []serve.WorkClass{{Name: "resnet18", Graph: tvm.ResNet18()}},
+			},
+		},
+	}
+}
+
+// runArmed boots a platform, builds the plane, lets the caller arm device
+// faults, then serves — the handle tests need that serve.Run does not give.
+func runArmed(t *testing.T, cfg serve.Config, arm func(pl *core.Platform)) *serve.Result {
+	t.Helper()
+	pcfg := core.DefaultConfig()
+	pcfg.GPUs = cfg.GPUPartitions
+	pcfg.NPUs = 0
+	pcfg.MPS = true
+	var res *serve.Result
+	err := core.Run(pcfg, func(pl *core.Platform, p *sim.Proc) error {
+		srv, err := serve.New(p, pl, cfg)
+		if err != nil {
+			return err
+		}
+		if arm != nil {
+			arm(pl)
+		}
+		r, err := srv.Serve(p)
+		res = r
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestTimeoutRetryTable drives the watchdog through the ISSUE 4 scenarios:
+// a hang on the first batch, a hang mid-stream, hangs up to and including
+// the last permitted retry, and hangs on every attempt (budget exhausted).
+// Launch ordinals are device-lifetime, so attempt k of the first batch is
+// launch k and everything is deterministic.
+func TestTimeoutRetryTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		hangAt     []uint64 // device launch ordinals that hang
+		maxRetries int
+		wantFailed bool // the hung batch exhausts its budget
+	}{
+		{"hang-first-batch", []uint64{1}, 2, false},
+		{"hang-mid-stream", []uint64{4}, 2, false},
+		{"hang-until-last-retry", []uint64{1, 2}, 2, false},
+		{"hang-all-attempts", []uint64{1, 2, 3}, 2, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := hangConfig(tc.maxRetries, 100*sim.Microsecond)
+			res := runArmed(t, cfg, func(pl *core.Platform) {
+				for _, n := range tc.hangAt {
+					pl.GPUs[0].Dev.ArmLaunchHang(n)
+				}
+			})
+			checkAccounting(t, res)
+			tr := res.Tenants[0]
+			if tr.Timeouts != uint64(len(tc.hangAt)) {
+				t.Errorf("timeouts = %d, want %d (one per armed hang)", tr.Timeouts, len(tc.hangAt))
+			}
+			if tr.Duplicates != 0 {
+				t.Errorf("retries double-completed %d requests", tr.Duplicates)
+			}
+			var timeoutErrs int
+			for _, r := range res.Requests {
+				if r.Done == 0 {
+					t.Errorf("request %d never completed (lost to the hang)", r.ID)
+				}
+				var te *serve.TimeoutError
+				if errors.As(r.Err, &te) {
+					timeoutErrs++
+					if te.Attempts != tc.maxRetries+1 {
+						t.Errorf("request %d gave up after %d attempts, want %d",
+							r.ID, te.Attempts, tc.maxRetries+1)
+					}
+				} else if r.Err != nil {
+					t.Errorf("request %d failed with %v, want nil or *TimeoutError", r.ID, r.Err)
+				}
+			}
+			if tc.wantFailed {
+				if tr.Failed == 0 || timeoutErrs != int(tr.Failed) {
+					t.Errorf("failed = %d with %d typed timeout errors, want equal and > 0",
+						tr.Failed, timeoutErrs)
+				}
+			} else {
+				if tr.Failed != 0 || timeoutErrs != 0 {
+					t.Errorf("failed = %d (typed %d), want 0 — retries should have recovered",
+						tr.Failed, timeoutErrs)
+				}
+				if tr.Retried == 0 {
+					t.Error("no retries recorded despite armed hangs")
+				}
+			}
+		})
+	}
+}
+
+// TestRetryBackoffPinned pins the exponential schedule: with MaxRetries=2 a
+// budget-exhausting batch sleeps backoff + 2·backoff between its three
+// attempts, so doubling the base backoff must shift the failing request's
+// completion instant by exactly 3× the base — no more, no less. Everything
+// else in the two runs is identical virtual time.
+func TestRetryBackoffPinned(t *testing.T) {
+	const base = 100 * sim.Microsecond
+	run := func(backoff sim.Duration) *serve.Request {
+		res := runArmed(t, hangConfig(2, backoff), func(pl *core.Platform) {
+			for _, n := range []uint64{1, 2, 3} {
+				pl.GPUs[0].Dev.ArmLaunchHang(n)
+			}
+		})
+		checkAccounting(t, res)
+		for _, r := range res.Requests {
+			if r.Err != nil {
+				return r
+			}
+		}
+		t.Fatal("no failed request found")
+		return nil
+	}
+	a := run(base)
+	b := run(2 * base)
+	if a.Arrived != b.Arrived {
+		t.Fatalf("arrival instants differ across backoff settings: %v vs %v", a.Arrived, b.Arrived)
+	}
+	shift := sim.Duration(b.Done - a.Done)
+	if shift != 3*base {
+		t.Errorf("doubling backoff shifted completion by %v, want exactly %v (backoff+2·backoff)",
+			shift, 3*base)
+	}
+	// The failing request's total latency bounds the schedule from below:
+	// three timed-out attempts plus the two backoffs.
+	minLat := 3*hangConfig(2, base).RequestTimeout + 3*base
+	if a.Latency() < minLat {
+		t.Errorf("failed request latency %v below the schedule floor %v", a.Latency(), minLat)
+	}
+}

@@ -239,6 +239,7 @@ type PeerFault struct {
 	IPA    uint64 // faulting intermediate physical address
 }
 
+// Error implements error.
 func (e *PeerFault) Error() string {
 	return fmt.Sprintf("spm: peer %q failed; shared memory at %#x revoked", e.Failed, e.IPA)
 }
@@ -246,6 +247,7 @@ func (e *PeerFault) Error() string {
 // PartitionDownError reports that the caller's own partition is not ready.
 type PartitionDownError struct{ Name string }
 
+// Error implements error.
 func (e *PartitionDownError) Error() string {
 	return fmt.Sprintf("spm: partition %q is down or restarted", e.Name)
 }

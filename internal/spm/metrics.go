@@ -21,4 +21,8 @@ var (
 	mTLBHits    = metrics.Default.Counter("spm.tlb.hits")
 	mTLBMisses  = metrics.Default.Counter("spm.tlb.misses")
 	mTLBFlushes = metrics.Default.Counter("spm.tlb.flushes")
+
+	// mAttestFaults counts local-attestation reports refused by an
+	// installed SetAttestFault hook (chaos-injected provisioning outages).
+	mAttestFaults = metrics.Default.Counter("spm.attest.faults_injected")
 )

@@ -25,6 +25,7 @@ const (
 	FailHang
 )
 
+// String names the failure reason.
 func (r FailReason) String() string {
 	switch r {
 	case FailRequested:

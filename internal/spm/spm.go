@@ -7,6 +7,20 @@
 // The SPM also plays the secure monitor's attestation role (§IV-A): it
 // derives the platform attestation key from the fused root of trust,
 // measures mOS images, and signs platform reports.
+//
+// Failure handling is the proceed-trap procedure of §IV-D (recover.go):
+// Fail invalidates a partition's isolation state in one step — stage-2
+// tables cleared, shared-memory grants revoked, registered procs killed —
+// then restarts the device and mOS in a new partition epoch while peers
+// observe *PeerFault on their next access instead of blocking. OnFailure
+// lets policy layers (the serving plane's scheduler) learn of a trap the
+// instant it fires; AwaitReady parks callers until the recovery completes.
+//
+// Two hooks exist for deterministic fault injection (the chaos harness):
+// Fail itself doubles as the crash injection point, and SetAttestFault can
+// veto local-attestation reports to model provisioning outages during a
+// replica restart. Both are ordinary control flow — no test-only build
+// tags — so injected faults exercise exactly the production paths.
 package spm
 
 import (
@@ -35,6 +49,7 @@ const (
 	PartRestarting
 )
 
+// String names the lifecycle state.
 func (s PartState) String() string {
 	switch s {
 	case PartReady:
@@ -167,6 +182,12 @@ type SPM struct {
 	// learn of a proceed-trap recovery the instant it starts.
 	failObs  []failObserver
 	failNext int
+
+	// attestFault, when non-nil, can veto local attestation for a
+	// partition's enclaves (SetAttestFault) — the chaos harness's model of
+	// provisioning/attestation infrastructure failing while a replica
+	// restarts.
+	attestFault func(p *Partition) error
 
 	// Attestation state.
 	rotPriv    attest.PrivateKey
@@ -351,6 +372,12 @@ func (s *SPM) LocalReportFor(p *Partition, eid uint32, enclaveHash attest.Measur
 	if p.state != PartReady {
 		return attest.LocalReport{}, nil, fmt.Errorf("spm: partition %q not ready", p.Name)
 	}
+	if s.attestFault != nil {
+		if err := s.attestFault(p); err != nil {
+			mAttestFaults.Inc()
+			return attest.LocalReport{}, nil, fmt.Errorf("spm: local attestation for partition %q refused: %w", p.Name, err)
+		}
+	}
 	if PartitionID(eid>>24) != p.ID {
 		return attest.LocalReport{}, nil, fmt.Errorf("spm: eid %#x does not belong to partition %d", eid, p.ID)
 	}
@@ -362,3 +389,11 @@ func (s *SPM) LocalReportFor(p *Partition, eid uint32, enclaveHash attest.Measur
 	}
 	return r, s.lsk.Seal(r), nil
 }
+
+// SetAttestFault installs (or, with nil, removes) a veto hook consulted on
+// every local-attestation report request. Returning a non-nil error makes
+// the report fail as if the attestation/provisioning infrastructure were
+// unavailable; callers (sRPC establishment, replica reconnect loops) must
+// treat it as transient and retry. The hook exists for the chaos harness
+// and must be removed before an unrelated platform runs.
+func (s *SPM) SetAttestFault(fn func(p *Partition) error) { s.attestFault = fn }

@@ -25,6 +25,8 @@ type Client struct {
 	streamID uint64
 	track    string // precomputed trace track name ("stream-N")
 	rid      uint64 // next free slot (producer index)
+	calls    uint64 // records pushed on this stream (chaos hook ordinal)
+	lastRec  uint64 // slot index of the most recently pushed record
 	smem     uint64 // owner-side IPA of the region
 	gid      int
 	closed   bool
@@ -166,22 +168,39 @@ func macEqual(a, b []byte) bool {
 
 func spmPartID(eid uint32) spm.PartitionID { return spm.PartitionID(eid >> 24) }
 
+// teardown clears stream state: revokes the smem grant and marks the stream
+// dead so subsequent calls fail fast instead of touching the ring.
+func (c *Client) teardown() {
+	if !c.dead {
+		c.dead = true
+		_ = c.owner.MOS().SPM.Unshare(c.gid)
+	}
+}
+
 // markDead clears stream state after a peer failure (§IV-D: "CRONUS's sRPC
 // automatically clears state when getting the signal").
 func (c *Client) markDead() {
 	if !c.dead {
-		c.dead = true
 		mPeerFailures.Inc()
-		_ = c.owner.MOS().SPM.Unshare(c.gid)
+		c.teardown()
 	}
 }
 
 func (c *Client) fail(err error) error {
 	err = translateFault(err)
-	if errors.Is(err, ErrPeerFailed) {
+	switch {
+	case errors.Is(err, ErrPeerFailed):
 		c.markDead()
+	case errors.Is(err, ErrRingCorrupt):
+		c.teardown() // counted as srpc.ring.corruptions by the detector
 	}
 	return err
+}
+
+// corruptf builds an ErrRingCorrupt-wrapped error for an owner-side
+// consistency violation.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrRingCorrupt, fmt.Sprintf(format, args...))
 }
 
 // Call issues an mECall on the stream. Calls declared async in the EDL
@@ -265,6 +284,17 @@ func (c *Client) push(p *sim.Proc, name string, args []byte, kind uint32, respCa
 			}
 			return c.fail(err)
 		}
+		if sid > c.rid {
+			// The consumer can never pass the producer; either the Sid
+			// word was corrupted or the executor poisoned it after
+			// detecting corruption on its side. Without this check a
+			// poisoned Sid underflows the occupancy computation below and
+			// the pusher waits forever.
+			if db != nil {
+				db.disarm()
+			}
+			return c.fail(corruptf("consumer index %d ahead of producer %d", sid, c.rid))
+		}
 		if c.rid+slots-sid <= c.ring.slots {
 			if db != nil {
 				db.disarm()
@@ -295,12 +325,17 @@ func (c *Client) push(p *sim.Proc, name string, args []byte, kind uint32, respCa
 	if err := c.ring.writeSlots(p, c.rid, full); err != nil {
 		return c.fail(err)
 	}
+	c.lastRec = c.rid
 	c.rid += slots
 	if err := c.ring.writeU64(p, offRid, c.rid); err != nil {
 		return c.fail(err)
 	}
 	mCalls.Inc()
 	mBytesMoved.Add(uint64(len(full)))
+	c.calls++
+	if callHook != nil {
+		callHook(p, c, c.calls)
+	}
 	return nil
 }
 
@@ -326,6 +361,13 @@ func (c *Client) waitSidPast(p *sim.Proc, target uint64) error {
 		if err != nil {
 			return err
 		}
+		if sid > c.rid {
+			// Poisoned or corrupted consumer index (see push). Surfacing
+			// this as ErrRingCorrupt — not a satisfied wait — is what lets
+			// a caller blocked in a synchronous mECall escape when the
+			// executor aborts on a corrupt record.
+			return corruptf("consumer index %d ahead of producer %d", sid, c.rid)
+		}
 		if sid >= target {
 			return nil
 		}
@@ -348,7 +390,7 @@ func (c *Client) checkSticky(p *sim.Proc) error {
 	if err != nil {
 		return c.fail(err)
 	}
-	if sticky == 0 {
+	if sticky == stickyNone {
 		return nil
 	}
 	n, err := c.ring.readU32(p, offErrLen)
@@ -362,7 +404,13 @@ func (c *Client) checkSticky(p *sim.Proc) error {
 	if err := c.ring.view.Read(p, c.ring.base+offErrMsg, msg); err != nil {
 		return c.fail(err)
 	}
-	_ = c.ring.writeU32(p, offSticky, 0) // consumed
+	if sticky == stickyCorrupt {
+		// The executor aborted on a corrupt record; the stream is
+		// unusable. Do not clear the word — every later caller must see
+		// the same terminal condition.
+		return c.fail(corruptf("executor aborted: %s", msg))
+	}
+	_ = c.ring.writeU32(p, offSticky, stickyNone) // consumed
 	return fmt.Errorf("srpc: asynchronous mECall failed: %s", msg)
 }
 
@@ -404,3 +452,64 @@ func (c *Client) Close(p *sim.Proc) error {
 
 // Dead reports whether the stream was torn down by a peer failure.
 func (c *Client) Dead() bool { return c.dead }
+
+// StreamID returns the transport-minted id of this stream (deterministic
+// 1,2,3,… per platform); chaos fault triggers are keyed on it.
+func (c *Client) StreamID() uint64 { return c.streamID }
+
+// Abandon tears the owner side of the stream down without draining the ring
+// or signalling the executor: the grant is revoked and the client marked
+// closed. It is the recovery action after a timed-out or corrupted stream —
+// the executor, if still alive, faults on its next ring access and exits.
+// Abandon is idempotent and never blocks.
+func (c *Client) Abandon() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.teardown()
+}
+
+// InjectRingCorruption XORs the ring header's producer index (Rid) with
+// mask, modelling a flipped word in the trusted shared region. It exists for
+// the chaos harness (internal/chaos): the executor must detect the
+// inconsistent header on its next read and surface ErrRingCorrupt — by
+// poisoning Sid and publishing a sticky corrupt code — rather than misparse.
+func (c *Client) InjectRingCorruption(p *sim.Proc, mask uint64) error {
+	if c.closed || c.dead {
+		return ErrStreamClosed
+	}
+	v, err := c.ring.readU64(p, offRid)
+	if err != nil {
+		return c.fail(err)
+	}
+	if err := c.ring.writeU64(p, offRid, v^mask); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}
+
+// InjectRecordCorruption XORs the slots word in the header of the most
+// recently pushed record, in place in the ring. Unlike a Rid flip — which
+// the owner's next push rewrites with a clean value — a record header is
+// written exactly once, so the corruption reliably reaches the executor
+// whenever it has not yet consumed the record. The executor's framing
+// validation (recordSlots) must reject it and abort the stream with
+// ErrRingCorrupt semantics.
+func (c *Client) InjectRecordCorruption(p *sim.Proc, mask uint32) error {
+	if c.closed || c.dead {
+		return ErrStreamClosed
+	}
+	if mask == 0 {
+		mask = 1
+	}
+	addr := c.ring.slotAddr(c.lastRec) - c.ring.base + 8 // slots word
+	v, err := c.ring.readU32(p, addr)
+	if err != nil {
+		return c.fail(err)
+	}
+	if err := c.ring.writeU32(p, addr, v^mask); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package srpc
+
+import "testing"
+
+// TestRecordSlotsConsistency pins the executor's header validation to the
+// owner's framing: recordSlots must reproduce exactly the slot count push
+// computes for any (payloadLen, respCap), so a header that round-trips
+// uncorrupted always validates and any flipped slots word is rejected.
+func TestRecordSlotsConsistency(t *testing.T) {
+	cases := []struct{ payload, respCap int }{
+		{0, 0}, {1, 0}, {100, 0}, {100, 2048}, {2032, 0}, {2033, 0},
+		{4096, 0}, {4096, 65536}, {10, 100000}, {SlotSize * 3, SlotSize},
+	}
+	for _, c := range cases {
+		// The owner-side computation from push.
+		body := recHdrSize + c.payload
+		if c.respCap+8 > c.payload {
+			body = recHdrSize + c.respCap + 8
+		}
+		want := slotsFor(body)
+		if got := recordSlots(uint32(c.payload), uint32(c.respCap)); got != want {
+			t.Errorf("recordSlots(%d, %d) = %d, push computes %d", c.payload, c.respCap, got, want)
+		}
+		// Any single-bit corruption of the slots word breaks the equality
+		// the executor checks.
+		for bit := uint32(1); bit < 1<<20; bit <<= 1 {
+			if uint64(uint32(want)^bit) == recordSlots(uint32(c.payload), uint32(c.respCap)) {
+				t.Errorf("flipped slots word %d still validates for (%d, %d)", uint32(want)^bit, c.payload, c.respCap)
+			}
+		}
+	}
+}

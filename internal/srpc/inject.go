@@ -1,0 +1,18 @@
+package srpc
+
+import "cronus/internal/sim"
+
+// callHook, when non-nil, observes every successful record push on every
+// stream in the process. It exists solely for the chaos harness.
+var callHook func(p *sim.Proc, c *Client, n uint64)
+
+// SetCallHook installs (or, with nil, removes) a package-level observer that
+// runs after each record push, on the pushing Proc, at the virtual instant
+// the record became visible to the executor. n is the 1-based ordinal of the
+// push on that client's stream, which is how the chaos harness implements
+// "inject on the Nth sRPC call on stream S" triggers deterministically.
+//
+// Exactly one campaign may install the hook at a time, and it must be
+// removed (SetCallHook(nil)) before another simulated platform runs, or the
+// hook would observe — and possibly perturb — an unrelated run.
+func SetCallHook(fn func(p *sim.Proc, c *Client, n uint64)) { callHook = fn }

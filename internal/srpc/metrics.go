@@ -19,4 +19,8 @@ var (
 	// e.g. teardown in progress). Serving-plane runs watch this to detect
 	// event-efficient waits silently degrading.
 	mDoorbellFallback = metrics.Default.Counter("srpc.doorbell.fallback")
+	// mRingCorrupt counts streams aborted by a failed ring-consistency
+	// check (corrupted producer index or record header). Each abort tears
+	// exactly one stream down and surfaces ErrRingCorrupt to its owner.
+	mRingCorrupt = metrics.Default.Counter("srpc.ring.corruptions")
 )

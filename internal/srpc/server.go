@@ -155,6 +155,14 @@ func (s *Server) RunExecutor(p *sim.Proc, streamID uint64) {
 		if err != nil {
 			return // peer failed: traps handled, thread exits (no deadlock, A2)
 		}
+		if rid < st.sid || rid-st.sid > r.slots {
+			// The producer index can never regress below our consumer
+			// index, and flow control bounds it to one ring of backlog. A
+			// value outside that window is a corrupted header word — abort
+			// before trusting any record it implies.
+			s.corrupt(p, st, fmt.Sprintf("producer index %d outside window [%d, %d]", rid, st.sid, st.sid+r.slots))
+			return
+		}
 		if st.sid >= rid {
 			closed, err := r.readU32(p, offClosed)
 			if err != nil || closed == 1 {
@@ -185,8 +193,17 @@ func (s *Server) RunExecutor(p *sim.Proc, streamID uint64) {
 		payloadLen := hd.U32()
 		kind := hd.U32()
 		slots := hd.U32()
-		if hd.Err() != nil || slots == 0 {
-			s.sticky(p, r, fmt.Sprintf("corrupt record at sid %d", st.sid))
+		respCap := hd.U32()
+		// Validate the record header before trusting any field: the kind
+		// must be known, and the slot count must match what push would have
+		// computed for these lengths (which also bounds payloadLen to the
+		// record and the record to the ring). A mismatch means a corrupted
+		// header — misparsing it would desynchronize Sid from the record
+		// framing for the rest of the stream's life.
+		if hd.Err() != nil || kind > kindSync || slots == 0 ||
+			uint64(slots) > r.slots || uint64(slots) != recordSlots(payloadLen, respCap) {
+			s.corrupt(p, st, fmt.Sprintf("corrupt record header at sid %d (len=%d kind=%d slots=%d respCap=%d)",
+				st.sid, payloadLen, kind, slots, respCap))
 			return
 		}
 		body, err := r.readSlots(p, st.sid, recHdrSize+int(payloadLen))
@@ -229,7 +246,7 @@ func (s *Server) RunExecutor(p *sim.Proc, streamID uint64) {
 		} else if callErr != nil {
 			// Asynchronous failure: sticky error, surfaced at the
 			// next synchronization point (CUDA-style).
-			s.sticky(p, r, callErr.Error())
+			s.sticky(p, r, stickyAppErr, callErr.Error())
 		}
 		st.sid += uint64(slots)
 		if err := r.writeU64(p, offSid, st.sid); err != nil {
@@ -238,11 +255,23 @@ func (s *Server) RunExecutor(p *sim.Proc, streamID uint64) {
 	}
 }
 
-func (s *Server) sticky(p *sim.Proc, r *ring, msg string) {
+func (s *Server) sticky(p *sim.Proc, r *ring, code uint32, msg string) {
 	if len(msg) > maxErrMsg {
 		msg = msg[:maxErrMsg]
 	}
 	_ = r.view.Write(p, r.base+offErrMsg, []byte(msg))
 	_ = r.writeU32(p, offErrLen, uint32(len(msg)))
-	_ = r.writeU32(p, offSticky, 1)
+	_ = r.writeU32(p, offSticky, code)
+}
+
+// corrupt is the executor's abort path for a failed ring-consistency check:
+// record the event, publish a sticky corrupt code, then poison Sid to the
+// maximum so every owner-side waiter — sync waits and flow control alike —
+// wakes through the Sid doorbell, observes consumer > producer, and fails
+// with the typed ErrRingCorrupt instead of hanging on a stream nobody will
+// ever advance again.
+func (s *Server) corrupt(p *sim.Proc, st *serverStream, detail string) {
+	mRingCorrupt.Inc()
+	s.sticky(p, st.ring, stickyCorrupt, detail)
+	_ = st.ring.writeU64(p, offSid, ^uint64(0))
 }

@@ -17,6 +17,16 @@
 // access traps, surfaces as *spm.PeerFault, and the stream cleanly reports
 // ErrPeerFailed instead of deadlocking or leaking data to a substituted
 // peer (attacks A1-A3).
+//
+// Neither side trusts the ring's control words: the executor validates the
+// producer index against its consumed window and every record header
+// against the owner's framing before acting on them. A violation aborts the
+// stream — the executor publishes a sticky corruption code and poisons the
+// consumer index so even owners already parked in a synchronous wait or in
+// flow control escape promptly — and every owner-side call from then on
+// returns the typed ErrRingCorrupt. Recovery is re-establishment: Abandon
+// the dead client and Connect a fresh stream. The chaos harness drives this
+// path deliberately via SetCallHook + InjectRecordCorruption.
 package srpc
 
 import (
@@ -69,12 +79,39 @@ const (
 	kindSync  = 1
 )
 
+// Sticky-word codes (offSticky). The executor publishes asynchronous
+// failures here; the owner consumes them at the next synchronization point.
+const (
+	stickyNone    = 0 // healthy
+	stickyAppErr  = 1 // an asynchronous mECall returned an error
+	stickyCorrupt = 2 // the executor detected ring-header corruption
+)
+
 // ErrPeerFailed reports that the communicating partition or mEnclave failed
 // while the stream was live; the stream has cleared its state (§IV-D).
 var ErrPeerFailed = errors.New("srpc: peer failed; stream torn down")
 
 // ErrStreamClosed reports use of a closed stream.
 var ErrStreamClosed = errors.New("srpc: stream closed")
+
+// ErrRingCorrupt reports that a ring-header word (producer/consumer index or
+// a record header) failed consistency validation. The side that detects the
+// corruption stops parsing immediately — a corrupt length or slot count is
+// never trusted — poisons the stream so blocked peers wake with this same
+// typed error, and tears its state down. Callers recover exactly as for
+// ErrPeerFailed: abandon the stream and re-establish.
+var ErrRingCorrupt = errors.New("srpc: ring corruption detected; stream torn down")
+
+// recordSlots is the slot footprint the owner computes in push for a record
+// with the given header words; the executor re-derives it to validate that a
+// decoded header is self-consistent before trusting any length field.
+func recordSlots(payloadLen, respCap uint32) uint64 {
+	body := recHdrSize + int(payloadLen)
+	if int(respCap)+8 > int(payloadLen) {
+		body = recHdrSize + int(respCap) + 8
+	}
+	return slotsFor(body)
+}
 
 // ring provides byte access to an smem region through a memory view,
 // translating PeerFault into the stream-dead condition.
