@@ -43,18 +43,21 @@ bench-serve:
 	@echo "wrote BENCH_serve.json"
 
 # Documentation bar: package docs plus doc comments on every exported
-# identifier of the API-bearing packages (serve, srpc, spm, chaos).
+# identifier of the API-bearing packages (serve, srpc, spm, mos, chaos).
 doc-lint:
 	$(GO) run ./cmd/cronus-doclint
 
-# Short deterministic chaos soak: 3 seeds, all fault kinds, every report
-# replay-verified byte-for-byte. The full soak is `go run ./cmd/cronus-chaos`.
+# Short deterministic chaos soak: 3 seeds over all fault kinds, plus a
+# targeted supervision soak (persistent-hang wedges caught by the heartbeat
+# watchdog, crash loops ending in quarantine), every report replay-verified
+# byte-for-byte. The full soak is `go run ./cmd/cronus-chaos`.
 chaos:
 	$(GO) run ./cmd/cronus-chaos -seeds 3 -verify
+	$(GO) run ./cmd/cronus-chaos -seeds 2 -kinds persistent-hang,crash-loop -faults 2 -verify
 
 # Exactly what .github/workflows/ci.yml runs: build, vet, the full test
 # suite, the race detector over the concurrency-heavy packages, the
-# documentation bar, and a short replay-verified chaos soak.
+# documentation bar, and the replay-verified chaos soaks.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -62,6 +65,7 @@ ci:
 	$(GO) test -race -count=1 ./internal/serve ./internal/srpc ./internal/spm
 	$(GO) run ./cmd/cronus-doclint
 	$(GO) run ./cmd/cronus-chaos -seeds 3 -verify
+	$(GO) run ./cmd/cronus-chaos -seeds 2 -kinds persistent-hang,crash-loop -faults 2 -verify
 
 # Pretty-printed tables for all experiments.
 figures:

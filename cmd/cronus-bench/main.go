@@ -144,6 +144,13 @@ func experimentsList() []experiment {
 			}
 			return experiments.RenderChaosSweep(rows), nil
 		}},
+		{"watchdog", "Watchdog hang detection: bound vs measured latency", func() (fmt.Stringer, error) {
+			rows, err := experiments.HangDetectionSweep()
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderHangDetectionSweep(rows), nil
+		}},
 	}
 }
 

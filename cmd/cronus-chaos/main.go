@@ -1,12 +1,13 @@
 // Command cronus-chaos runs seeded fault-injection soak campaigns against
 // the serving plane (internal/chaos): each seed compiles a deterministic
 // fault schedule (partition crashes, sRPC ring corruption, device hangs,
-// post-restart attestation outages), executes a fault-free baseline and a
-// faulted run over the identical config, and checks the invariants —
-// request conservation with zero duplicates, survivor-tenant latency within
-// tolerance of baseline, crashed-partition memory never readable again, and
-// every injected hang recovered by the watchdog without loss or
-// duplication.
+// post-restart attestation outages, persistent heartbeat hangs, crash
+// loops), executes a fault-free baseline and a faulted run over the
+// identical config, and checks the invariants — request conservation with
+// zero duplicates, survivor-tenant latency within tolerance of baseline,
+// crashed-partition memory never readable again, every injected hang
+// detected by the SPM watchdog within its configured bound, and crash-loops
+// quarantined by the sliding-window policy.
 //
 // The whole campaign is deterministic: the same -seed/-seeds produce
 // byte-identical output. -verify re-runs every seed and byte-compares the
@@ -19,6 +20,7 @@
 //	cronus-chaos -seeds 3 -v             # short soak with full per-seed reports
 //	cronus-chaos -seed 7 -seeds 1 -v     # replay one schedule
 //	cronus-chaos -kinds crash,device-hang
+//	cronus-chaos -kinds persistent-hang,crash-loop
 //	cronus-chaos -verify                 # double-run every seed, byte-compare
 package main
 
@@ -26,7 +28,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"cronus/internal/chaos"
 	"cronus/internal/sim"
@@ -39,7 +40,7 @@ func main() {
 	partitions := flag.Int("partitions", 2, "GPU partitions in the pool")
 	windowMS := flag.Int("window-ms", 10, "load window per run, virtual ms")
 	faults := flag.Int("faults", 3, "faults compiled per schedule")
-	kinds := flag.String("kinds", "", "comma-separated fault kinds (default all): crash,ring-corrupt,device-hang,attest-fail")
+	kinds := flag.String("kinds", "", "comma-separated fault kinds (default all): crash,ring-corrupt,device-hang,attest-fail,persistent-hang,crash-loop")
 	verify := flag.Bool("verify", false, "re-run every seed and byte-compare the reports (replay contract)")
 	verbose := flag.Bool("v", false, "print the full report of every seed, not just failures")
 	flag.Parse()
@@ -50,11 +51,12 @@ func main() {
 		Window:     sim.Duration(*windowMS) * sim.Millisecond,
 		Faults:     *faults,
 	}
-	if *kinds != "" {
-		for _, k := range strings.Split(*kinds, ",") {
-			opts.Kinds = append(opts.Kinds, chaos.Kind(strings.TrimSpace(k)))
-		}
+	parsed, err := chaos.ParseKinds(*kinds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cronus-chaos:", err)
+		os.Exit(2)
 	}
+	opts.Kinds = parsed
 
 	cr, err := chaos.RunCampaign(*baseSeed, *seeds, opts)
 	if err != nil {

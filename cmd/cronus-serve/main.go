@@ -12,6 +12,7 @@
 //	cronus-serve                                  # two-tenant demo load
 //	cronus-serve -seed 7 -policy round-robin
 //	cronus-serve -fail-at-ms 11                   # inject a partition failure
+//	cronus-serve -fail-at-ms 11 -supervise        # with health supervision on
 //	cronus-serve -max-batch 1                     # disable batching
 package main
 
@@ -22,6 +23,7 @@ import (
 
 	"cronus/internal/serve"
 	"cronus/internal/sim"
+	"cronus/internal/spm"
 	"cronus/internal/tvm"
 	"cronus/internal/workload/rodinia"
 )
@@ -38,6 +40,8 @@ func main() {
 	rate := flag.Float64("rate", 3000, "per-tenant offered load, requests per virtual second")
 	failAtMS := flag.Int("fail-at-ms", 0, "inject a FailPanic at this virtual ms (0 = none)")
 	failPart := flag.String("fail-part", "gpu-part0", "partition to fail")
+	supervise := flag.Bool("supervise", false,
+		"enable health supervision: mOS heartbeats + SPM watchdog, restart backoff, crash-loop quarantine, hang-report breaker")
 	showReqs := flag.Bool("requests", false, "dump the per-request timeline")
 	flag.Parse()
 
@@ -53,6 +57,16 @@ func main() {
 	}
 	if *failAtMS > 0 {
 		cfg.FailAt = sim.Duration(*failAtMS) * sim.Millisecond
+	}
+	if *supervise {
+		cfg.Supervision = &spm.Supervision{
+			HeartbeatEvery:  200 * sim.Microsecond,
+			MissedBeats:     3,
+			RestartBackoff:  500 * sim.Microsecond,
+			QuarantineAfter: 3,
+			FailureWindow:   sim.Second,
+		}
+		cfg.HangReportAfter = 2
 	}
 	nn := rodinia.NN()
 	for i := 0; i < *tenants; i++ {

@@ -18,7 +18,11 @@
 // proceed-trap entry point (spm.SPM.Fail), ring corruption rides the sRPC
 // call hook (srpc.SetCallHook + Client.InjectRecordCorruption), device hangs
 // ride the GPU launch path (gpu.Device.ArmLaunchHang), and attestation
-// outages ride the SPM report veto (spm.SPM.SetAttestFault).
+// outages ride the SPM report veto (spm.SPM.SetAttestFault). Two kinds
+// exercise the health supervision layer: persistent hangs kill an mOS's
+// heartbeat publisher (mos.MOS.InjectWedge) so only the SPM watchdog can
+// detect the silence, and crash-loops re-fail a partition through
+// consecutive recoveries until the sliding-window policy quarantines it.
 //
 // RunOne executes one seed twice — a fault-free baseline and a faulted run
 // over the identical serving config — and checks the invariants: request
@@ -56,10 +60,50 @@ const (
 	// pairs it with a KindCrash on the same partition so the restart path
 	// actually runs.
 	KindAttestFail Kind = "attest-fail"
+	// KindPersistentHang wedges a partition's mOS at a virtual instant —
+	// its heartbeat publisher dies while everything else stays up — so the
+	// only path to recovery is the SPM watchdog raising FailHang within
+	// its detection bound.
+	KindPersistentHang Kind = "persistent-hang"
+	// KindCrashLoop crashes the same partition repeatedly, waiting out
+	// each recovery, until the SPM's sliding-window policy quarantines it;
+	// the serving plane must drain the partition and re-place its load.
+	KindCrashLoop Kind = "crash-loop"
 )
 
 // AllKinds is the default fault mix for compiled schedules.
-var AllKinds = []Kind{KindCrash, KindRingCorrupt, KindDeviceHang, KindAttestFail}
+var AllKinds = []Kind{KindCrash, KindRingCorrupt, KindDeviceHang, KindAttestFail,
+	KindPersistentHang, KindCrashLoop}
+
+// ParseKinds parses a comma-separated fault-kind list (the cronus-chaos
+// -kinds flag) against the known kinds, rejecting unknown names.
+func ParseKinds(s string) ([]Kind, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	known := make(map[Kind]bool, len(AllKinds))
+	for _, k := range AllKinds {
+		known[k] = true
+	}
+	var kinds []Kind
+	for _, part := range strings.Split(s, ",") {
+		k := Kind(strings.TrimSpace(part))
+		if !known[k] {
+			return nil, fmt.Errorf("chaos: unknown fault kind %q (known: %s)", k, kindNames())
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}
+
+// kindNames renders AllKinds for error and usage text.
+func kindNames() string {
+	names := make([]string, len(AllKinds))
+	for i, k := range AllKinds {
+		names[i] = string(k)
+	}
+	return strings.Join(names, ",")
+}
 
 // Fault is one compiled fault with its trigger. Which fields are meaningful
 // depends on Kind; the zero values of the others are ignored.
@@ -85,6 +129,9 @@ type Fault struct {
 	// Tenant is the tenant index whose stream a ring corruption targets
 	// (recorded for survivor analysis).
 	Tenant int
+	// Crashes is how many back-to-back crashes a crash-loop injects
+	// (matched to the supervision policy's QuarantineAfter).
+	Crashes int
 }
 
 // String renders the fault and its trigger deterministically.
@@ -99,6 +146,11 @@ func (f *Fault) String() string {
 		return fmt.Sprintf("device-hang  device=gpu%d launch=%d", f.Partition, f.Launch)
 	case KindAttestFail:
 		return fmt.Sprintf("attest-fail partition=gpu-part%d fails=%d", f.Partition, f.Fails)
+	case KindPersistentHang:
+		return fmt.Sprintf("persistent-hang partition=gpu-part%d after=%v", f.Partition, f.After)
+	case KindCrashLoop:
+		return fmt.Sprintf("crash-loop  partition=gpu-part%d after=%v crashes=%d",
+			f.Partition, f.After, f.Crashes)
 	}
 	return string(f.Kind)
 }
@@ -202,8 +254,16 @@ func Compile(seed int64, opts Options) *Schedule {
 		return opts.Window/5 + sim.Duration(rng.Int63n(int64(3*opts.Window/5)))
 	}
 	hangArmed := map[[2]uint64]bool{} // (device, launch) pairs already taken
+	crashLoopDrawn := false           // at most one per schedule (see KindCrashLoop below)
 	for n := 0; n < opts.Faults; n++ {
 		f := &Fault{Kind: opts.Kinds[rng.Intn(len(opts.Kinds))]}
+		if f.Kind == KindCrashLoop && (crashLoopDrawn || opts.Partitions < 2) {
+			// A second crash-loop could quarantine the whole pool and
+			// leave admitted requests unplaceable; a one-partition pool
+			// has no survivors to re-place onto. Degrade the draw to a
+			// plain crash (targets drawn below keep the stream aligned).
+			f.Kind = KindCrash
+		}
 		switch f.Kind {
 		case KindCrash:
 			f.Partition = rng.Intn(opts.Partitions)
@@ -230,6 +290,14 @@ func Compile(seed int64, opts Options) *Schedule {
 			s.Faults = append(s.Faults, &Fault{
 				Kind: KindCrash, Partition: f.Partition, After: crashAfter(),
 			})
+		case KindPersistentHang:
+			f.Partition = rng.Intn(opts.Partitions)
+			f.After = crashAfter()
+		case KindCrashLoop:
+			crashLoopDrawn = true
+			f.Partition = rng.Intn(opts.Partitions)
+			f.After = crashAfter()
+			f.Crashes = quarantineAfter
 		}
 		s.Faults = append(s.Faults, f)
 	}

@@ -3,6 +3,8 @@ package chaos
 import (
 	"strings"
 	"testing"
+
+	"cronus/internal/spm"
 )
 
 // TestScheduleDeterministic pins Compile to its seed: same (seed, Options),
@@ -126,6 +128,110 @@ func TestCrashIsolationProbe(t *testing.T) {
 		if !strings.Contains(l, "stale-read=peer-failed") || !strings.Contains(l, "scrub=zeros") {
 			t.Errorf("probe line %q, want stale-read=peer-failed scrub=zeros", l)
 		}
+	}
+}
+
+// TestParseKinds pins the -kinds flag grammar: empty means default, spaces
+// are trimmed, unknown names are rejected with the known list.
+func TestParseKinds(t *testing.T) {
+	if got, err := ParseKinds(""); err != nil || got != nil {
+		t.Fatalf("ParseKinds(%q) = %v, %v, want nil, nil", "", got, err)
+	}
+	got, err := ParseKinds(" crash , persistent-hang,crash-loop ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KindCrash, KindPersistentHang, KindCrashLoop}
+	if len(got) != len(want) {
+		t.Fatalf("ParseKinds returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseKinds returned %v, want %v", got, want)
+		}
+	}
+	if _, err := ParseKinds("crash,bogus"); err == nil ||
+		!strings.Contains(err.Error(), `"bogus"`) ||
+		!strings.Contains(err.Error(), "crash-loop") {
+		t.Fatalf("ParseKinds accepted an unknown kind (err=%v)", err)
+	}
+}
+
+// TestCrashLoopCompileDegrades pins the crash-loop draw guards: at most one
+// crash-loop per schedule, and none on a one-partition pool (no survivors to
+// re-place onto) — excess draws degrade to plain crashes.
+func TestCrashLoopCompileDegrades(t *testing.T) {
+	s := Compile(17, Options{Kinds: []Kind{KindCrashLoop}, Faults: 3, Partitions: 2})
+	loops, crashes := 0, 0
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case KindCrashLoop:
+			loops++
+			if f.Crashes != quarantineAfter {
+				t.Errorf("crash-loop sized to %d crashes, want %d", f.Crashes, quarantineAfter)
+			}
+		case KindCrash:
+			crashes++
+		}
+	}
+	if loops != 1 || crashes != 2 {
+		t.Errorf("3 crash-loop draws compiled to %d loops + %d crashes, want 1 + 2", loops, crashes)
+	}
+	s1 := Compile(17, Options{Kinds: []Kind{KindCrashLoop}, Faults: 2, Partitions: 1})
+	for _, f := range s1.Faults {
+		if f.Kind == KindCrashLoop {
+			t.Error("crash-loop compiled for a one-partition pool")
+		}
+	}
+}
+
+// TestPersistentHangDetectedByWatchdog drives a persistent-hang-only
+// schedule: the wedge must fire, the SPM watchdog must raise FailHang within
+// the detection bound (checkSupervision enforces the latency), and
+// conservation must hold.
+func TestPersistentHangDetectedByWatchdog(t *testing.T) {
+	o := Options{Kinds: []Kind{KindPersistentHang}, Faults: 1}
+	rr, err := RunOne(13, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Passed() {
+		t.Fatalf("persistent-hang run violated invariants:\n%s", rr.Report())
+	}
+	if rr.FiredCount() != 1 {
+		t.Fatalf("wedge did not fire:\n%s", rr.Report())
+	}
+	if rr.Faulted.FailuresByReason()[spm.FailHang] < 1 {
+		t.Fatalf("no FailHang failover recorded:\n%s", rr.Report())
+	}
+}
+
+// TestCrashLoopEndsQuarantined drives a crash-loop-only schedule: the loop
+// must fire, the partition must finish the run quarantined, and the pinned
+// tenant's load must still be conserved on the surviving partition.
+func TestCrashLoopEndsQuarantined(t *testing.T) {
+	o := Options{Kinds: []Kind{KindCrashLoop}, Faults: 1}
+	rr, err := RunOne(9, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Passed() {
+		t.Fatalf("crash-loop run violated invariants:\n%s", rr.Report())
+	}
+	if rr.FiredCount() == 0 {
+		t.Fatalf("crash-loop did not fire:\n%s", rr.Report())
+	}
+	quarantined := false
+	for _, st := range rr.PartStates {
+		if st == "quarantined" {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatalf("no partition ended quarantined (states %v):\n%s", rr.PartStates, rr.Report())
+	}
+	if !strings.Contains(rr.Report(), "quarantined by crash-loop policy") {
+		t.Errorf("report missing the quarantine failover line:\n%s", rr.Report())
 	}
 }
 

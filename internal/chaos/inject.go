@@ -19,6 +19,10 @@ type Injector struct {
 	pl    *core.Platform
 	sched *Schedule
 	fired []bool
+	// injectAt records, per fault index, the virtual instant a
+	// persistent-hang wedge actually landed (zero otherwise) — the origin
+	// of the watchdog detection-latency assertion.
+	injectAt []sim.Time
 }
 
 // attestOutage is the per-fault countdown of an armed KindAttestFail.
@@ -31,7 +35,12 @@ type attestOutage struct {
 
 // NewInjector binds a schedule to a platform without arming anything.
 func NewInjector(pl *core.Platform, sched *Schedule) *Injector {
-	return &Injector{pl: pl, sched: sched, fired: make([]bool, len(sched.Faults))}
+	return &Injector{
+		pl:       pl,
+		sched:    sched,
+		fired:    make([]bool, len(sched.Faults)),
+		injectAt: make([]sim.Time, len(sched.Faults)),
+	}
 }
 
 // Arm installs every fault in the schedule: crash timer procs, the shared
@@ -58,6 +67,39 @@ func (in *Injector) Arm(p *sim.Proc) {
 			})
 		case KindDeviceHang:
 			in.pl.GPUs[f.Partition].Dev.ArmLaunchHang(f.Launch)
+		case KindPersistentHang:
+			os := in.pl.GPUs[f.Partition].OS
+			in.pl.K.Spawn(fmt.Sprintf("chaos-wedge-%d", i), func(cp *sim.Proc) {
+				cp.Sleep(f.After)
+				// The wedge only lands on a live publisher of a ready
+				// partition; anything else (supervision off, partition
+				// mid-recovery) leaves the fault dormant.
+				if os.InjectWedge() {
+					in.injectAt[i] = cp.Now()
+					in.hit(i)
+				}
+			})
+		case KindCrashLoop:
+			part := in.pl.GPUs[f.Partition].Part
+			in.pl.K.Spawn(fmt.Sprintf("chaos-crashloop-%d", i), func(cp *sim.Proc) {
+				cp.Sleep(f.After)
+				// Crash, wait out the recovery, crash again — each
+				// successful Fail is one sliding-window entry. The loop
+				// ends early once the partition is quarantined (by us or
+				// by overlapping faults).
+				for n := 0; n < f.Crashes; {
+					if rec := in.pl.SPM.Fail(part, spm.FailPanic); rec != nil {
+						in.hit(i)
+						n++
+						if rec.Quarantined {
+							return
+						}
+					}
+					if err := in.pl.SPM.AwaitReady(cp, part); err != nil {
+						return
+					}
+				}
+			})
 		case KindAttestFail:
 			part := in.pl.GPUs[f.Partition].Part
 			outages = append(outages, &attestOutage{
@@ -118,3 +160,7 @@ func (in *Injector) hit(i int) {
 // Schedule.Faults. Dormant faults (triggers the run never reached) are
 // normal for ordinal-based triggers.
 func (in *Injector) Fired() []bool { return in.fired }
+
+// InjectTimes returns the per-fault injection instants (persistent-hang
+// wedges only; zero elsewhere), index-aligned with Schedule.Faults.
+func (in *Injector) InjectTimes() []sim.Time { return in.injectAt }

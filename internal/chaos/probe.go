@@ -111,9 +111,14 @@ func (ps *probeSet) check(p *sim.Proc) (lines, violations []string) {
 				"probe %s: stale read failed with %q, want srpc.ErrPeerFailed", name, err))
 		}
 		// Fresh enclave in the new epoch: the same amount of device memory
-		// must come back fully scrubbed.
+		// must come back fully scrubbed. A quarantined partition never
+		// comes back — the stale-read half above already proved isolation,
+		// and there is no new epoch to audit.
 		scrub := "zeros"
-		ps.pl.SPM.AwaitReady(p, pr.part)
+		if err := ps.pl.SPM.AwaitReady(p, pr.part); err != nil {
+			lines = append(lines, fmt.Sprintf("probe %s: stale-read=%s scrub=quarantined", name, stale))
+			continue
+		}
 		conn2, err := ps.sess.OpenCUDA(p, core.CUDAOptions{
 			Cubin:     gpu.BuildCubin("vec_add"),
 			Partition: name,

@@ -20,6 +20,13 @@ type RunReport struct {
 	Schedule *Schedule
 	// Fired is index-aligned with Schedule.Faults.
 	Fired []bool
+	// InjectAt is index-aligned with Schedule.Faults: the virtual instant a
+	// persistent-hang wedge landed (zero for every other kind).
+	InjectAt []sim.Time
+	// PartStates holds each partition's state after the faulted run drained
+	// (index = partition), the evidence the crash-loop quarantine check
+	// reads.
+	PartStates []string
 	// Baseline and Faulted are the two serving results.
 	Baseline, Faulted *serve.Result
 	// ProbeLines are the isolation-probe audit lines.
@@ -55,6 +62,15 @@ func (rr *RunReport) Report() string {
 			state = "fired"
 		}
 		fmt.Fprintf(&b, "  [%d] %-58s %s\n", i, f, state)
+	}
+	for i, f := range rr.Schedule.Faults {
+		if f.Kind == KindPersistentHang && rr.Fired[i] {
+			fmt.Fprintf(&b, "hang inject: fault %d wedged gpu-part%d at %s\n",
+				i, f.Partition, sim.Duration(rr.InjectAt[i]))
+		}
+	}
+	if len(rr.PartStates) > 0 {
+		fmt.Fprintf(&b, "partition states after drain: %s\n", strings.Join(rr.PartStates, " "))
 	}
 	b.WriteString("faulted run:\n")
 	b.WriteString(indent(rr.Faulted.Report()))

@@ -8,15 +8,37 @@ import (
 	"cronus/internal/core"
 	"cronus/internal/serve"
 	"cronus/internal/sim"
+	"cronus/internal/spm"
 	"cronus/internal/srpc"
 	"cronus/internal/tvm"
 )
 
+// quarantineAfter is the crash-loop policy shared by the fault compiler and
+// the supervision config: Compile sizes a KindCrashLoop fault to exactly
+// this many crashes, so a fired crash-loop always engages quarantine.
+const quarantineAfter = 3
+
+// chaosSupervision is the health-supervision policy every chaos run enables
+// — baseline and faulted alike, so the two timelines stay byte-identical up
+// to the first fault. A 200µs heartbeat with a 3-beat deadline bounds hang
+// detection at 1ms (spm.SPM.HangDetectionBound); quarantineAfter failures
+// inside a 1s window quarantine the partition.
+func chaosSupervision() *spm.Supervision {
+	return &spm.Supervision{
+		HeartbeatEvery:  200 * sim.Microsecond,
+		MissedBeats:     3,
+		RestartBackoff:  500 * sim.Microsecond,
+		MaxBackoff:      4 * sim.Millisecond,
+		QuarantineAfter: quarantineAfter,
+		FailureWindow:   sim.Second,
+	}
+}
+
 // serveConfig is the serving-plane load a chaos seed runs against:
 // device-affinity placement (so fault blast radii are attributable to
 // tenants), dynamic batching, per-request records kept for the conservation
-// audit, and the watchdog/retry layer enabled so hangs and corruption are
-// recoverable.
+// audit, and the watchdog/retry/supervision layers enabled so hangs,
+// corruption, and crash-loops are recoverable or contained.
 func serveConfig(seed int64, o Options) serve.Config {
 	cfg := serve.Config{
 		Seed:           seed,
@@ -30,6 +52,8 @@ func serveConfig(seed int64, o Options) serve.Config {
 		RequestTimeout: 500 * sim.Microsecond,
 		MaxRetries:     3,
 		RetryBackoff:   100 * sim.Microsecond,
+		Supervision:    chaosSupervision(),
+		HangReportAfter: 2,
 	}
 	for ti := 0; ti < o.Tenants; ti++ {
 		cfg.Tenants = append(cfg.Tenants, serve.TenantSpec{
@@ -44,12 +68,13 @@ func serveConfig(seed int64, o Options) serve.Config {
 }
 
 // crashTargets returns the distinct partition indices of the schedule's
-// crash faults, in first-occurrence order.
+// crash and crash-loop faults, in first-occurrence order — the partitions
+// whose epochs will roll and whose memory the probes must audit.
 func (s *Schedule) crashTargets() []int {
 	var parts []int
 	seen := make(map[int]bool)
 	for _, f := range s.Faults {
-		if f.Kind == KindCrash && !seen[f.Partition] {
+		if (f.Kind == KindCrash || f.Kind == KindCrashLoop) && !seen[f.Partition] {
 			seen[f.Partition] = true
 			parts = append(parts, f.Partition)
 		}
@@ -66,7 +91,7 @@ func (s *Schedule) victimTenants(o Options) map[int]bool {
 	victims := make(map[int]bool)
 	for _, f := range s.Faults {
 		switch f.Kind {
-		case KindCrash, KindDeviceHang, KindAttestFail:
+		case KindCrash, KindDeviceHang, KindAttestFail, KindPersistentHang, KindCrashLoop:
 			targetPart[f.Partition] = true
 		case KindRingCorrupt:
 			victims[f.Tenant] = true
@@ -80,15 +105,28 @@ func (s *Schedule) victimTenants(o Options) map[int]bool {
 	return victims
 }
 
+// runArtifacts bundles everything one serving window produces: the serving
+// result plus (faulted runs only) the fired flags, hang-injection instants,
+// post-drain partition states, and the probe audit.
+type runArtifacts struct {
+	res        *serve.Result
+	fired      []bool
+	injectAt   []sim.Time
+	partStates []string
+	probeLines []string
+	probeViol  []string
+}
+
 // execute runs one serving window on a fresh platform. With inject=true the
 // schedule is armed before Serve and audited after; the baseline run still
 // plants the probes so the two timelines stay identical until the first
 // fault fires.
-func execute(sched *Schedule, o Options, inject bool) (res *serve.Result, fired []bool, probeLines, probeViol []string, err error) {
+func execute(sched *Schedule, o Options, inject bool) (*runArtifacts, error) {
 	cfg := serveConfig(sched.Seed, o)
 	pcfg := core.DefaultConfig()
 	pcfg.GPUs = o.Partitions
 	pcfg.NPUs = 0
+	art := &runArtifacts{}
 	runErr := core.Run(pcfg, func(pl *core.Platform, p *sim.Proc) error {
 		srv, err := serve.New(p, pl, cfg)
 		if err != nil {
@@ -107,15 +145,26 @@ func execute(sched *Schedule, o Options, inject bool) (res *serve.Result, fired 
 		if err != nil {
 			return err
 		}
-		res = r
+		art.res = r
 		if inject {
 			inj.Disarm()
-			fired = inj.Fired()
-			probeLines, probeViol = ps.check(p)
+			art.fired = inj.Fired()
+			art.injectAt = inj.InjectTimes()
+			art.probeLines, art.probeViol = ps.check(p)
+			// Partition states are snapshotted after the probe audit: the
+			// probes' AwaitReady waits ride out in-flight recoveries, so a
+			// crash-loop decided at Fail time has actually reached
+			// PartQuarantined by the time the invariant reads the state.
+			for _, g := range pl.GPUs {
+				art.partStates = append(art.partStates, g.Part.State().String())
+			}
 		}
 		return nil
 	})
-	return res, fired, probeLines, probeViol, runErr
+	if runErr != nil {
+		return nil, runErr
+	}
+	return art, nil
 }
 
 // RunOne compiles the seed's schedule and executes it: a fault-free
@@ -126,17 +175,21 @@ func RunOne(seed int64, o Options) (*RunReport, error) {
 	o.defaults()
 	mRuns.Inc()
 	rr := &RunReport{Seed: seed, Opts: o, Schedule: Compile(seed, o)}
-	var err error
-	rr.Baseline, _, _, _, err = execute(rr.Schedule, o, false)
+	base, err := execute(rr.Schedule, o, false)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: baseline run (seed %d): %w", seed, err)
 	}
-	var probeViol []string
-	rr.Faulted, rr.Fired, rr.ProbeLines, probeViol, err = execute(rr.Schedule, o, true)
+	rr.Baseline = base.res
+	art, err := execute(rr.Schedule, o, true)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: faulted run (seed %d): %w", seed, err)
 	}
-	rr.Violations = append(rr.checkInvariants(), probeViol...)
+	rr.Faulted = art.res
+	rr.Fired = art.fired
+	rr.InjectAt = art.injectAt
+	rr.PartStates = art.partStates
+	rr.ProbeLines = art.probeLines
+	rr.Violations = append(rr.checkInvariants(), art.probeViol...)
 	mViolations.Add(uint64(len(rr.Violations)))
 	return rr, nil
 }
@@ -157,12 +210,15 @@ func (rr *RunReport) checkInvariants() []string {
 		}
 		if r.Err != nil {
 			var te *serve.TimeoutError
-			if !errors.As(r.Err, &te) && !errors.Is(r.Err, srpc.ErrRingCorrupt) {
+			var pq *serve.PoolQuarantinedError
+			if !errors.As(r.Err, &te) && !errors.As(r.Err, &pq) &&
+				!errors.Is(r.Err, srpc.ErrRingCorrupt) {
 				v = append(v, fmt.Sprintf("request %d (%s) failed with untyped error %q",
 					r.ID, r.Tenant, r.Err))
 			}
 		}
 	}
+	v = append(v, rr.checkSupervision()...)
 	// Survivors must be indistinguishable from baseline: identical
 	// accounting, p95 within tolerance.
 	victims := rr.Schedule.victimTenants(rr.Opts)
@@ -185,6 +241,58 @@ func (rr *RunReport) checkInvariants() []string {
 		}
 	}
 	return v
+}
+
+// checkSupervision audits the health-supervision invariants: a fired
+// persistent hang must be detected by the watchdog within the configured
+// bound (heartbeat period × (missed beats + 2), mirroring
+// spm.SPM.HangDetectionBound), and a fired crash-loop must leave its
+// partition quarantined after the drain.
+func (rr *RunReport) checkSupervision() []string {
+	var v []string
+	sv := chaosSupervision()
+	bound := sv.HeartbeatEvery * sim.Duration(sv.MissedBeats+2)
+	for i, f := range rr.Schedule.Faults {
+		if !rr.Fired[i] {
+			continue
+		}
+		switch f.Kind {
+		case KindPersistentHang:
+			injected := rr.InjectAt[i]
+			part := fmt.Sprintf("gpu-part%d", f.Partition)
+			detected, reason := firstFailureAfter(rr.Faulted, part, injected)
+			switch {
+			case detected == 0:
+				v = append(v, fmt.Sprintf("persistent hang on %s injected at %s never detected",
+					part, sim.Duration(injected)))
+			case reason == spm.FailHang && sim.Duration(detected-injected) > bound:
+				v = append(v, fmt.Sprintf(
+					"persistent hang on %s detected at %s, %s after injection (bound %s)",
+					part, sim.Duration(detected), sim.Duration(detected-injected), bound))
+			}
+			// A non-hang failure arriving first (an overlapping crash on the
+			// same partition) restarts the mOS and re-arms its heartbeat,
+			// clearing the wedge — detection by proxy, not a violation.
+		case KindCrashLoop:
+			if st := rr.PartStates[f.Partition]; st != "quarantined" {
+				v = append(v, fmt.Sprintf(
+					"crash-loop on gpu-part%d fired but partition ended %q, not quarantined",
+					f.Partition, st))
+			}
+		}
+	}
+	return v
+}
+
+// firstFailureAfter finds the first failure of the named partition at or
+// after t, returning its instant and reason (zero instant when none).
+func firstFailureAfter(res *serve.Result, part string, t sim.Time) (sim.Time, spm.FailReason) {
+	for _, f := range res.Failures {
+		if f.Partition == part && f.FailedAt >= t {
+			return f.FailedAt, f.Reason
+		}
+	}
+	return 0, 0
 }
 
 // conservation checks the flow balance of one run: offered = admitted +

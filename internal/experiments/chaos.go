@@ -39,6 +39,8 @@ func ChaosSweep(seedsPerMix int) ([]ChaosRow, error) {
 		{"device-hang", []chaos.Kind{chaos.KindDeviceHang}, 2},
 		{"ring-corrupt", []chaos.Kind{chaos.KindRingCorrupt}, 2},
 		{"attest-fail", []chaos.Kind{chaos.KindAttestFail}, 1},
+		{"persistent-hang", []chaos.Kind{chaos.KindPersistentHang}, 2},
+		{"crash-loop", []chaos.Kind{chaos.KindCrashLoop}, 1},
 		{"all", nil, 3},
 	}
 	var rows []ChaosRow

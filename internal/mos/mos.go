@@ -6,6 +6,7 @@
 package mos
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"cronus/internal/attest"
@@ -41,6 +42,12 @@ type MOS struct {
 	Shim  *Shim
 	HAL   HAL
 	EM    *EnclaveManager
+
+	// Heartbeat publisher state (StartHeartbeat): the beat period and the
+	// current incarnation's publisher proc, tracked so InjectWedge can
+	// kill it and the restart hook can respawn it.
+	beatEvery sim.Duration
+	beatProc  *sim.Proc
 }
 
 // Boot starts an mOS in its partition: shim construction, HAL/device
@@ -69,6 +76,11 @@ func Boot(p *sim.Proc, s *spm.SPM, part *spm.Partition, hal HAL) (*MOS, error) {
 			defer part.Unregister(proc)
 			_ = hal.Init(proc, m.Shim)
 		})
+		// The old incarnation's heartbeat publisher died with the
+		// partition; the fresh one re-arms a new beat page.
+		if m.beatEvery > 0 {
+			m.startBeats()
+		}
 	})
 	return m, nil
 }
@@ -77,16 +89,61 @@ func Boot(p *sim.Proc, s *spm.SPM, part *spm.Partition, hal HAL) (*MOS, error) {
 // proceed-trap recovery for this partition.
 func (m *MOS) Panic() { m.SPM.Fail(m.Part, spm.FailPanic) }
 
-// StartHeartbeat opts into watchdog supervision and spawns the beat loop.
-func (m *MOS) StartHeartbeat() {
+// StartHeartbeat opts the partition into watchdog supervision and spawns
+// the heartbeat publisher: a registered mOS proc that allocates one
+// SPM-visible page, arms it as the partition's heartbeat word, and bumps
+// the word every `every` (the cost model's HangPollEvery when zero). The
+// publisher is respawned with a fresh page after every partition restart.
+func (m *MOS) StartHeartbeat(every sim.Duration) {
+	if every <= 0 {
+		every = m.Costs.HangPollEvery
+	}
+	m.beatEvery = every
 	m.Part.WatchHangs()
+	m.startBeats()
+}
+
+// startBeats spawns the heartbeat publisher for the current incarnation.
+func (m *MOS) startBeats() {
 	proc := m.K.Spawn(m.Part.Name+"-heartbeat", func(p *sim.Proc) {
-		for {
-			p.Sleep(m.Costs.HangPollEvery)
-			m.Part.Heartbeat(p.Now())
+		m.Part.Register(p)
+		defer m.Part.Unregister(p)
+		ipa, err := m.Shim.AllocPages(p, 1)
+		if err != nil {
+			return
+		}
+		m.Part.ArmHeartbeat(ipa)
+		view := m.Shim.View()
+		var word [8]byte
+		for n := uint64(1); ; n++ {
+			p.Sleep(m.beatEvery)
+			binary.LittleEndian.PutUint64(word[:], n)
+			// A write failure means the incarnation died under us; the
+			// replacement publisher belongs to the restart hook.
+			if err := view.Write(p, ipa, word[:]); err != nil {
+				return
+			}
 		}
 	})
-	m.Part.Register(proc)
+	m.beatProc = proc
+}
+
+// InjectWedge models a wedged mOS for the chaos harness: the heartbeat
+// publisher is killed while the partition otherwise stays up, so the only
+// way the SPM can learn of the hang is the watchdog deadline. Reports
+// whether a live publisher was wedged (false when supervision is off or
+// the partition is not ready).
+func (m *MOS) InjectWedge() bool {
+	if m.beatProc == nil || m.beatProc.Dead() || m.beatProc.Killed() {
+		return false
+	}
+	if m.Part.State() != spm.PartReady {
+		return false
+	}
+	m.Part.Unregister(m.beatProc)
+	m.K.Kill(m.beatProc)
+	m.beatProc = nil
+	return true
 }
 
 // Shim is the mOS's shim kernel: the LibOS-style layer that gives drivers

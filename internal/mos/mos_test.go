@@ -343,7 +343,7 @@ func TestPartitionRestartRebuildsEnclaveManager(t *testing.T) {
 
 func TestHeartbeatKeepsWatchdogQuiet(t *testing.T) {
 	err := testrig.Run(testrig.DefaultOptions(), func(rig *testrig.Rig, _ []testrig.ExtraGPU, p *sim.Proc) error {
-		rig.GPUOS.StartHeartbeat()
+		rig.GPUOS.StartHeartbeat(0)
 		wd := rig.SPM.EnableWatchdog()
 		p.Sleep(20 * rig.Costs.HangPollEvery)
 		if rig.GPUPart.Epoch() != 0 {

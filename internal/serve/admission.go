@@ -53,6 +53,50 @@ func (t *tenant) inSystem() int {
 	return n
 }
 
+// capacity reports the tenant's usable and total replica slots for the
+// degraded-admission bound. Only quarantined replicas count as lost:
+// transient failovers recover in bounded time and must not perturb
+// admission (survivor accounting under a one-shot fault stays identical to
+// the baseline). Under DeviceAffinity the tenant only ever uses its pinned
+// replica, so capacity is that single slot — unless the pin is quarantined
+// and the scheduler is falling back to spreading over the survivors.
+func (srv *Server) capacity(t *tenant) (usable, total int) {
+	if len(t.reps) == 0 {
+		return 0, 0
+	}
+	if srv.cfg.Policy == DeviceAffinity && !t.reps[t.idx%len(t.reps)].quarantined {
+		return 1, 1
+	}
+	total = len(t.reps)
+	for _, rep := range t.reps {
+		if !rep.quarantined {
+			usable++
+		}
+	}
+	return usable, total
+}
+
+// effectiveCap is the degraded-mode admission bound: the configured queue
+// cap scaled by the fraction of usable replica capacity, so a pool running
+// at half capacity admits half the in-flight work and sheds the rest with
+// typed *OverloadError instead of letting queues collapse onto the
+// survivors. Full capacity returns the configured cap unchanged; zero
+// usable capacity admits nothing.
+func (srv *Server) effectiveCap(t *tenant) int {
+	usable, total := srv.capacity(t)
+	if usable == total {
+		return t.q.cap
+	}
+	if usable == 0 {
+		return 0
+	}
+	c := t.q.cap * usable / total
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
 // push appends an admitted request and wakes the dispatcher.
 func (q *queue) push(r *Request) {
 	q.items = append(q.items, r)
@@ -117,9 +161,9 @@ func (q *queue) close() {
 // completion signal for closed-loop callers.
 func (srv *Server) submit(p *sim.Proc, t *tenant, cl *workClass, withSignal bool) (*Request, error) {
 	t.offered++
-	if t.inSystem() >= t.q.cap {
+	if limit := srv.effectiveCap(t); t.inSystem() >= limit {
 		t.shed++
-		return nil, &OverloadError{Tenant: t.spec.Name, Cap: t.q.cap}
+		return nil, &OverloadError{Tenant: t.spec.Name, Cap: limit}
 	}
 	srv.nextID++
 	r := &Request{

@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"testing"
+
+	"cronus/internal/sim"
+)
+
+func TestReconnectBackoffSchedule(t *testing.T) {
+	base, max := sim.Millisecond, 16*sim.Millisecond
+	cases := []struct {
+		attempt int
+		want    sim.Duration
+	}{
+		{1, sim.Millisecond},
+		{2, 2 * sim.Millisecond},
+		{3, 4 * sim.Millisecond},
+		{4, 8 * sim.Millisecond},
+		{5, 16 * sim.Millisecond},
+		{6, 16 * sim.Millisecond}, // capped
+		{10, 16 * sim.Millisecond},
+	}
+	for _, c := range cases {
+		if got := reconnectBackoff(base, max, c.attempt); got != c.want {
+			t.Errorf("reconnectBackoff(attempt=%d) = %v, want %v", c.attempt, got, c.want)
+		}
+	}
+	if got := reconnectBackoff(20*sim.Millisecond, 16*sim.Millisecond, 1); got != 16*sim.Millisecond {
+		t.Errorf("base above max = %v, want clamped to 16ms", got)
+	}
+}

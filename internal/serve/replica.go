@@ -7,6 +7,7 @@ import (
 	"cronus/internal/core"
 	"cronus/internal/gpu"
 	"cronus/internal/sim"
+	"cronus/internal/spm"
 	"cronus/internal/srpc"
 )
 
@@ -35,7 +36,13 @@ type replica struct {
 	pending     []*batch
 	outstanding int
 	down        bool
+	quarantined bool // partition crash-looped into quarantine; park until release
 	cond        *sim.Cond
+
+	// consecTimeouts is the circuit-breaker state: consecutive attempt
+	// timeouts without an intervening success. Reaching
+	// Config.HangReportAfter reports the partition to the SPM as hung.
+	consecTimeouts int
 }
 
 func newReplica(p *sim.Proc, srv *Server, t *tenant, pi int, smDemand uint64) (*replica, error) {
@@ -129,6 +136,10 @@ var errAttemptTimeout = errors.New("serve: batch attempt timed out")
 // requeue and reconnect.
 func (rep *replica) run(p *sim.Proc) {
 	for {
+		if rep.quarantined {
+			rep.awaitRelease(p)
+			continue
+		}
 		if rep.down {
 			rep.failover(p)
 			continue
@@ -176,27 +187,110 @@ func (rep *replica) requeue(rs []*Request) {
 }
 
 // failover drains anything still held, waits for the SPM to finish the
-// partition's proceed-trap recovery, and reconnects. The retry loop covers
-// a partition that fails again while we reconnect.
+// partition's proceed-trap recovery, and reconnects with bounded
+// exponential backoff. A partition quarantined while we wait flips the
+// replica into the release-parking path instead.
 func (rep *replica) failover(p *sim.Proc) {
-	if len(rep.pending) > 0 {
-		var rs []*Request
-		for _, b := range rep.pending {
-			rs = append(rs, b.reqs...)
-		}
-		rep.pending = nil
-		rep.requeue(rs)
+	rep.drainPending()
+	part := rep.srv.pl.GPUs[rep.partIdx].Part
+	if err := rep.srv.pl.SPM.AwaitReady(p, part); err != nil {
+		rep.quarantined = true
+		return
 	}
-	rep.srv.pl.SPM.AwaitReady(p, rep.srv.pl.GPUs[rep.partIdx].Part)
 	// Driver re-probe settle time before the session re-creates enclaves.
 	p.Sleep(500 * sim.Microsecond)
-	for {
-		if err := rep.connect(p); err == nil {
-			break
-		}
-		p.Sleep(sim.Millisecond)
+	if err := rep.reconnect(p); err != nil {
+		rep.quarantined = true
+		return
 	}
 	rep.down = false
+	rep.consecTimeouts = 0
+}
+
+// drainPending requeues every batch the replica still holds so the
+// dispatcher re-places the load on surviving replicas.
+func (rep *replica) drainPending() {
+	if len(rep.pending) == 0 {
+		return
+	}
+	var rs []*Request
+	for _, b := range rep.pending {
+		rs = append(rs, b.reqs...)
+	}
+	rep.pending = nil
+	rep.requeue(rs)
+}
+
+// reconnectBackoff is the delay after reconnect attempt n (1-based): the
+// base doubling per attempt, capped at max.
+func reconnectBackoff(base, max sim.Duration, attempt int) sim.Duration {
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// reconnect re-creates the replica's enclave, retrying with exponential
+// backoff (Config.ReconnectBackoff doubling up to ReconnectBackoffMax) and
+// counting every attempt in serve.reconnect.attempts. It waits out any
+// in-flight recovery before each attempt; a quarantined partition surfaces
+// as a typed *spm.QuarantinedError — immediately via AwaitReady, or at the
+// ReconnectMaxAttempts cap if the quarantine engaged mid-attempt. A
+// partition that is merely slow keeps being retried at the capped backoff.
+func (rep *replica) reconnect(p *sim.Proc) error {
+	part := rep.srv.pl.GPUs[rep.partIdx].Part
+	cfg := &rep.srv.cfg
+	for attempt := 1; ; attempt++ {
+		if err := rep.srv.pl.SPM.AwaitReady(p, part); err != nil {
+			return err
+		}
+		rep.srv.ctrReconnects.Inc()
+		if err := rep.connect(p); err == nil {
+			return nil
+		}
+		if attempt >= cfg.ReconnectMaxAttempts && part.State() == spm.PartQuarantined {
+			return &spm.QuarantinedError{Partition: rep.partName}
+		}
+		p.Sleep(reconnectBackoff(cfg.ReconnectBackoff, cfg.ReconnectBackoffMax, attempt))
+	}
+}
+
+// awaitRelease parks the worker while its partition sits in quarantine:
+// held batches are requeued so load re-places on surviving replicas, then
+// the worker waits through the quarantine for the operator's release and
+// rejoins the pool with a fresh enclave.
+func (rep *replica) awaitRelease(p *sim.Proc) {
+	rep.drainPending()
+	part := rep.srv.pl.GPUs[rep.partIdx].Part
+	rep.srv.pl.SPM.AwaitRelease(p, part)
+	// Same driver re-probe settle as the failover path.
+	p.Sleep(500 * sim.Microsecond)
+	if err := rep.reconnect(p); err != nil {
+		return // re-quarantined: the worker loop parks again
+	}
+	rep.quarantined = false
+	rep.down = false
+	rep.consecTimeouts = 0
+}
+
+// reportHang is the circuit breaker tripping: Config.HangReportAfter
+// consecutive attempt timeouts mean the partition is wedged, so instead of
+// retrying blindly the replica reports the symptom to the SPM — closing
+// the loop from per-request timeout to FailHang — and hands its batch to
+// the failover path by failing with ErrPeerFailed.
+func (rep *replica) reportHang(p *sim.Proc) error {
+	rep.consecTimeouts = 0
+	rep.srv.ctrHangReports.Inc()
+	rep.srv.pl.SPM.Fail(rep.srv.pl.GPUs[rep.partIdx].Part, spm.FailHang)
+	return fmt.Errorf("serve: replica %s/p%d reported hang after consecutive timeouts: %w",
+		rep.t.spec.Name, rep.partIdx, srpc.ErrPeerFailed)
 }
 
 // execWithRetry drives one batch through bounded attempts. Peer failures
@@ -210,21 +304,33 @@ func (rep *replica) execWithRetry(p *sim.Proc, b *batch) error {
 	backoff := rep.srv.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		err := rep.execAttempt(p, b)
-		if err == nil || errors.Is(err, srpc.ErrPeerFailed) {
+		if err == nil {
+			rep.consecTimeouts = 0
+			return nil
+		}
+		if errors.Is(err, srpc.ErrPeerFailed) {
 			return err
 		}
 		timedOut := errors.Is(err, errAttemptTimeout)
 		if timedOut {
 			rep.t.timeouts++
 			rep.srv.ctrTimeouts.Inc()
-		}
-		if !timedOut && !errors.Is(err, srpc.ErrRingCorrupt) {
-			return err
+			rep.consecTimeouts++
+			if hr := rep.srv.cfg.HangReportAfter; hr > 0 && rep.consecTimeouts >= hr {
+				return rep.reportHang(p)
+			}
+		} else {
+			rep.consecTimeouts = 0
+			if !errors.Is(err, srpc.ErrRingCorrupt) {
+				return err
+			}
 		}
 		if attempt >= rep.srv.cfg.MaxRetries {
 			// Budget exhausted: still recycle, so the wedged stream does
 			// not bleed one more timeout into the next batch.
-			rep.recycle(p)
+			if rerr := rep.recycle(p); rerr != nil {
+				return fmt.Errorf("serve: recycle refused: %v: %w", rerr, srpc.ErrPeerFailed)
+			}
 			if timedOut {
 				return &TimeoutError{Tenant: rep.t.spec.Name, Attempts: attempt + 1}
 			}
@@ -235,7 +341,9 @@ func (rep *replica) execWithRetry(p *sim.Proc, b *batch) error {
 		}
 		rep.t.retried += uint64(len(b.reqs))
 		rep.srv.ctrRetries.Inc()
-		rep.recycle(p)
+		if rerr := rep.recycle(p); rerr != nil {
+			return fmt.Errorf("serve: recycle refused: %v: %w", rerr, srpc.ErrPeerFailed)
+		}
 		p.Sleep(backoff)
 		backoff *= 2
 	}
@@ -278,16 +386,10 @@ func (rep *replica) execAttempt(p *sim.Proc, b *batch) error {
 // stream may be wedged on a hung launch or poisoned by corruption — and
 // connects a fresh enclave incarnation. If the partition happens to be in
 // proceed-trap recovery, the reconnect loop waits it out exactly like
-// failover does.
-func (rep *replica) recycle(p *sim.Proc) {
+// failover does; a quarantined partition surfaces the typed refusal.
+func (rep *replica) recycle(p *sim.Proc) error {
 	rep.conn.Abandon()
-	rep.srv.pl.SPM.AwaitReady(p, rep.srv.pl.GPUs[rep.partIdx].Part)
-	for {
-		if err := rep.connect(p); err == nil {
-			return
-		}
-		p.Sleep(sim.Millisecond)
-	}
+	return rep.reconnect(p)
 }
 
 // exec runs one batch on the device. Inference batches upload the combined

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cronus/internal/sim"
+	"cronus/internal/spm"
 )
 
 // TenantResult is one tenant's per-run SLO accounting.
@@ -35,12 +36,16 @@ type TenantResult struct {
 
 // FailureSummary is one partition failure observed during the run.
 // Recovered is false when the run drained before the partition's mOS
-// restart completed (replays were absorbed by surviving replicas).
+// restart completed (replays were absorbed by surviving replicas) — or,
+// when Quarantined is set, because the crash-loop policy refused the
+// restart outright.
 type FailureSummary struct {
-	Partition  string
-	FailedAt   sim.Time
-	Recovered  bool
-	DowntimeNS sim.Duration
+	Partition   string
+	Reason      spm.FailReason
+	FailedAt    sim.Time
+	Recovered   bool
+	Quarantined bool
+	DowntimeNS  sim.Duration
 }
 
 // Result is the outcome of one serving-plane run. All fields derive from
@@ -98,15 +103,35 @@ func (r *Result) Report() string {
 			fmtQ(t.P50NS), fmtQ(t.P95NS), fmtQ(t.P99NS), t.GoodputRPS, t.ShedRate*100)
 	}
 	for _, f := range r.Failures {
-		if f.Recovered {
-			fmt.Fprintf(&b, "failover: %s failed at %s, down %s\n",
-				f.Partition, sim.Duration(f.FailedAt), f.DowntimeNS)
-		} else {
-			fmt.Fprintf(&b, "failover: %s failed at %s, still recovering when the run drained\n",
-				f.Partition, sim.Duration(f.FailedAt))
+		switch {
+		case f.Quarantined:
+			fmt.Fprintf(&b, "failover: %s failed at %s (%s), quarantined by crash-loop policy\n",
+				f.Partition, sim.Duration(f.FailedAt), f.Reason)
+		case f.Recovered:
+			fmt.Fprintf(&b, "failover: %s failed at %s (%s), down %s\n",
+				f.Partition, sim.Duration(f.FailedAt), f.Reason, f.DowntimeNS)
+		default:
+			fmt.Fprintf(&b, "failover: %s failed at %s (%s), still recovering when the run drained\n",
+				f.Partition, sim.Duration(f.FailedAt), f.Reason)
 		}
 	}
+	if len(r.Failures) > 0 {
+		byReason := r.FailuresByReason()
+		fmt.Fprintf(&b, "failures by reason: requested=%d panic=%d hang=%d\n",
+			byReason[spm.FailRequested], byReason[spm.FailPanic], byReason[spm.FailHang])
+	}
 	return b.String()
+}
+
+// FailuresByReason counts the run's partition failures per FailReason —
+// the report's split of watchdog detections from panics and requested
+// restarts.
+func (r *Result) FailuresByReason() map[spm.FailReason]int {
+	out := make(map[spm.FailReason]int)
+	for _, f := range r.Failures {
+		out[f.Reason]++
+	}
+	return out
 }
 
 func fmtQ(ns float64) string { return sim.Duration(ns).String() }
@@ -152,7 +177,12 @@ func (srv *Server) result() *Result {
 		res.Tenants = append(res.Tenants, tr)
 	}
 	for _, rec := range srv.failures {
-		fs := FailureSummary{Partition: rec.Partition, FailedAt: rec.FailedAt}
+		fs := FailureSummary{
+			Partition:   rec.Partition,
+			Reason:      rec.Reason,
+			FailedAt:    rec.FailedAt,
+			Quarantined: rec.Quarantined,
+		}
 		if rec.ReadyAt > 0 {
 			fs.Recovered = true
 			fs.DowntimeNS = rec.Downtime()

@@ -64,32 +64,78 @@ func (srv *Server) dispatch(p *sim.Proc, t *tenant) {
 				}
 			}
 		}
-		rep := srv.place(p, t, b)
+		rep, err := srv.place(p, t, b)
+		if err != nil {
+			// No usable replica can ever take this batch (the whole pool
+			// is quarantined): complete the admitted requests with the
+			// typed error so conservation holds instead of polling
+			// forever.
+			for _, r := range b.reqs {
+				srv.complete(p, t, r, err)
+			}
+			t.held = 0
+			continue
+		}
 		rep.enqueue(b)
 		t.held = 0
 	}
 }
 
+// PoolQuarantinedError is the typed completion error of an admitted request
+// that can never be placed: every replica of its tenant sits on a
+// quarantined partition, so no reconnect will revive capacity until an
+// operator releases one. It counts as Failed in the tenant accounting.
+type PoolQuarantinedError struct {
+	Tenant string
+}
+
+// Error implements error.
+func (e *PoolQuarantinedError) Error() string {
+	return fmt.Sprintf("serve: tenant %s has no usable replica (all partitions quarantined)", e.Tenant)
+}
+
 // place picks a replica for the batch under the configured policy, waiting
-// out total outages (every replica down, e.g. mid-failover on a one-
+// out transient outages (every replica down, e.g. mid-failover on a one-
 // partition pool) by polling: the batch is already popped, so it must land
-// somewhere.
-func (srv *Server) place(p *sim.Proc, t *tenant, b *batch) *replica {
+// somewhere. A pool that is entirely quarantined is not transient — place
+// gives up with a *PoolQuarantinedError instead of polling forever.
+func (srv *Server) place(p *sim.Proc, t *tenant, b *batch) (*replica, error) {
 	for {
 		if rep := srv.pick(t); rep != nil {
 			srv.batches++
 			srv.batchReqs += uint64(len(b.reqs))
-			return rep
+			return rep, nil
+		}
+		if srv.allQuarantined(t) {
+			return nil, &PoolQuarantinedError{Tenant: t.spec.Name}
 		}
 		p.Sleep(100 * sim.Microsecond)
 	}
 }
 
+// allQuarantined reports whether every replica of the tenant is parked on a
+// quarantined partition.
+func (srv *Server) allQuarantined(t *tenant) bool {
+	for _, rep := range t.reps {
+		if !rep.quarantined {
+			return false
+		}
+	}
+	return true
+}
+
 // pick applies the placement policy over the tenant's live replicas.
+// Quarantined replicas are skipped everywhere; a DeviceAffinity tenant
+// whose pinned partition is quarantined degrades to least-outstanding over
+// the surviving replicas (re-placing load beats refusing it — affinity is
+// a performance preference, quarantine an availability fact).
 func (srv *Server) pick(t *tenant) *replica {
 	switch srv.cfg.Policy {
 	case DeviceAffinity:
 		rep := t.reps[t.idx%len(t.reps)]
+		if rep.quarantined {
+			return pickLeastOutstanding(t)
+		}
 		if rep.down {
 			return nil
 		}
@@ -98,23 +144,29 @@ func (srv *Server) pick(t *tenant) *replica {
 		for i := 0; i < len(t.reps); i++ {
 			rep := t.reps[t.rrNext%len(t.reps)]
 			t.rrNext++
-			if !rep.down {
+			if !rep.down && !rep.quarantined {
 				return rep
 			}
 		}
 		return nil
 	case LeastOutstanding:
-		var best *replica
-		for _, rep := range t.reps {
-			if rep.down {
-				continue
-			}
-			if best == nil || rep.outstanding < best.outstanding {
-				best = rep
-			}
-		}
-		return best
+		return pickLeastOutstanding(t)
 	default:
 		panic(fmt.Sprintf("serve: unknown policy %q", srv.cfg.Policy))
 	}
+}
+
+// pickLeastOutstanding picks the usable replica with the fewest queued or
+// executing requests (ties: lowest partition index).
+func pickLeastOutstanding(t *tenant) *replica {
+	var best *replica
+	for _, rep := range t.reps {
+		if rep.down || rep.quarantined {
+			continue
+		}
+		if best == nil || rep.outstanding < best.outstanding {
+			best = rep
+		}
+	}
+	return best
 }

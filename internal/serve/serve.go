@@ -157,6 +157,26 @@ type Config struct {
 	// RetryBackoff is the pause before the first retry, doubling on each
 	// subsequent one (default 200µs when RequestTimeout is set).
 	RetryBackoff sim.Duration
+
+	// Supervision, when set, enables SPM partition health supervision for
+	// the run: every pooled partition's mOS publishes heartbeats, the SPM
+	// watchdog fails silent partitions with FailHang, and the restart
+	// backoff / crash-loop quarantine policy applies.
+	Supervision *spm.Supervision
+	// HangReportAfter arms the replica circuit breaker: that many
+	// consecutive attempt timeouts make the replica report its partition
+	// to the SPM as hung (FailHang) instead of retrying blindly. 0
+	// disables the breaker.
+	HangReportAfter int
+
+	// ReconnectBackoff is the base delay between replica reconnect
+	// attempts after a failover or recycle, doubling per attempt up to
+	// ReconnectBackoffMax (defaults 1ms and 16ms). ReconnectMaxAttempts
+	// (default 8) bounds the attempts against a quarantined partition,
+	// after which the reconnect fails with a typed *spm.QuarantinedError.
+	ReconnectBackoff     sim.Duration
+	ReconnectBackoffMax  sim.Duration
+	ReconnectMaxAttempts int
 }
 
 func (c *Config) defaults() {
@@ -191,6 +211,15 @@ func (c *Config) defaults() {
 	}
 	if c.MaxRetries < 0 {
 		c.MaxRetries = 0
+	}
+	if c.ReconnectBackoff <= 0 {
+		c.ReconnectBackoff = sim.Millisecond
+	}
+	if c.ReconnectBackoffMax <= 0 {
+		c.ReconnectBackoffMax = 16 * sim.Millisecond
+	}
+	if c.ReconnectMaxAttempts <= 0 {
+		c.ReconnectMaxAttempts = 8
 	}
 }
 
@@ -264,8 +293,10 @@ type Server struct {
 	batches   uint64
 	batchReqs uint64
 
-	ctrTimeouts *metrics.Counter // watchdog-expired batch attempts
-	ctrRetries  *metrics.Counter // batch attempts retried after recycle
+	ctrTimeouts    *metrics.Counter // watchdog-expired batch attempts
+	ctrRetries     *metrics.Counter // batch attempts retried after recycle
+	ctrReconnects  *metrics.Counter // replica reconnect attempts (failover/recycle)
+	ctrHangReports *metrics.Counter // circuit-breaker FailHang reports to the SPM
 
 	failures   []*spm.FailureRecord
 	cancelFail func()
@@ -318,8 +349,21 @@ func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
 		cfg:         cfg,
 		reg:         reg,
 		drainCond:   sim.NewCond(pl.K),
-		ctrTimeouts: reg.Counter("serve.timeouts"),
-		ctrRetries:  reg.Counter("serve.retries"),
+		ctrTimeouts:    reg.Counter("serve.timeouts"),
+		ctrRetries:     reg.Counter("serve.retries"),
+		ctrReconnects:  reg.Counter("serve.reconnect.attempts"),
+		ctrHangReports: reg.Counter("serve.hang_reports"),
+	}
+	// Partition health supervision: arm heartbeats on every pooled
+	// partition and start the SPM watchdog before any load exists, so the
+	// supervision timeline is identical between baseline and faulted runs.
+	if cfg.Supervision != nil {
+		pl.SPM.SetSupervision(*cfg.Supervision)
+		sv := pl.SPM.SupervisionConfig()
+		for pi := 0; pi < cfg.GPUPartitions; pi++ {
+			pl.GPUs[pi].OS.StartHeartbeat(sv.HeartbeatEvery)
+		}
+		pl.SPM.StartWatchdog()
 	}
 	smDemand := uint64(pl.GPUs[0].Dev.SMs() * cfg.SMShare)
 	if smDemand < 1 {
@@ -386,6 +430,12 @@ func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
 			for _, rep := range t.reps {
 				if rep.partName == rec.Partition {
 					rep.down = true
+					if rec.Quarantined {
+						// Crash-loop policy tripped: the scheduler must
+						// stop waiting on this partition, not route
+						// around a transient restart.
+						rep.quarantined = true
+					}
 					rep.cond.Broadcast() // wake an idle worker into failover
 				}
 			}

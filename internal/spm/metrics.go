@@ -16,6 +16,15 @@ var (
 	mTrapsHandled   = metrics.Default.Counter("spm.traps.handled")
 	hFailoverNS     = metrics.Default.Histogram("spm.failover.latency_ns")
 
+	// Per-reason failure counters (§IV-D's three circumstances), so soak
+	// output distinguishes watchdog detections from panics, plus the
+	// crash-loop quarantine lifecycle.
+	mFailRequested    = metrics.Default.Counter("spm.partitions.failed.requested")
+	mFailPanic        = metrics.Default.Counter("spm.partitions.failed.panic")
+	mFailHang         = metrics.Default.Counter("spm.partitions.failed.hang")
+	mPartsQuarantined = metrics.Default.Counter("spm.partitions.quarantined")
+	mPartsReleased    = metrics.Default.Counter("spm.partitions.released")
+
 	// Simulated-TLB effectiveness (tlb.go): hits skip both stage walks,
 	// flushes count whole-cache invalidations after a table mutation.
 	mTLBHits    = metrics.Default.Counter("spm.tlb.hits")
@@ -26,3 +35,15 @@ var (
 	// installed SetAttestFault hook (chaos-injected provisioning outages).
 	mAttestFaults = metrics.Default.Counter("spm.attest.faults_injected")
 )
+
+// countFailReason bumps the per-reason failure counter.
+func countFailReason(r FailReason) {
+	switch r {
+	case FailRequested:
+		mFailRequested.Inc()
+	case FailPanic:
+		mFailPanic.Inc()
+	case FailHang:
+		mFailHang.Inc()
+	}
+}

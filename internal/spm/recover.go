@@ -44,8 +44,15 @@ type FailureRecord struct {
 	Partition string
 	Reason    FailReason
 	FailedAt  sim.Time
-	ReadyAt   sim.Time
-	Epoch     uint64 // epoch after recovery
+	ReadyAt   sim.Time // zero while recovering, and forever if quarantined
+	Epoch     uint64   // epoch after recovery
+	// Backoff is the exponential restart delay this recovery serves before
+	// reloading the mOS (zero for a first failure or disabled backoff).
+	Backoff sim.Duration
+	// Quarantined reports that this failure tripped the crash-loop policy:
+	// the partition is scrubbed but not restarted (ReadyAt stays zero)
+	// until an operator calls ReleaseQuarantine.
+	Quarantined bool
 }
 
 // Downtime is how long the partition was unavailable.
@@ -105,9 +112,18 @@ func (s *SPM) Fail(p *Partition, reason FailReason) *FailureRecord {
 	p.procs = make(map[*sim.Proc]struct{})
 
 	rec := &FailureRecord{Partition: p.Name, Reason: reason, FailedAt: failedAt}
+	sv := s.SupervisionConfig()
+	recent := s.recordFailure(p, failedAt, reason)
+	if sv.QuarantineAfter > 0 && recent >= sv.QuarantineAfter {
+		rec.Quarantined = true
+		p.quarantine = true
+	} else {
+		rec.Backoff = restartBackoff(sv, recent)
+	}
 	sig := p.restartSig
 	s.isolationChanged()
 	mPartsFailed.Inc()
+	countFailReason(reason)
 	trace.Default.InstantAt(failedAt, "spm", p.Name, "partition-failed ("+reason.String()+")", nil)
 	s.notifyFailure(rec)
 
@@ -136,19 +152,14 @@ func (s *SPM) Fail(p *Partition, reason FailReason) *FailureRecord {
 			s.M.SMMU.Stream(p.Device).Clear()
 		}
 		endClear()
-		// Reload and initialize the mOS image — the pending image if a
-		// software update was requested, else the same image.
-		endRestart := trace.Default.Span(proc, "spm", p.Name, "failover:mos-restart")
-		proc.Sleep(s.Costs.MOSRestart)
-		if p.pendingImage != nil {
-			p.mosHash = attest.Measure(p.pendingImage)
-			p.pendingImage = nil
-		}
+		// The failed incarnation's address space dies here: stage-2
+		// cleared, IPA allocator reset, epoch bumped so stale views and
+		// enclave ids are refused, and grants no incarnation can ever
+		// trap again (both sides moved past the grant's epochs)
+		// garbage-collected.
 		p.stage2.Clear()
 		p.ipaNext = 1
 		p.epoch++
-		// Garbage-collect grants no incarnation can ever trap again:
-		// both sides have moved past the epochs the grant was made in.
 		for _, gid := range s.sortedGrantIDs() {
 			g := s.grants[gid]
 			if g.owner.epoch != g.ownerEpoch && g.peer.epoch != g.peerEpoch {
@@ -159,6 +170,34 @@ func (s *SPM) Fail(p *Partition, reason FailReason) *FailureRecord {
 				}
 				delete(s.grants, gid)
 			}
+		}
+		if rec.Quarantined {
+			// Crash-loop policy tripped: the partition is scrubbed and
+			// isolated but the SPM refuses the mOS reload until an
+			// operator calls ReleaseQuarantine. ReadyAt stays zero.
+			p.state = PartQuarantined
+			mPartsQuarantined.Inc()
+			trace.Default.Instant(proc, "spm", p.Name, "partition-quarantined", nil)
+			p.restartSig = sim.NewSignal(s.K)
+			s.isolationChanged()
+			sig.Fire()
+			return
+		}
+		// Exponential restart backoff: repeated failures inside the
+		// sliding window delay the reload so a flapping partition cannot
+		// monopolize the recovery path.
+		if rec.Backoff > 0 {
+			endBackoff := trace.Default.Span(proc, "spm", p.Name, "failover:restart-backoff")
+			proc.Sleep(rec.Backoff)
+			endBackoff()
+		}
+		// Reload and initialize the mOS image — the pending image if a
+		// software update was requested, else the same image.
+		endRestart := trace.Default.Span(proc, "spm", p.Name, "failover:mos-restart")
+		proc.Sleep(s.Costs.MOSRestart)
+		if p.pendingImage != nil {
+			p.mosHash = attest.Measure(p.pendingImage)
+			p.pendingImage = nil
 		}
 		endRestart()
 		p.lastBeat = proc.Now()
@@ -194,33 +233,3 @@ func (s *SPM) UpdateMOS(p *Partition, newImage []byte) *FailureRecord {
 	return rec
 }
 
-// AwaitReady blocks proc until the partition's in-flight recovery (if any)
-// completes.
-func (s *SPM) AwaitReady(proc *sim.Proc, p *Partition) {
-	for p.state != PartReady {
-		p.restartSig.Wait(proc)
-	}
-}
-
-// EnableWatchdog starts the SPM hang detector: partitions that opted in via
-// WatchHangs and stop heart-beating for more than three poll periods are
-// failed with FailHang. Kill the returned proc to stop the watchdog.
-func (s *SPM) EnableWatchdog() *sim.Proc {
-	return s.K.Spawn("spm-watchdog", func(proc *sim.Proc) {
-		for {
-			proc.Sleep(s.Costs.HangPollEvery)
-			limit := sim.Time(3 * s.Costs.HangPollEvery)
-			for _, p := range s.Partitions() { // id order: deterministic
-				if p.hangable && p.state == PartReady && proc.Now()-p.lastBeat > limit {
-					s.Fail(p, FailHang)
-				}
-			}
-		}
-	})
-}
-
-// WatchHangs opts the partition into watchdog supervision.
-func (p *Partition) WatchHangs() {
-	p.hangable = true
-	p.lastBeat = p.spm.K.Now()
-}

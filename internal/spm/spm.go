@@ -16,6 +16,14 @@
 // lets policy layers (the serving plane's scheduler) learn of a trap the
 // instant it fires; AwaitReady parks callers until the recovery completes.
 //
+// Health supervision (supervise.go) closes the watchdog loop of §IV-D's
+// third failure circumstance: each supervised mOS publishes a monotonic
+// heartbeat word into SPM-visible memory, a watchdog process fails silent
+// partitions with FailHang after MissedBeats periods, restart backoff grows
+// exponentially with the sliding-window failure history, and a partition
+// that crash-loops past QuarantineAfter is parked in PartQuarantined until
+// an operator's ReleaseQuarantine.
+//
 // Two hooks exist for deterministic fault injection (the chaos harness):
 // Fail itself doubles as the crash injection point, and SetAttestFault can
 // veto local-attestation reports to model provisioning outages during a
@@ -47,6 +55,10 @@ const (
 	PartFailed
 	// PartRestarting: device clearing and mOS reload are underway.
 	PartRestarting
+	// PartQuarantined: the partition crash-looped past the supervision
+	// policy's window; the SPM scrubbed it but refuses to restart it until
+	// an operator calls ReleaseQuarantine.
+	PartQuarantined
 )
 
 // String names the lifecycle state.
@@ -58,6 +70,8 @@ func (s PartState) String() string {
 		return "failed"
 	case PartRestarting:
 		return "restarting"
+	case PartQuarantined:
+		return "quarantined"
 	}
 	return "unknown"
 }
@@ -89,6 +103,20 @@ type Partition struct {
 	lastBeat sim.Time
 	hangable bool // partition participates in hang detection
 
+	// Heartbeat word published by the supervised mOS (ArmHeartbeat): the
+	// watchdog reads the 64-bit word at IPA beatIPA through this
+	// partition's stage-2 table and treats any change since beatSeen as
+	// progress. Valid only for the incarnation beatEpoch.
+	beatIPA   uint64
+	beatEpoch uint64
+	beatArmed bool
+	beatSeen  uint64
+
+	// Crash-loop supervision state: panic/hang failure instants inside
+	// the sliding window, and whether the partition is quarantined.
+	failTimes  []sim.Time
+	quarantine bool
+
 	// onRestart is installed by the mOS layer to re-initialize services
 	// after recovery completes.
 	onRestart func(epoch uint64)
@@ -115,9 +143,6 @@ func (p *Partition) Register(proc *sim.Proc) { p.procs[proc] = struct{}{} }
 
 // Unregister removes a finished thread.
 func (p *Partition) Unregister(proc *sim.Proc) { delete(p.procs, proc) }
-
-// Heartbeat refreshes the watchdog timestamp.
-func (p *Partition) Heartbeat(t sim.Time) { p.lastBeat = t }
 
 // SetRestartHook installs the mOS reload callback.
 func (p *Partition) SetRestartHook(fn func(epoch uint64)) { p.onRestart = fn }
@@ -182,6 +207,10 @@ type SPM struct {
 	// learn of a proceed-trap recovery the instant it starts.
 	failObs  []failObserver
 	failNext int
+
+	// sup is the partition health policy (SetSupervision); the zero value
+	// reproduces the legacy watchdog with backoff/quarantine disabled.
+	sup Supervision
 
 	// attestFault, when non-nil, can veto local attestation for a
 	// partition's enclaves (SetAttestFault) — the chaos harness's model of
