@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-hotpath bench-serve chaos doc-lint ci examples tools figures attack loc clean
+.PHONY: all build test vet race bench bench-hotpath bench-serve chaos doc-lint trace-verify ci examples tools figures attack loc clean
 
 all: build vet test race
 
@@ -55,15 +55,25 @@ chaos:
 	$(GO) run ./cmd/cronus-chaos -seeds 3 -verify
 	$(GO) run ./cmd/cronus-chaos -seeds 2 -kinds persistent-hang,crash-loop -faults 2 -verify
 
+# Causal-tracing guards: the export-determinism and attribution-conservation
+# tests, plus the zero-alloc disabled-path benchmarks (their assertions run
+# even at -benchtime=1x).
+trace-verify:
+	$(GO) test -count=1 -run 'TestTrace|TestSLO' ./internal/serve
+	$(GO) test -count=1 ./internal/otrace ./internal/slo ./internal/trace
+	$(GO) test -run '^$$' -bench Disabled -benchtime=1x ./internal/trace
+
 # Exactly what .github/workflows/ci.yml runs: build, vet, the full test
 # suite, the race detector over the concurrency-heavy packages, the
-# documentation bar, and the replay-verified chaos soaks.
+# documentation bar, the causal-tracing guards, and the replay-verified
+# chaos soaks.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./... -count=1
 	$(GO) test -race -count=1 ./internal/serve ./internal/srpc ./internal/spm
 	$(GO) run ./cmd/cronus-doclint
+	$(MAKE) trace-verify
 	$(GO) run ./cmd/cronus-chaos -seeds 3 -verify
 	$(GO) run ./cmd/cronus-chaos -seeds 2 -kinds persistent-hang,crash-loop -faults 2 -verify
 

@@ -22,6 +22,7 @@
 //	cronus-chaos -kinds crash,device-hang
 //	cronus-chaos -kinds persistent-hang,crash-loop
 //	cronus-chaos -verify                 # double-run every seed, byte-compare
+//	cronus-chaos -trace -seeds 3 -v      # causal spans + flight-recorder dumps
 package main
 
 import (
@@ -43,6 +44,8 @@ func main() {
 	kinds := flag.String("kinds", "", "comma-separated fault kinds (default all): crash,ring-corrupt,device-hang,attest-fail,persistent-hang,crash-loop")
 	verify := flag.Bool("verify", false, "re-run every seed and byte-compare the reports (replay contract)")
 	verbose := flag.Bool("v", false, "print the full report of every seed, not just failures")
+	traceOn := flag.Bool("trace", false,
+		"record causal spans during faulted runs and include flight-recorder dumps in the reports")
 	flag.Parse()
 
 	opts := chaos.Options{
@@ -50,6 +53,7 @@ func main() {
 		Partitions: *partitions,
 		Window:     sim.Duration(*windowMS) * sim.Millisecond,
 		Faults:     *faults,
+		Trace:      *traceOn,
 	}
 	parsed, err := chaos.ParseKinds(*kinds)
 	if err != nil {

@@ -32,6 +32,10 @@ var defaultDirs = []string{
 	"internal/spm",
 	"internal/chaos",
 	"internal/mos",
+	"internal/trace",
+	"internal/metrics",
+	"internal/otrace",
+	"internal/slo",
 }
 
 func main() {

@@ -138,6 +138,12 @@ func main() {
 					parts = append(parts, fmt.Sprintf("%s -> %s", snap.Summary(), *metricsOut))
 				}
 			}
+			// The collector silently caps its buffer; surface the loss so a
+			// truncated export is never mistaken for a complete one. The same
+			// count is exported as the trace.events.dropped counter.
+			if dropped := trace.Default.Dropped(); dropped > 0 {
+				fmt.Fprintf(os.Stderr, "cronus-run: warning: %d trace events dropped (raise SetMaxEvents)\n", dropped)
+			}
 			for _, line := range parts {
 				fmt.Println(line)
 			}

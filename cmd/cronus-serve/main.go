@@ -14,6 +14,8 @@
 //	cronus-serve -fail-at-ms 11                   # inject a partition failure
 //	cronus-serve -fail-at-ms 11 -supervise        # with health supervision on
 //	cronus-serve -max-batch 1                     # disable batching
+//	cronus-serve -trace out.json                  # causal spans -> Perfetto JSON
+//	cronus-serve -slo-target-us 400               # arm the SLO burn-rate engine
 package main
 
 import (
@@ -21,9 +23,12 @@ import (
 	"fmt"
 	"os"
 
+	"cronus/internal/otrace"
 	"cronus/internal/serve"
 	"cronus/internal/sim"
+	"cronus/internal/slo"
 	"cronus/internal/spm"
+	"cronus/internal/trace"
 	"cronus/internal/tvm"
 	"cronus/internal/workload/rodinia"
 )
@@ -43,6 +48,13 @@ func main() {
 	supervise := flag.Bool("supervise", false,
 		"enable health supervision: mOS heartbeats + SPM watchdog, restart backoff, crash-loop quarantine, hang-report breaker")
 	showReqs := flag.Bool("requests", false, "dump the per-request timeline")
+	traceOut := flag.String("trace", "",
+		"enable causal tracing and write Chrome trace-event (Perfetto) JSON to this file")
+	sloTargetUS := flag.Int("slo-target-us", 0,
+		"arm per-tenant SLOs: latency target in virtual µs (0 = off)")
+	sloBudget := flag.Float64("slo-budget", 0.01, "SLO error budget (fraction of requests)")
+	sloAdmit := flag.Bool("slo-admission", false,
+		"halve a tenant's admission cap while its SLO burn rate is firing")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -57,6 +69,19 @@ func main() {
 	}
 	if *failAtMS > 0 {
 		cfg.FailAt = sim.Duration(*failAtMS) * sim.Millisecond
+	}
+	if *traceOut != "" {
+		cfg.Trace = true
+		trace.Default.Enable()
+		defer trace.Default.Disable()
+	}
+	if *sloTargetUS > 0 {
+		cfg.SLO = &slo.Objective{
+			LatencyTarget: sim.Duration(*sloTargetUS) * sim.Microsecond,
+			ErrorBudget:   *sloBudget,
+			Window:        cfg.Window,
+		}
+		cfg.SLOAdmission = *sloAdmit
 	}
 	if *supervise {
 		cfg.Supervision = &spm.Supervision{
@@ -93,6 +118,25 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(res.Report())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cronus-serve:", err)
+			os.Exit(1)
+		}
+		if err := trace.Default.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cronus-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d spans -> %s\n", trace.Default.Len(), *traceOut)
+		fmt.Print(otrace.Attribute(res.Traces).Table())
+	}
 
 	if *showReqs {
 		for _, r := range res.Requests {

@@ -1,0 +1,127 @@
+// Command cronus-trace runs a seeded serving-plane workload with causal
+// tracing enabled and renders the result three ways: a Chrome
+// trace-event (Perfetto-loadable) JSON export, a per-tenant per-stage
+// latency-attribution table, and p99 outlier exemplars that tie the
+// histogram tail back to concrete trace IDs.
+//
+// Every output is a pure function of the flags: the same seed produces
+// byte-identical JSON and text across invocations, so exports can be
+// diffed, archived, and asserted on in CI.
+//
+// Usage:
+//
+//	cronus-trace                                  # table + outliers on stdout
+//	cronus-trace -out trace.json                  # also write Perfetto JSON
+//	cronus-trace -seed 7 -fail-at-ms 11           # attribute a failover run
+//	cronus-trace -quantile 0.95 -exemplars 5      # widen the outlier net
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cronus/internal/otrace"
+	"cronus/internal/serve"
+	"cronus/internal/sim"
+	"cronus/internal/slo"
+	"cronus/internal/trace"
+	"cronus/internal/tvm"
+	"cronus/internal/workload/rodinia"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic run seed")
+	windowMS := flag.Int("window-ms", 30, "load-generation window, virtual ms")
+	policy := flag.String("policy", string(serve.LeastOutstanding),
+		"placement policy: round-robin | least-outstanding | device-affinity")
+	maxBatch := flag.Int("max-batch", 4, "dynamic batch size cap (1 disables batching)")
+	batchWinUS := flag.Int("batch-window-us", 50, "dynamic batch window, virtual µs")
+	partitions := flag.Int("partitions", 2, "GPU partitions in the serving pool")
+	tenants := flag.Int("tenants", 2, "number of tenants")
+	rate := flag.Float64("rate", 3000, "per-tenant offered load, requests per virtual second")
+	failAtMS := flag.Int("fail-at-ms", 0, "inject a FailPanic at this virtual ms (0 = none)")
+	failPart := flag.String("fail-part", "gpu-part0", "partition to fail")
+	out := flag.String("out", "", "write Chrome trace-event (Perfetto) JSON to this file")
+	quantile := flag.Float64("quantile", 0.99, "outlier latency quantile")
+	exemplars := flag.Int("exemplars", 3, "outlier exemplars to print per tenant")
+	sloTargetUS := flag.Int("slo-target-us", 0,
+		"arm per-tenant SLOs: latency target in virtual µs (0 = off)")
+	report := flag.Bool("report", false, "also print the full serving-plane report")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Seed:          *seed,
+		Window:        sim.Duration(*windowMS) * sim.Millisecond,
+		Policy:        serve.Policy(*policy),
+		MaxBatch:      *maxBatch,
+		BatchWindow:   sim.Duration(*batchWinUS) * sim.Microsecond,
+		GPUPartitions: *partitions,
+		FailPartition: *failPart,
+		Trace:         true,
+	}
+	if *failAtMS > 0 {
+		cfg.FailAt = sim.Duration(*failAtMS) * sim.Millisecond
+	}
+	if *sloTargetUS > 0 {
+		cfg.SLO = &slo.Objective{
+			LatencyTarget: sim.Duration(*sloTargetUS) * sim.Microsecond,
+			ErrorBudget:   0.01,
+			Window:        cfg.Window,
+		}
+	}
+	nn := rodinia.NN()
+	for i := 0; i < *tenants; i++ {
+		spec := serve.TenantSpec{
+			Name:    fmt.Sprintf("tenant-%d", i),
+			Arrival: serve.Poisson,
+			Rate:    *rate,
+			Mix: []serve.WorkClass{
+				{Name: "resnet18", Weight: 6, Graph: tvm.ResNet18()},
+				{Name: "resnet50", Weight: 3, Graph: tvm.ResNet50()},
+			},
+		}
+		// Mirror cronus-serve: the first tenant mixes in unbatchable
+		// general compute so both execution paths appear in the trace.
+		if i == 0 {
+			spec.Mix = append(spec.Mix, serve.WorkClass{Name: "nn", Weight: 1, Bench: &nn})
+		}
+		cfg.Tenants = append(cfg.Tenants, spec)
+	}
+
+	trace.Default.Enable()
+	defer trace.Default.Disable()
+	res, err := serve.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cronus-trace:", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cronus-trace:", err)
+			os.Exit(1)
+		}
+		if err := trace.Default.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cronus-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d spans -> %s\n", trace.Default.Len(), *out)
+	}
+	if dropped := trace.Default.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "cronus-trace: warning: %d trace events dropped (raise SetMaxEvents)\n", dropped)
+	}
+
+	if *report {
+		fmt.Print(res.Report())
+	}
+	attr := otrace.Attribute(res.Traces)
+	fmt.Print(attr.Table())
+	fmt.Print(otrace.OutlierReport(attr.Outliers(*quantile, *exemplars)))
+}

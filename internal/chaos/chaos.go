@@ -206,6 +206,13 @@ type Options struct {
 	RelTol float64
 	// AbsTol is the absolute survivor p95 slack floor (default 20µs).
 	AbsTol sim.Duration
+	// Trace arms the event collector and a per-partition flight recorder
+	// during each seed's faulted run: supervision quarantines auto-dump
+	// their partition's recent spans, and any invariant violation dumps
+	// every ring — the dumps ride in the (still deterministic) report.
+	// Request-level causal traces and the SLO invariants are always on;
+	// Trace only controls the event spine and its recorder.
+	Trace bool
 }
 
 func (o *Options) defaults() {

@@ -33,6 +33,9 @@ type RunReport struct {
 	ProbeLines []string
 	// Violations lists every invariant the run broke.
 	Violations []string
+	// FlightDumps are rendered flight-recorder dumps (Options.Trace only):
+	// quarantine auto-dumps, plus every ring when an invariant failed.
+	FlightDumps []string
 }
 
 // Passed reports whether the run upheld every invariant.
@@ -85,6 +88,9 @@ func (rr *RunReport) Report() string {
 	}
 	for _, l := range rr.ProbeLines {
 		fmt.Fprintf(&b, "%s\n", l)
+	}
+	for _, d := range rr.FlightDumps {
+		b.WriteString(indent(d))
 	}
 	if rr.Passed() {
 		b.WriteString("verdict: PASS\n")

@@ -6,10 +6,13 @@ import (
 	"math"
 
 	"cronus/internal/core"
+	"cronus/internal/otrace"
 	"cronus/internal/serve"
 	"cronus/internal/sim"
+	"cronus/internal/slo"
 	"cronus/internal/spm"
 	"cronus/internal/srpc"
+	"cronus/internal/trace"
 	"cronus/internal/tvm"
 )
 
@@ -54,6 +57,18 @@ func serveConfig(seed int64, o Options) serve.Config {
 		RetryBackoff:   100 * sim.Microsecond,
 		Supervision:    chaosSupervision(),
 		HangReportAfter: 2,
+		// Causal tracing and the SLO engine run on every chaos seed so
+		// their invariants soak with the fault mix: per-request stage
+		// attributions must stay conservative and SLO accounting must
+		// balance under every injected fault. The latency target mirrors
+		// the watchdog bound; admission coupling stays off so the
+		// baseline-vs-faulted survivor invariants are untouched.
+		Trace: true,
+		SLO: &slo.Objective{
+			LatencyTarget: 500 * sim.Microsecond,
+			ErrorBudget:   0.05,
+			Window:        o.Window,
+		},
 	}
 	for ti := 0; ti < o.Tenants; ti++ {
 		cfg.Tenants = append(cfg.Tenants, serve.TenantSpec{
@@ -115,6 +130,10 @@ type runArtifacts struct {
 	partStates []string
 	probeLines []string
 	probeViol  []string
+	// recorder is the flight recorder of a traced faulted run (nil
+	// otherwise); its rings stay readable after the run for violation
+	// dumps.
+	recorder *otrace.FlightRecorder
 }
 
 // execute runs one serving window on a fresh platform. With inject=true the
@@ -127,6 +146,19 @@ func execute(sched *Schedule, o Options, inject bool) (*runArtifacts, error) {
 	pcfg.GPUs = o.Partitions
 	pcfg.NPUs = 0
 	art := &runArtifacts{}
+	// A traced faulted run arms the global collector and the flight
+	// recorder for its duration only: the baseline stays untraced (span
+	// recording costs no virtual time, so the timelines are identical
+	// either way — this just keeps baseline runs cheap).
+	if inject && o.Trace {
+		art.recorder = otrace.NewFlightRecorder(0)
+		trace.Default.Enable()
+		art.recorder.Attach(trace.Default)
+		defer func() {
+			art.recorder.Detach(trace.Default)
+			trace.Default.Disable()
+		}()
+	}
 	runErr := core.Run(pcfg, func(pl *core.Platform, p *sim.Proc) error {
 		srv, err := serve.New(p, pl, cfg)
 		if err != nil {
@@ -191,6 +223,19 @@ func RunOne(seed int64, o Options) (*RunReport, error) {
 	rr.ProbeLines = art.probeLines
 	rr.Violations = append(rr.checkInvariants(), art.probeViol...)
 	mViolations.Add(uint64(len(rr.Violations)))
+	if art.recorder != nil {
+		// Quarantine auto-dumps first (capture order), then — only when an
+		// invariant failed — every ring, so a FAIL report carries each
+		// partition's last moments.
+		for _, d := range art.recorder.Dumps() {
+			rr.FlightDumps = append(rr.FlightDumps, d.String())
+		}
+		if len(rr.Violations) > 0 {
+			for _, d := range art.recorder.DumpAll("invariant-violation", rr.Faulted.DrainedAt) {
+				rr.FlightDumps = append(rr.FlightDumps, d.String())
+			}
+		}
+	}
 	return rr, nil
 }
 
@@ -219,6 +264,7 @@ func (rr *RunReport) checkInvariants() []string {
 		}
 	}
 	v = append(v, rr.checkSupervision()...)
+	v = append(v, rr.checkObservability()...)
 	// Survivors must be indistinguishable from baseline: identical
 	// accounting, p95 within tolerance.
 	victims := rr.Schedule.victimTenants(rr.Opts)
@@ -238,6 +284,51 @@ func (rr *RunReport) checkInvariants() []string {
 		if math.Abs(ft.P95NS-bt.P95NS) > tol {
 			v = append(v, fmt.Sprintf("survivor %s: p95 %s drifted beyond tolerance of baseline %s",
 				ft.Name, sim.Duration(ft.P95NS), sim.Duration(bt.P95NS)))
+		}
+		// Survivor SLO accounting must match baseline exactly — the burn
+		// rate of a tenant untouched by the fault must not move.
+		if ti < len(rr.Faulted.SLOs) && ti < len(rr.Baseline.SLOs) {
+			fs, bs := &rr.Faulted.SLOs[ti], &rr.Baseline.SLOs[ti]
+			if fs.Good != bs.Good || fs.Bad != bs.Bad {
+				v = append(v, fmt.Sprintf(
+					"survivor %s: SLO accounting drifted from baseline (good %d/%d bad %d/%d)",
+					ft.Name, fs.Good, bs.Good, fs.Bad, bs.Bad))
+			}
+		}
+	}
+	return v
+}
+
+// checkObservability audits the observability layer's own invariants on
+// both runs: every per-request causal trace must be conservative (stage
+// segments contiguous over [arrived, done], so attributions sum to the
+// latency exactly), and per-tenant SLO accounting must balance against the
+// serving counters (every completion scored exactly once, good+bad =
+// completed+failed).
+func (rr *RunReport) checkObservability() []string {
+	var v []string
+	for _, run := range []struct {
+		label string
+		res   *serve.Result
+	}{{"baseline", rr.Baseline}, {"faulted", rr.Faulted}} {
+		for i := range run.res.Traces {
+			if err := run.res.Traces[i].Validate(); err != nil {
+				v = append(v, fmt.Sprintf("%s: non-conservative attribution: %v", run.label, err))
+			}
+		}
+		for i := range run.res.SLOs {
+			s := &run.res.SLOs[i]
+			t := run.res.Tenant(s.Name)
+			if t == nil {
+				v = append(v, fmt.Sprintf("%s: SLO row for unknown tenant %s", run.label, s.Name))
+				continue
+			}
+			if s.Good+s.Bad != t.Completed+t.Failed {
+				v = append(v, fmt.Sprintf(
+					"%s %s: SLO outcomes %d (good %d + bad %d) != completions %d (completed %d + failed %d)",
+					run.label, s.Name, s.Good+s.Bad, s.Good, s.Bad,
+					t.Completed+t.Failed, t.Completed, t.Failed))
+			}
 		}
 	}
 	return v

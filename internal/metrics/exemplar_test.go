@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExemplarTopK(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	h := r.Histogram("lat")
+	// Fill past the retention bound; only the maxExemplars largest stay.
+	for i, v := range []int64{10, 50, 30, 20, 40, 5, 60} {
+		h.ObserveExemplar(v, uint64(i+1))
+	}
+	ex := h.Exemplars()
+	if len(ex) != maxExemplars {
+		t.Fatalf("exemplars = %+v", ex)
+	}
+	wantVals := []int64{60, 50, 40, 30}
+	for i, e := range ex {
+		if e.Value != wantVals[i] {
+			t.Fatalf("exemplars = %+v, want values %v", ex, wantVals)
+		}
+	}
+	if ex[0].TraceID != 7 || ex[1].TraceID != 2 {
+		t.Fatalf("trace ids not carried: %+v", ex)
+	}
+	// The samples also land in the plain histogram stats.
+	if hv := h.value(); h.Count() != 7 || hv.Max != 60 {
+		t.Fatalf("count=%d max=%d", h.Count(), hv.Max)
+	}
+}
+
+func TestExemplarTieKeepsIncumbent(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	h := r.Histogram("lat")
+	for i := 0; i < maxExemplars; i++ {
+		h.ObserveExemplar(100, uint64(i+1))
+	}
+	// Equal value must not displace an incumbent — deterministic under
+	// any arrival order of ties.
+	h.ObserveExemplar(100, 99)
+	for _, e := range h.Exemplars() {
+		if e.TraceID == 99 {
+			t.Fatalf("tie displaced an incumbent: %+v", h.Exemplars())
+		}
+	}
+}
+
+func TestExemplarDisabledAndReset(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.ObserveExemplar(5, 1)
+	if len(h.Exemplars()) != 0 {
+		t.Fatal("disabled registry retained an exemplar")
+	}
+	r.Enable()
+	h.ObserveExemplar(5, 1)
+	if len(h.Exemplars()) != 1 {
+		t.Fatal("exemplar not retained")
+	}
+	r.Reset()
+	if len(h.Exemplars()) != 0 {
+		t.Fatal("Reset did not clear exemplars")
+	}
+}
+
+func TestExemplarInSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	r.Histogram("lat").ObserveExemplar(123, 0xbeef)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"exemplars"`, `"value": 123`, `"trace_id": 48879`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %s:\n%s", want, out)
+		}
+	}
+	// A histogram without exemplars omits the field entirely.
+	var buf2 bytes.Buffer
+	r2 := NewRegistry()
+	r2.Enable()
+	r2.Histogram("lat").Observe(5)
+	if err := r2.Snapshot().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf2.String(), "exemplars") {
+		t.Error("plain histogram leaked an exemplars field")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"cronus/internal/hw"
 	"cronus/internal/sim"
 	"cronus/internal/spm"
+	"cronus/internal/trace"
 	"cronus/internal/wire"
 )
 
@@ -247,6 +248,12 @@ func (e *Enclave) InvokeStreamed(p *sim.Proc, name string, args []byte) ([]byte,
 		return nil, fmt.Errorf("mos: mECall %q not declared in EDL of enclave %#x", name, e.EID)
 	}
 	mStreamedCalls.Inc()
+	// The dispatch span sits between the executor's exec span and the
+	// device hooks in the causal tree (the proc carries the span context).
+	// The name concatenation only happens when tracing is on.
+	if trace.Default.Enabled() {
+		defer trace.Default.Span(p, "mos", e.em.mos.Part.Name, "dispatch "+name)()
+	}
 	p.Sleep(e.em.mos.Costs.RPCDispatch)
 	return e.Model.Call(p, name, args)
 }

@@ -1,0 +1,234 @@
+// Critical-path analysis: fold per-request stage decompositions into
+// per-tenant, per-stage attribution tables, and surface the requests in the
+// latency tail as exemplars with their dominant stage — the tool the
+// "where does the p99 go" question needs.
+package otrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cronus/internal/sim"
+)
+
+// StageStat aggregates one (tenant, stage) cell of the attribution table.
+type StageStat struct {
+	Stage Stage
+	// Count is how many requests spent any time in the stage.
+	Count uint64
+	// Total is the summed virtual time attributed to the stage.
+	Total sim.Duration
+	// Max is the largest single-request time attributed to the stage.
+	Max sim.Duration
+}
+
+// TenantAttribution is one tenant's row group: its request population and
+// the stage cells, in canonical stage order (stages with zero time omitted).
+type TenantAttribution struct {
+	Tenant   string
+	Requests uint64
+	Failed   uint64
+	// TotalLatency is the summed end-to-end latency — by the conservative
+	// contract, exactly the sum of the stage totals.
+	TotalLatency sim.Duration
+	Stages       []StageStat
+}
+
+// Outlier is one latency-tail exemplar: a concrete trace id a human can pull
+// out of the Perfetto export, with the stage that dominated it.
+type Outlier struct {
+	TraceID  uint64
+	Latency  sim.Duration
+	TopStage Stage
+	// TopShare is TopStage's fraction of the request's latency.
+	TopShare float64
+}
+
+// TenantOutliers is one tenant's latency tail: the threshold used and up to
+// K exemplars at or above it, largest first.
+type TenantOutliers struct {
+	Tenant    string
+	Quantile  float64
+	Threshold sim.Duration
+	Exemplars []Outlier
+}
+
+// Attribution is the folded result over a set of request traces.
+type Attribution struct {
+	Tenants []TenantAttribution
+	traces  map[string][]RequestTrace // per tenant, presentation order
+}
+
+// Attribute folds request traces into per-tenant, per-stage attribution.
+// Input order does not matter; the result is deterministic (tenants sorted,
+// stages in canonical order).
+func Attribute(traces []RequestTrace) *Attribution {
+	byTenant := make(map[string][]RequestTrace)
+	for _, rt := range sortTraces(traces) {
+		byTenant[rt.Tenant] = append(byTenant[rt.Tenant], rt)
+	}
+	names := make([]string, 0, len(byTenant))
+	for n := range byTenant {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	a := &Attribution{traces: byTenant}
+	for _, n := range names {
+		ta := TenantAttribution{Tenant: n}
+		cells := make(map[Stage]*StageStat)
+		for _, rt := range byTenant[n] {
+			ta.Requests++
+			if rt.Failed {
+				ta.Failed++
+			}
+			ta.TotalLatency += rt.Latency()
+			perStage := make(map[Stage]sim.Duration)
+			for _, s := range rt.Segments {
+				perStage[s.Stage] += s.Dur()
+			}
+			for st, d := range perStage {
+				c := cells[st]
+				if c == nil {
+					c = &StageStat{Stage: st}
+					cells[st] = c
+				}
+				c.Count++
+				c.Total += d
+				if d > c.Max {
+					c.Max = d
+				}
+			}
+		}
+		for _, st := range StageOrder {
+			if c := cells[st]; c != nil {
+				ta.Stages = append(ta.Stages, *c)
+			}
+		}
+		a.Tenants = append(a.Tenants, ta)
+	}
+	return a
+}
+
+// Outliers returns each tenant's latency tail at quantile q: the threshold
+// is the exact order statistic over that tenant's latencies, and up to k
+// requests at or above it are returned largest-first (ties broken by
+// earlier arrival, then smaller trace id — deterministic).
+func (a *Attribution) Outliers(q float64, k int) []TenantOutliers {
+	var out []TenantOutliers
+	for _, ta := range a.Tenants {
+		ts := a.traces[ta.Tenant]
+		if len(ts) == 0 {
+			continue
+		}
+		lats := make([]sim.Duration, len(ts))
+		for i, rt := range ts {
+			lats[i] = rt.Latency()
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		idx := int(q * float64(len(lats)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(lats) {
+			idx = len(lats) - 1
+		}
+		threshold := lats[idx]
+		tail := make([]RequestTrace, 0, k)
+		for _, rt := range ts {
+			if rt.Latency() >= threshold {
+				tail = append(tail, rt)
+			}
+		}
+		sort.SliceStable(tail, func(i, j int) bool {
+			if tail[i].Latency() != tail[j].Latency() {
+				return tail[i].Latency() > tail[j].Latency()
+			}
+			if tail[i].Arrived != tail[j].Arrived {
+				return tail[i].Arrived < tail[j].Arrived
+			}
+			return tail[i].TraceID < tail[j].TraceID
+		})
+		if len(tail) > k {
+			tail = tail[:k]
+		}
+		to := TenantOutliers{Tenant: ta.Tenant, Quantile: q, Threshold: threshold}
+		for _, rt := range tail {
+			top, share := dominantStage(&rt)
+			to.Exemplars = append(to.Exemplars, Outlier{
+				TraceID: rt.TraceID, Latency: rt.Latency(),
+				TopStage: top, TopShare: share,
+			})
+		}
+		out = append(out, to)
+	}
+	return out
+}
+
+// dominantStage returns the stage with the most attributed time in one
+// request (ties resolve to the earlier stage in canonical order).
+func dominantStage(rt *RequestTrace) (Stage, float64) {
+	perStage := make(map[Stage]sim.Duration)
+	for _, s := range rt.Segments {
+		perStage[s.Stage] += s.Dur()
+	}
+	var top Stage
+	var best sim.Duration = -1
+	for _, st := range StageOrder {
+		if d, ok := perStage[st]; ok && d > best {
+			top, best = st, d
+		}
+	}
+	lat := rt.Latency()
+	if lat <= 0 {
+		return top, 0
+	}
+	return top, float64(best) / float64(lat)
+}
+
+// Table renders the attribution as a fixed-width text table, deterministic
+// for identical inputs. Shares are of the tenant's total latency; mean is
+// per request that visited the stage.
+func (a *Attribution) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency attribution (virtual time):\n")
+	fmt.Fprintf(&b, "  %-10s %-14s %10s %8s %12s %12s %12s\n",
+		"tenant", "stage", "reqs", "share", "total", "mean", "max")
+	for _, ta := range a.Tenants {
+		fmt.Fprintf(&b, "  %-10s %-14s %10d %8s %12v %12s %12v\n",
+			ta.Tenant, "(all)", ta.Requests, "100.0%", ta.TotalLatency,
+			meanDur(ta.TotalLatency, ta.Requests), "")
+		for _, st := range ta.Stages {
+			share := 0.0
+			if ta.TotalLatency > 0 {
+				share = 100 * float64(st.Total) / float64(ta.TotalLatency)
+			}
+			fmt.Fprintf(&b, "  %-10s %-14s %10d %7.1f%% %12v %12s %12v\n",
+				"", string(st.Stage), st.Count, share, st.Total,
+				meanDur(st.Total, st.Count), st.Max)
+		}
+	}
+	return b.String()
+}
+
+// OutlierReport renders the latency tails as text, deterministic for
+// identical inputs.
+func OutlierReport(outs []TenantOutliers) string {
+	var b strings.Builder
+	for _, to := range outs {
+		fmt.Fprintf(&b, "p%g outliers for %s (threshold %v):\n",
+			to.Quantile*100, to.Tenant, to.Threshold)
+		for _, ex := range to.Exemplars {
+			fmt.Fprintf(&b, "  trace %#016x  latency %-10v dominant %s (%.0f%%)\n",
+				ex.TraceID, ex.Latency, ex.TopStage, ex.TopShare*100)
+		}
+	}
+	return b.String()
+}
+
+func meanDur(total sim.Duration, n uint64) string {
+	if n == 0 {
+		return "-"
+	}
+	return sim.Duration(int64(total) / int64(n)).String()
+}

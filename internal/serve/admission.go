@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"cronus/internal/metrics"
+	"cronus/internal/otrace"
 	"cronus/internal/sim"
+	"cronus/internal/trace"
 )
 
 // OverloadError is the typed shed result of the admission controller: the
@@ -81,16 +83,22 @@ func (srv *Server) capacity(t *tenant) (usable, total int) {
 // at half capacity admits half the in-flight work and sheds the rest with
 // typed *OverloadError instead of letting queues collapse onto the
 // survivors. Full capacity returns the configured cap unchanged; zero
-// usable capacity admits nothing.
-func (srv *Server) effectiveCap(t *tenant) int {
+// usable capacity admits nothing. With Config.SLOAdmission, a firing
+// burn-rate signal additionally halves the cap (floor 1): the budget is
+// burning too fast for the current intake, so shed early — before timeouts
+// pile up and the circuit breaker reports the partition.
+func (srv *Server) effectiveCap(t *tenant, now sim.Time) int {
 	usable, total := srv.capacity(t)
-	if usable == total {
-		return t.q.cap
-	}
 	if usable == 0 {
 		return 0
 	}
-	c := t.q.cap * usable / total
+	c := t.q.cap
+	if usable != total {
+		c = t.q.cap * usable / total
+	}
+	if srv.cfg.SLOAdmission && t.slo != nil && t.slo.Signal(now).Firing {
+		c /= 2
+	}
 	if c < 1 {
 		c = 1
 	}
@@ -161,7 +169,7 @@ func (q *queue) close() {
 // completion signal for closed-loop callers.
 func (srv *Server) submit(p *sim.Proc, t *tenant, cl *workClass, withSignal bool) (*Request, error) {
 	t.offered++
-	if limit := srv.effectiveCap(t); t.inSystem() >= limit {
+	if limit := srv.effectiveCap(t, p.Now()); t.inSystem() >= limit {
 		t.shed++
 		return nil, &OverloadError{Tenant: t.spec.Name, Cap: limit}
 	}
@@ -172,6 +180,15 @@ func (srv *Server) submit(p *sim.Proc, t *tenant, cl *workClass, withSignal bool
 		Class:   cl.spec.Name,
 		Arrived: p.Now(),
 		class:   cl,
+	}
+	if srv.cfg.Trace {
+		// The admission sequence (pre-increment) keys the deterministic
+		// trace id; the root span id is only minted when the collector is
+		// live (attribution works without the event spine).
+		r.TraceID = otrace.DeriveTraceID(t.spec.Name, t.admitted)
+		if trace.Default.Enabled() {
+			r.spanID = trace.Default.NextSpanID()
+		}
 	}
 	if withSignal {
 		r.done = sim.NewSignal(srv.pl.K)

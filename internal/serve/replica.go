@@ -6,9 +6,11 @@ import (
 
 	"cronus/internal/core"
 	"cronus/internal/gpu"
+	"cronus/internal/otrace"
 	"cronus/internal/sim"
 	"cronus/internal/spm"
 	"cronus/internal/srpc"
+	"cronus/internal/trace"
 )
 
 // replica is one (tenant, partition) serving endpoint: a CUDA mEnclave on
@@ -179,9 +181,11 @@ func (rep *replica) run(p *sim.Proc) {
 // a live replica.
 func (rep *replica) requeue(rs []*Request) {
 	rep.outstanding -= len(rs)
+	now := rep.srv.pl.K.Now()
 	for _, r := range rs {
 		r.Replays++
 		rep.t.replayed++
+		rep.srv.mark(r, otrace.StageRequeue, now)
 	}
 	rep.t.q.pushFront(rs)
 }
@@ -303,6 +307,7 @@ func (rep *replica) reportHang(p *sim.Proc) error {
 func (rep *replica) execWithRetry(p *sim.Proc, b *batch) error {
 	backoff := rep.srv.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
+		rep.srv.markBatch(b, otrace.StageExec, p.Now())
 		err := rep.execAttempt(p, b)
 		if err == nil {
 			rep.consecTimeouts = 0
@@ -325,6 +330,9 @@ func (rep *replica) execWithRetry(p *sim.Proc, b *batch) error {
 				return err
 			}
 		}
+		// From here the batch is between attempts: recycle teardown and the
+		// retry pause both attribute to the backoff stage.
+		rep.srv.markBatch(b, otrace.StageBackoff, p.Now())
 		if attempt >= rep.srv.cfg.MaxRetries {
 			// Budget exhausted: still recycle, so the wedged stream does
 			// not bleed one more timeout into the next batch.
@@ -398,6 +406,16 @@ func (rep *replica) recycle(p *sim.Proc) error {
 // per batch instead of once per request. General-compute batches run the
 // full rodinia pass (always a single request).
 func (rep *replica) exec(p *sim.Proc, b *batch) error {
+	// The batch executes on behalf of its head request's trace: one
+	// batch-exec span on the partition track, under which the sRPC, mOS and
+	// device hooks all link (the proc carries the context; a watchdog kill
+	// still runs the deferred close during unwind, so the span is recorded
+	// and the context restored either way).
+	if rep.srv.cfg.Trace && trace.Default.Enabled() && b.reqs[0].TraceID != 0 {
+		head := b.reqs[0]
+		defer trace.Default.StartSpan(p, "serve", rep.partName, "batch-exec",
+			trace.SpanCtx{Trace: head.TraceID, Span: head.spanID})()
+	}
 	cl := b.class
 	if cl.spec.Bench != nil {
 		return cl.spec.Bench.Run(p, rep.conn)

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"strings"
 
+	"cronus/internal/metrics"
+	"cronus/internal/otrace"
 	"cronus/internal/sim"
+	"cronus/internal/slo"
 	"cronus/internal/spm"
 )
 
@@ -67,8 +70,37 @@ type Result struct {
 	// Requests is the per-request record (set when Config.KeepRequests).
 	Requests []*Request
 
+	// Traces is the per-request causal record in completion order (set
+	// when Config.Trace): feed it to otrace.Attribute for the per-tenant
+	// per-stage latency attribution table.
+	Traces []otrace.RequestTrace
+
+	// SLOs is the per-tenant burn-rate accounting (set when Config.SLO).
+	SLOs []TenantSLO
+
+	// Metrics is the run's final metrics snapshot — including the tenant
+	// latency histograms, whose tails carry trace-id exemplars when
+	// Config.Trace is set.
+	Metrics *metrics.Snapshot
+
 	// DrainedAt is the virtual time the last admitted request completed.
 	DrainedAt sim.Time
+}
+
+// TenantSLO is one tenant's SLO outcome at drain time.
+type TenantSLO struct {
+	Name      string
+	Objective slo.Objective
+	// Good/Bad are cumulative outcome counts over the whole run.
+	Good uint64
+	Bad  uint64
+	// BudgetConsumed is the fraction of the cumulative error budget burned
+	// (>1 means the objective was violated).
+	BudgetConsumed float64
+	// FastBurn/SlowBurn/Firing are the burn-rate signal at drain time.
+	FastBurn float64
+	SlowBurn float64
+	Firing   bool
 }
 
 // AvgBatch is the mean requests per placed batch.
@@ -101,6 +133,19 @@ func (r *Result) Report() string {
 		fmt.Fprintf(&b, "%-12s %8d %8d %6d %9d %6d %7d %7d %5d %10s %10s %10s %9.0f %5.1f%%\n",
 			t.Name, t.Offered, t.Admitted, t.Shed, t.Completed, t.Failed, t.Replayed, t.Retried, t.Duplicates,
 			fmtQ(t.P50NS), fmtQ(t.P95NS), fmtQ(t.P99NS), t.GoodputRPS, t.ShedRate*100)
+	}
+	// Degradation breakdown: where the non-goodput went, per tenant. Shed,
+	// timeouts and retries were always counted; this surfaces them next to
+	// the quantiles they explain.
+	fmt.Fprintf(&b, "degradation: %-12s %8s %9s %8s %8s %7s\n",
+		"tenant", "shed", "timeouts", "retries", "replays", "failed")
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&b, "degradation: %-12s %8d %9d %8d %8d %7d\n",
+			t.Name, t.Shed, t.Timeouts, t.Retried, t.Replayed, t.Failed)
+	}
+	for _, s := range r.SLOs {
+		fmt.Fprintf(&b, "slo: %-12s %s good=%d bad=%d budget-burned=%.1f%% burn fast=%.2f slow=%.2f firing=%v\n",
+			s.Name, s.Objective, s.Good, s.Bad, s.BudgetConsumed*100, s.FastBurn, s.SlowBurn, s.Firing)
 	}
 	for _, f := range r.Failures {
 		switch {
@@ -147,6 +192,8 @@ func (srv *Server) result() *Result {
 		BatchReqs: srv.batchReqs,
 		DrainedAt: srv.pl.K.Now(),
 		Requests:  srv.requests,
+		Traces:    srv.traces,
+		Metrics:   srv.reg.Snapshot(),
 	}
 	winSec := float64(srv.cfg.Window) / 1e9
 	for _, t := range srv.tenants {
@@ -175,6 +222,20 @@ func (srv *Server) result() *Result {
 			tr.ShedRate = float64(t.shed) / float64(t.offered)
 		}
 		res.Tenants = append(res.Tenants, tr)
+		if t.slo != nil {
+			good, bad := t.slo.Totals()
+			sig := t.slo.Signal(res.DrainedAt)
+			res.SLOs = append(res.SLOs, TenantSLO{
+				Name:           t.spec.Name,
+				Objective:      t.slo.Objective(),
+				Good:           good,
+				Bad:            bad,
+				BudgetConsumed: t.slo.BudgetConsumed(),
+				FastBurn:       sig.Fast,
+				SlowBurn:       sig.Slow,
+				Firing:         sig.Firing,
+			})
+		}
 	}
 	for _, rec := range srv.failures {
 		fs := FailureSummary{

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 
+	"cronus/internal/otrace"
 	"cronus/internal/sim"
 )
 
@@ -37,12 +38,14 @@ func (srv *Server) dispatch(p *sim.Proc, t *tenant) {
 		if !ok {
 			return
 		}
+		srv.mark(first, otrace.StageBatch, p.Now())
 		b := &batch{class: first.class, reqs: []*Request{first}}
 		t.held = 1
 		if first.class.spec.Graph != nil && srv.cfg.MaxBatch > 1 {
 			deadline := p.Now() + sim.Time(srv.cfg.BatchWindow)
 			for len(b.reqs) < srv.cfg.MaxBatch {
 				if next := t.q.popMatching(b.class); next != nil {
+					srv.mark(next, otrace.StageBatch, p.Now())
 					b.reqs = append(b.reqs, next)
 					t.held++
 					continue
@@ -76,6 +79,7 @@ func (srv *Server) dispatch(p *sim.Proc, t *tenant) {
 			t.held = 0
 			continue
 		}
+		srv.markBatch(b, otrace.StageReplica, p.Now())
 		rep.enqueue(b)
 		t.held = 0
 	}

@@ -47,8 +47,11 @@ import (
 	"cronus/internal/core"
 	"cronus/internal/gpu"
 	"cronus/internal/metrics"
+	"cronus/internal/otrace"
 	"cronus/internal/sim"
+	"cronus/internal/slo"
 	"cronus/internal/spm"
+	"cronus/internal/trace"
 	"cronus/internal/tvm"
 	"cronus/internal/workload/rodinia"
 )
@@ -177,6 +180,26 @@ type Config struct {
 	ReconnectBackoff     sim.Duration
 	ReconnectBackoffMax  sim.Duration
 	ReconnectMaxAttempts int
+
+	// Trace enables end-to-end causal tracing: every admitted request gets
+	// a deterministic TraceID (otrace.DeriveTraceID of tenant name and
+	// admission sequence — never wall clock), its latency is decomposed
+	// into conservative stage segments (Result.Traces), tail exemplars are
+	// attached to the latency histograms, and — when the global trace
+	// collector is enabled — linked spans are emitted through admission,
+	// batching, placement, sRPC, mOS dispatch and device launch. Off, the
+	// request path pays one branch per hook and allocates nothing extra.
+	Trace bool
+
+	// SLO, when set, arms a per-tenant SLO tracker with this objective:
+	// every completion is scored good/bad and multi-window burn-rate
+	// signals are evaluated (Result.SLOs).
+	SLO *slo.Objective
+	// SLOAdmission couples the burn-rate signal to admission: while a
+	// tenant's signal fires, its effective queue cap is halved (floor 1),
+	// shedding load with typed *OverloadError while the budget recovers —
+	// degraded mode engaging before circuit breakers trip.
+	SLOAdmission bool
 }
 
 func (c *Config) defaults() {
@@ -237,10 +260,18 @@ type Request struct {
 	// Retries counts watchdog-driven attempt retries (timeouts, ring
 	// corruption) — distinct from Replays, which are partition failovers.
 	Retries int
+	// TraceID is the request's deterministic causal trace id (0 unless
+	// Config.Trace is set).
+	TraceID uint64
 
 	class       *workClass
 	done        *sim.Signal
 	completions int
+	// spanID is the request's root span (minted at admission when the
+	// trace collector is enabled); marks are the ordered stage-entry
+	// boundaries the conservative latency attribution is cut from.
+	spanID uint64
+	marks  []otrace.Mark
 }
 
 // Latency is the admitted-to-completed virtual time.
@@ -268,6 +299,8 @@ type tenant struct {
 	held int
 
 	latHist *metrics.Histogram
+	// slo scores completions against Config.SLO (nil when unset).
+	slo *slo.Tracker
 
 	offered, admitted, shed uint64
 	completed, failed       uint64
@@ -302,6 +335,10 @@ type Server struct {
 	cancelFail func()
 
 	requests []*Request // retained when cfg.KeepRequests
+
+	// traces accumulates per-request causal records in completion order
+	// (deterministic) when cfg.Trace is set.
+	traces []otrace.RequestTrace
 }
 
 // serveKernel is the batchable inference kernel: its cost is carried in the
@@ -412,6 +449,9 @@ func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
 		t.q = newQueue(pl.K, spec.QueueCap,
 			reg.Gauge("serve.tenant."+spec.Name+".queue_depth"))
 		t.latHist = reg.Histogram("serve.tenant." + spec.Name + ".latency_ns")
+		if cfg.SLO != nil {
+			t.slo = slo.NewTracker(*cfg.SLO)
+		}
 		for pi := 0; pi < cfg.GPUPartitions; pi++ {
 			rep, err := newReplica(p, srv, t, pi, smDemand)
 			if err != nil {
@@ -447,6 +487,26 @@ func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
 // Registry exposes the run's private metrics registry.
 func (srv *Server) Registry() *metrics.Registry { return srv.reg }
 
+// mark records one stage-entry boundary on a request's timeline — the raw
+// material the conservative latency attribution is cut from. A no-op unless
+// Config.Trace is set.
+func (srv *Server) mark(r *Request, st otrace.Stage, at sim.Time) {
+	if !srv.cfg.Trace {
+		return
+	}
+	r.marks = append(r.marks, otrace.Mark{Stage: st, At: at})
+}
+
+// markBatch marks every request of a batch at once.
+func (srv *Server) markBatch(b *batch, st otrace.Stage, at sim.Time) {
+	if !srv.cfg.Trace {
+		return
+	}
+	for _, r := range b.reqs {
+		r.marks = append(r.marks, otrace.Mark{Stage: st, At: at})
+	}
+}
+
 // complete finalizes one request exactly once; duplicate completions are
 // counted and dropped.
 func (srv *Server) complete(p *sim.Proc, t *tenant, r *Request, err error) {
@@ -461,11 +521,50 @@ func (srv *Server) complete(p *sim.Proc, t *tenant, r *Request, err error) {
 		t.failed++
 	} else {
 		t.completed++
-		t.latHist.Observe(int64(r.Latency()))
+		if srv.cfg.Trace {
+			t.latHist.ObserveExemplar(int64(r.Latency()), r.TraceID)
+		} else {
+			t.latHist.Observe(int64(r.Latency()))
+		}
+	}
+	if t.slo != nil {
+		t.slo.Record(r.Done, r.Latency(), err != nil)
+	}
+	if srv.cfg.Trace {
+		srv.finishTrace(t, r, err)
 	}
 	srv.completedTotal++
 	if r.done != nil {
 		r.done.Fire()
 	}
 	srv.drainCond.Broadcast()
+}
+
+// finishTrace cuts the request's conservative stage decomposition, retains
+// the causal record, and — when the collector is live — emits the request's
+// root span plus one child span per stage segment onto the tenant's track.
+// Completion order is deterministic, so the emitted span ids are too.
+func (srv *Server) finishTrace(t *tenant, r *Request, err error) {
+	segs := otrace.SegmentsFromMarks(r.Arrived, r.Done, r.marks)
+	srv.traces = append(srv.traces, otrace.RequestTrace{
+		TraceID: r.TraceID,
+		Tenant:  t.spec.Name,
+		Class:   r.Class,
+		Arrived: r.Arrived,
+		Done:    r.Done,
+		Failed:  err != nil,
+		Retries: uint32(r.Retries),
+		Replays: uint32(r.Replays),
+		Segments: segs,
+	})
+	if !trace.Default.Enabled() || r.TraceID == 0 {
+		return
+	}
+	track := "req:" + t.spec.Name
+	trace.Default.SpanAtLinked(r.Arrived, r.Done, "req", track,
+		"request "+r.Class, r.TraceID, r.spanID, 0)
+	for _, s := range segs {
+		trace.Default.SpanAtLinked(s.From, s.To, "req", track,
+			string(s.Stage), r.TraceID, trace.Default.NextSpanID(), r.spanID)
+	}
 }

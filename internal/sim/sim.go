@@ -124,6 +124,13 @@ type Proc struct {
 	// onKill callbacks run (in kernel context) when the process is killed
 	// while parked, letting wait-queues drop it eagerly.
 	onKill func()
+	// traceID/spanID carry the causal-tracing span context: the request
+	// trace this process is currently working for and the enclosing span.
+	// The kernel never reads them; internal/trace threads them through so
+	// instrumentation hooks link into the right span tree without any
+	// signature changes. Zero means "no context".
+	traceID uint64
+	spanID  uint64
 }
 
 // Name returns the name the process was spawned with.
@@ -137,6 +144,17 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
+
+// TraceCtx returns the process's current causal span context (trace id and
+// enclosing span id); both are zero when no request context is attached.
+func (p *Proc) TraceCtx() (traceID, spanID uint64) { return p.traceID, p.spanID }
+
+// SetTraceCtx attaches a causal span context to the process (zeros detach).
+// Only one process runs at a time, so no synchronization is needed.
+func (p *Proc) SetTraceCtx(traceID, spanID uint64) {
+	p.traceID = traceID
+	p.spanID = spanID
+}
 
 // DeadlockError is returned by Run when no events remain but live processes
 // are still parked waiting for wakes that can never arrive.

@@ -177,7 +177,17 @@ func (s *SPM) Fail(p *Partition, reason FailReason) *FailureRecord {
 			// operator calls ReleaseQuarantine. ReadyAt stays zero.
 			p.state = PartQuarantined
 			mPartsQuarantined.Inc()
-			trace.Default.Instant(proc, "spm", p.Name, "partition-quarantined", nil)
+			// The reason and failure count travel in args so a flight-
+			// recorder dump of this track is self-explanatory. Allocated
+			// only when tracing is on (Instant checks first).
+			var args map[string]string
+			if trace.Default.Enabled() {
+				args = map[string]string{
+					"reason":   reason.String(),
+					"failures": fmt.Sprintf("%d", recent),
+				}
+			}
+			trace.Default.Instant(proc, "spm", p.Name, "partition-quarantined", args)
 			p.restartSig = sim.NewSignal(s.K)
 			s.isolationChanged()
 			sig.Fire()

@@ -330,6 +330,15 @@ func (c *Client) push(p *sim.Proc, name string, args []byte, kind uint32, respCa
 	if err := c.ring.writeU64(p, offRid, c.rid); err != nil {
 		return c.fail(err)
 	}
+	// Propagate the caller's span context to the executor that will consume
+	// this record — the simulated analogue of a trace-context header,
+	// carried out-of-band so ring layout and virtual-time costs are
+	// untouched (see trace.PutFlow).
+	if trace.Default.Enabled() {
+		if tid, sid := p.TraceCtx(); tid != 0 {
+			trace.Default.PutFlow(c.streamID, c.lastRec, trace.SpanCtx{Trace: tid, Span: sid})
+		}
+	}
 	mCalls.Inc()
 	mBytesMoved.Add(uint64(len(full)))
 	c.calls++

@@ -46,6 +46,26 @@ func BenchmarkDisabledSpan(b *testing.B) {
 	}
 }
 
+// Causal linkage must not weaken the disabled-path contract: with a span
+// context threaded through the process, the hooks still allocate nothing
+// while the collector is off.
+func BenchmarkDisabledSpanWithCtx(b *testing.B) {
+	c := &trace.Collector{}
+	p := benchProc()
+	p.SetTraceCtx(0xdeadbeef, 42)
+	assertZeroAllocs(b, "Span+ctx", func() { c.Span(p, "cat", "track", "name")() })
+	assertZeroAllocs(b, "BeginSpan+ctx", func() { c.BeginSpan(p, "cat", "track", "name")() })
+	assertZeroAllocs(b, "StartSpan+ctx", func() {
+		c.StartSpan(p, "cat", "track", "name", trace.SpanCtx{Trace: 1, Span: 2})()
+	})
+	assertZeroAllocs(b, "SpanAtLinked", func() { c.SpanAtLinked(1, 2, "cat", "track", "name", 1, 2, 3) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Span(p, "cat", "track", "name")()
+	}
+}
+
 func BenchmarkDisabledInstantAt(b *testing.B) {
 	c := &trace.Collector{}
 	assertZeroAllocs(b, "InstantAt", func() { c.InstantAt(42, "cat", "track", "name", nil) })
