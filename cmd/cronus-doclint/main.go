@@ -36,6 +36,7 @@ var defaultDirs = []string{
 	"internal/metrics",
 	"internal/otrace",
 	"internal/slo",
+	"internal/sim",
 }
 
 func main() {

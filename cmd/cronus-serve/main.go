@@ -16,6 +16,14 @@
 //	cronus-serve -max-batch 1                     # disable batching
 //	cronus-serve -trace out.json                  # causal spans -> Perfetto JSON
 //	cronus-serve -slo-target-us 400               # arm the SLO burn-rate engine
+//	cronus-serve -shards 4                        # sharded kernel + flow-model data plane
+//	cronus-serve -shards 4 -lanes 4 -parallel     # ... with parallel shard execution
+//
+// -shards 0 (the default) and -shards 1 run the classic sequential plane
+// byte-identically. With -shards >= 2 the run moves to the sharded data
+// plane, which models inference serving only: the general-compute rodinia
+// class is left out of the tenant mix, and -trace/-supervise are rejected
+// by config validation.
 package main
 
 import (
@@ -55,6 +63,12 @@ func main() {
 	sloBudget := flag.Float64("slo-budget", 0.01, "SLO error budget (fraction of requests)")
 	sloAdmit := flag.Bool("slo-admission", false,
 		"halve a tenant's admission cap while its SLO burn rate is firing")
+	shards := flag.Int("shards", 0,
+		"kernel shards for the sharded data plane (0 or 1 = classic sequential plane)")
+	lanes := flag.Int("lanes", 0,
+		"sRPC rings per replica on the sharded plane (0 = default)")
+	parallel := flag.Bool("parallel", false,
+		"run kernel shards on their own goroutines (requires -shards >= 2)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -66,6 +80,9 @@ func main() {
 		GPUPartitions: *partitions,
 		KeepRequests:  true,
 		FailPartition: *failPart,
+		Shards:        *shards,
+		Lanes:         *lanes,
+		Parallel:      *parallel,
 	}
 	if *failAtMS > 0 {
 		cfg.FailAt = sim.Duration(*failAtMS) * sim.Millisecond
@@ -105,8 +122,10 @@ func main() {
 			},
 		}
 		// The first tenant mixes in general compute (unbatchable rodinia
-		// passes) so the run exercises both execution paths.
-		if i == 0 {
+		// passes) so the run exercises both execution paths. The sharded
+		// plane models inference serving only, so it keeps the pure-graph
+		// mix.
+		if i == 0 && *shards < 2 {
 			spec.Mix = append(spec.Mix, serve.WorkClass{Name: "nn", Weight: 1, Bench: &nn})
 		}
 		cfg.Tenants = append(cfg.Tenants, spec)

@@ -26,6 +26,14 @@ type CUDAOptions struct {
 	Partition string
 	// Name labels the enclave (default derived from the session).
 	Name string
+	// Rings opens that many parallel sRPC streams to the enclave (default
+	// 1), each with its own executor thread, so independent batches never
+	// contend on one ring's doorbell. Ring(i) selects a stream; the
+	// zero-argument methods use ring 0.
+	Rings int
+	// ZCPayload, when positive, grants a zero-copy payload arena on every
+	// ring sized for fused ExecZC calls of up to this many bytes.
+	ZCPayload int
 }
 
 // CUDAConn is a connected CUDA mEnclave: the session's typed handle over
@@ -33,7 +41,8 @@ type CUDAOptions struct {
 // the ring.
 type CUDAConn struct {
 	sess   *Session
-	client *srpc.Client
+	client *srpc.Client   // ring 0 (also rings[0])
+	rings  []*srpc.Client // all parallel streams to the enclave
 	EID    uint32
 	chunk  int
 }
@@ -88,11 +97,24 @@ func (s *Session) OpenCUDA(p *sim.Proc, opts CUDAOptions) (*CUDAConn, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: partition vanished for eid %#x", res.eid)
 	}
-	client, err := srpc.Connect(p, s.owner, res.eid, secret, edl,
-		srpc.Expected{EnclaveHash: man.Measure(files), MOSHash: part.MOSHash()},
-		s.Platform.D, opts.RingPages)
-	if err != nil {
-		return nil, err
+	nrings := opts.Rings
+	if nrings < 1 {
+		nrings = 1
+	}
+	expected := srpc.Expected{EnclaveHash: man.Measure(files), MOSHash: part.MOSHash()}
+	rings := make([]*srpc.Client, 0, nrings)
+	for i := 0; i < nrings; i++ {
+		client, err := srpc.Connect(p, s.owner, res.eid, secret, edl, expected,
+			s.Platform.D, opts.RingPages)
+		if err != nil {
+			return nil, err
+		}
+		if opts.ZCPayload > 0 {
+			if err := client.GrantArena(p, opts.ZCPayload); err != nil {
+				return nil, err
+			}
+		}
+		rings = append(rings, client)
 	}
 	s.manifests[opts.Name] = res.hash
 	pages := opts.RingPages
@@ -104,7 +126,7 @@ func (s *Session) OpenCUDA(p *sim.Proc, opts CUDAOptions) (*CUDAConn, error) {
 	if chunk < srpc.SlotSize {
 		chunk = srpc.SlotSize
 	}
-	return &CUDAConn{sess: s, client: client, EID: res.eid, chunk: chunk}, nil
+	return &CUDAConn{sess: s, client: rings[0], rings: rings, EID: res.eid, chunk: chunk}, nil
 }
 
 type createResult struct {
@@ -115,6 +137,33 @@ type createResult struct {
 
 // Client exposes the underlying stream (stats, advanced use).
 func (c *CUDAConn) Client() *srpc.Client { return c.client }
+
+// NumRings returns the number of parallel sRPC streams this connection holds.
+func (c *CUDAConn) NumRings() int { return len(c.rings) }
+
+// Ring returns a view of the connection bound to stream i (mod NumRings):
+// the same enclave, chunking and session, but calls issued through it travel
+// the selected ring and executor. Views share lifecycle with the parent —
+// Close/Abandon on the parent tears every ring down.
+func (c *CUDAConn) Ring(i int) *CUDAConn {
+	r := *c
+	r.client = c.rings[i%len(c.rings)]
+	return &r
+}
+
+// ExecZC pushes one fused zero-copy record on this ring: an HtoD of payload
+// to dst followed by a kernel launch, with completion (or the first error)
+// delivered through notify in the executor's context. Requires ZCPayload in
+// the open options. See srpc.CallZC for the no-wait contract.
+func (c *CUDAConn) ExecZC(p *sim.Proc, dst uint64, payload []byte, kernel string, grid gpu.Dim, notify srpc.NotifyFn, args ...uint64) error {
+	return c.client.CallZC(p, srpc.ZCRequest{
+		Payload:  payload,
+		CopyCall: driver.CallHtoD,
+		Dst:      dst,
+		ExecCall: driver.CallLaunch,
+		ExecArgs: driver.EncodeLaunch(kernel, grid, args...),
+	}, notify)
+}
 
 // MemAlloc implements accel.CUDA.
 func (c *CUDAConn) MemAlloc(p *sim.Proc, n uint64) (uint64, error) {
@@ -177,11 +226,23 @@ func (c *CUDAConn) Launch(p *sim.Proc, kernel string, grid gpu.Dim, args ...uint
 func (c *CUDAConn) Sync(p *sim.Proc) error { return c.client.Barrier(p) }
 
 // Abandon tears down the owner side of the connection without draining the
-// ring or waiting for the executor — the recovery action after a timed-out
+// rings or waiting for the executors — the recovery action after a timed-out
 // or corrupted stream, where a graceful Close could block forever. The
 // enclave is left to the partition's lifecycle; callers reconnect with a
 // fresh OpenCUDA.
-func (c *CUDAConn) Abandon() { c.client.Abandon() }
+func (c *CUDAConn) Abandon() {
+	for _, r := range c.rings {
+		r.Abandon()
+	}
+}
 
-// Close implements accel.CUDA.
-func (c *CUDAConn) Close(p *sim.Proc) error { return c.client.Close(p) }
+// Close implements accel.CUDA: every ring is drained and closed.
+func (c *CUDAConn) Close(p *sim.Proc) error {
+	var first error
+	for _, r := range c.rings {
+		if err := r.Close(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -3,15 +3,25 @@ package hw
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // PhysMem is the machine's physical memory: sparse 4 KiB pages guarded by
 // the TZASC. Every read and write declares the world it originates from.
+//
+// Concurrency: when the simulation kernel runs in its parallel sharded phase
+// (sim.Parallelize), processes on different shards access disjoint guarded
+// ranges concurrently. The page table (first-touch allocation) and the watch
+// registry are the only structures those accesses share, so both are guarded
+// here; page contents themselves are disjoint by the isolation the TZASC and
+// stage-2 tables enforce.
 type PhysMem struct {
 	size    uint64
+	pageMu  sync.RWMutex
 	pages   map[uint64][]byte
 	tzasc   *TZASC
 	regions map[string]*MemRegion
+	watchMu sync.Mutex
 	watches []memWatch
 	watchID int
 }
@@ -106,7 +116,10 @@ func (m *PhysMem) FreePage(region string, pa PA) error {
 }
 
 func (m *PhysMem) zeroPage(pfn uint64) {
-	if pg, ok := m.pages[pfn]; ok {
+	m.pageMu.RLock()
+	pg, ok := m.pages[pfn]
+	m.pageMu.RUnlock()
+	if ok {
 		for i := range pg {
 			pg[i] = 0
 		}
@@ -115,8 +128,15 @@ func (m *PhysMem) zeroPage(pfn uint64) {
 
 // page returns the backing slice for a frame, allocating on first touch.
 func (m *PhysMem) page(pfn uint64) []byte {
+	m.pageMu.RLock()
 	pg, ok := m.pages[pfn]
-	if !ok {
+	m.pageMu.RUnlock()
+	if ok {
+		return pg
+	}
+	m.pageMu.Lock()
+	defer m.pageMu.Unlock()
+	if pg, ok = m.pages[pfn]; !ok {
 		pg = make([]byte, PageSize)
 		m.pages[pfn] = pg
 	}
@@ -165,7 +185,7 @@ func (m *PhysMem) access(w World, pa PA, buf []byte, write bool) error {
 		}
 		off += n
 	}
-	if write && len(m.watches) > 0 {
+	if write {
 		m.fireWatches(pa, pa+PA(len(buf)))
 	}
 	return nil
@@ -177,10 +197,14 @@ func (m *PhysMem) access(w World, pa PA, buf []byte, write bool) error {
 // not producer stores. The returned cancel removes the watch; watches fire in
 // registration order so wakeup order is deterministic.
 func (m *PhysMem) WatchWrite(pa PA, n uint64, fn func()) (cancel func()) {
+	m.watchMu.Lock()
 	m.watchID++
 	id := m.watchID
 	m.watches = append(m.watches, memWatch{id: id, lo: pa, hi: pa + PA(n), fn: fn})
+	m.watchMu.Unlock()
 	return func() {
+		m.watchMu.Lock()
+		defer m.watchMu.Unlock()
 		for i := range m.watches {
 			if m.watches[i].id == id {
 				m.watches = append(m.watches[:i], m.watches[i+1:]...)
@@ -191,22 +215,35 @@ func (m *PhysMem) WatchWrite(pa PA, n uint64, fn func()) (cancel func()) {
 }
 
 func (m *PhysMem) fireWatches(lo, hi PA) {
-	// A callback may cancel watches (including its own); iterate over a
-	// snapshot of ids via index re-validation.
-	for i := 0; i < len(m.watches); i++ {
-		w := m.watches[i]
+	// Snapshot the overlapping watches under the lock (registration order —
+	// wakeup order stays deterministic), then fire outside it so callbacks
+	// may cancel watches, including their own. A watch cancelled by an
+	// earlier callback of the same write is skipped: its pre-fire existence
+	// is re-checked under the lock, matching the pre-concurrency behaviour.
+	m.watchMu.Lock()
+	if len(m.watches) == 0 {
+		m.watchMu.Unlock()
+		return
+	}
+	var snap []memWatch
+	for _, w := range m.watches {
 		if w.lo < hi && lo < w.hi {
-			w.fn()
-			// The callback may have mutated the slice; re-anchor on id.
-			if i >= len(m.watches) || m.watches[i].id != w.id {
-				for j := range m.watches {
-					if m.watches[j].id > w.id {
-						i = j - 1
-						break
-					}
-					i = j
-				}
+			snap = append(snap, w)
+		}
+	}
+	m.watchMu.Unlock()
+	for _, w := range snap {
+		m.watchMu.Lock()
+		live := false
+		for i := range m.watches {
+			if m.watches[i].id == w.id {
+				live = true
+				break
 			}
+		}
+		m.watchMu.Unlock()
+		if live {
+			w.fn()
 		}
 	}
 }

@@ -235,13 +235,24 @@ func (d *Dispatcher) SpawnExecutor(p *sim.Proc, eid uint32, streamID uint64) err
 	if err != nil {
 		return err
 	}
-	proc := d.K.Spawn(fmt.Sprintf("executor-%#x-%d", eid, streamID), func(tp *sim.Proc) {
+	body := func(tp *sim.Proc) {
 		m.Part.Register(tp)
 		defer m.Part.Unregister(tp)
 		mWorldSwitches.Inc()
 		tp.Sleep(d.Costs.WorldSwitch)
 		srv.RunExecutor(tp, streamID)
-	})
-	_ = proc
+	}
+	name := fmt.Sprintf("executor-%#x-%d", eid, streamID)
+	if d.K.Sharded() {
+		// Place the executor on its partition's event shard so record
+		// execution parallelizes with other partitions. The logical id
+		// derives from the platform-minted stream id, so event keys — and
+		// therefore all virtual-time outputs — are placement-invariant.
+		// Connect and reconnect both run in sequential contexts, so SpawnOn
+		// is always legal here.
+		d.K.SpawnOn(m.Part.Shard(), 1<<20|streamID, name, body)
+	} else {
+		d.K.Spawn(name, body)
+	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package serve_test
 
 import (
+	"flag"
+	"fmt"
 	"testing"
 
 	"cronus/internal/serve"
@@ -8,17 +10,35 @@ import (
 	"cronus/internal/tvm"
 )
 
+// shardsFlag reruns the ServeLoad benchmarks on the sharded data plane:
+//
+//	go test ./internal/serve -bench ServeLoad -shards 4
+//
+// 0 (the default) keeps the classic sequential plane. The shard count is
+// reported as the "shards" metric so BENCH_serve.json rows from both planes
+// stay distinguishable.
+var shardsFlag = flag.Int("shards", 0, "run ServeLoad benchmarks with this many kernel shards (0 = classic plane)")
+
 // benchConfig is the saturation load used for BENCH_serve.json: one tenant
 // offering more than an unbatched replica can serve, swept over batch caps.
+// The batch window must cover MaxBatch arrivals at the offered rate: at 90k
+// fixed-rate the gap is 11.11µs, so 40µs fills a batch of 4 but caps at 4
+// for larger batches — caps above 4 widen the window to 80µs so the eighth
+// arrival (77.8µs after the first) still joins.
 func benchConfig(maxBatch int) serve.Config {
+	window := 40 * sim.Microsecond
+	if maxBatch > 4 {
+		window = 80 * sim.Microsecond
+	}
 	return serve.Config{
 		Seed:          17,
 		Window:        20 * sim.Millisecond,
 		Policy:        serve.RoundRobin,
 		MaxBatch:      maxBatch,
-		BatchWindow:   40 * sim.Microsecond,
+		BatchWindow:   window,
 		GPUPartitions: 1,
 		GPUFlopsPerNs: 400,
+		Shards:        *shardsFlag,
 		Tenants: []serve.TenantSpec{
 			{
 				Name: "load", Arrival: serve.FixedRate, Rate: 90000, QueueCap: 64,
@@ -30,7 +50,7 @@ func benchConfig(maxBatch int) serve.Config {
 
 // benchServe runs the serving plane and reports virtual-time throughput and
 // latency as custom metrics; ns/op is host time and machine-dependent, the
-// vreq/s and vp50_ns metrics are deterministic.
+// vreq/s, vp50_ns, vbatch and shards metrics are deterministic.
 func benchServe(b *testing.B, maxBatch int) {
 	b.Helper()
 	var last *serve.Result
@@ -45,8 +65,52 @@ func benchServe(b *testing.B, maxBatch int) {
 	b.ReportMetric(tr.GoodputRPS, "vreq/s")
 	b.ReportMetric(tr.P50NS, "vp50_ns")
 	b.ReportMetric(last.AvgBatch(), "vbatch")
+	b.ReportMetric(float64(*shardsFlag), "shards")
 }
 
 func BenchmarkServeLoadBatch1(b *testing.B) { benchServe(b, 1) }
 func BenchmarkServeLoadBatch4(b *testing.B) { benchServe(b, 4) }
 func BenchmarkServeLoadBatch8(b *testing.B) { benchServe(b, 8) }
+
+// BenchmarkServeLoadScaleOut is the sharded plane's aggregate-throughput
+// row: four tenants, each offering the single-tenant saturation load on its
+// own partition (DeviceAffinity), served with four kernel shards. The
+// vreq/s metric is the aggregate goodput across tenants — the number that
+// moves past the single-partition 90k plateau.
+func BenchmarkServeLoadScaleOut(b *testing.B) {
+	shards := 4
+	if *shardsFlag > 0 {
+		shards = *shardsFlag
+	}
+	cfg := benchConfig(4)
+	cfg.Shards = shards
+	cfg.GPUPartitions = 4
+	cfg.Policy = serve.DeviceAffinity
+	cfg.Tenants = nil
+	for ti := 0; ti < 4; ti++ {
+		cfg.Tenants = append(cfg.Tenants, serve.TenantSpec{
+			Name: fmt.Sprintf("load%d", ti), Arrival: serve.FixedRate, Rate: 90000, QueueCap: 64,
+			Mix: []serve.WorkClass{{Name: "resnet50", Graph: tvm.ResNet50()}},
+		})
+	}
+	var last *serve.Result
+	for i := 0; i < b.N; i++ {
+		res, err := serve.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	var agg float64
+	var p50 float64
+	for _, tr := range last.Tenants {
+		agg += tr.GoodputRPS
+		if tr.P50NS > p50 {
+			p50 = tr.P50NS
+		}
+	}
+	b.ReportMetric(agg, "vreq/s")
+	b.ReportMetric(p50, "vp50_ns")
+	b.ReportMetric(last.AvgBatch(), "vbatch")
+	b.ReportMetric(float64(shards), "shards")
+}

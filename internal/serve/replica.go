@@ -45,6 +45,16 @@ type replica struct {
 	// timeouts without an intervening success. Reaching
 	// Config.HangReportAfter reports the partition to the SPM as hung.
 	consecTimeouts int
+
+	// Sharded-plane state (sharded.go; nil/zero on the classic path): the
+	// per-lane flow-model stripes living on the replica's partition shard,
+	// the host-side round-robin lane cursor, the host-side set of batches
+	// dispatched but not yet completed (cancellation on failover), and the
+	// mailbox port batches arrive on.
+	lanes     []laneState
+	nextLane  int
+	inflightB []*batch
+	lanePort  *sim.Port[*batch]
 }
 
 func newReplica(p *sim.Proc, srv *Server, t *tenant, pi int, smDemand uint64) (*replica, error) {
@@ -75,10 +85,15 @@ func newReplica(p *sim.Proc, srv *Server, t *tenant, pi int, smDemand uint64) (*
 		smDemand: smDemand,
 		cond:     sim.NewCond(srv.pl.K),
 	}
+	if srv.sh != nil {
+		srv.shInitReplica(rep)
+	}
 	if err := rep.connect(p); err != nil {
 		return nil, err
 	}
-	srv.pl.K.Spawn(fmt.Sprintf("serve-worker-%s-p%d", t.spec.Name, pi), rep.run)
+	if srv.sh == nil {
+		srv.pl.K.Spawn(fmt.Sprintf("serve-worker-%s-p%d", t.spec.Name, pi), rep.run)
+	}
 	return rep, nil
 }
 
@@ -87,11 +102,20 @@ func newReplica(p *sim.Proc, srv *Server, t *tenant, pi int, smDemand uint64) (*
 // name so post-failover attestation manifests stay distinguishable.
 func (rep *replica) connect(p *sim.Proc) error {
 	rep.gen++
-	conn, err := rep.t.sess.OpenCUDA(p, core.CUDAOptions{
+	opts := core.CUDAOptions{
 		Cubin:     rep.cubin,
 		Partition: rep.partName,
 		Name:      fmt.Sprintf("%s/r%d.%d", rep.t.spec.Name, rep.partIdx, rep.gen),
-	})
+	}
+	if rep.srv.sh != nil {
+		// The sharded plane opens one real sRPC ring per modeled lane, each
+		// with a zero-copy payload arena sized for a full batch: executors
+		// land on the partition's kernel shard and the control-plane costs
+		// (attestation, ring setup, arena grant) are paid for real.
+		opts.Rings = rep.srv.cfg.Lanes
+		opts.ZCPayload = rep.inCap
+	}
+	conn, err := rep.t.sess.OpenCUDA(p, opts)
 	if err != nil {
 		return err
 	}

@@ -195,6 +195,20 @@ func (srv *Server) result() *Result {
 		Traces:    srv.traces,
 		Metrics:   srv.reg.Snapshot(),
 	}
+	if srv.sh != nil {
+		// Fold the sharded plane's striped state in deterministic tenant →
+		// replica → lane order: per-lane batch counters and the per-tenant
+		// kept-request stripes (admission order within each stripe).
+		for _, t := range srv.tenants {
+			for _, rep := range t.reps {
+				for i := range rep.lanes {
+					res.Batches += rep.lanes[i].batches
+					res.BatchReqs += rep.lanes[i].reqs
+				}
+			}
+			res.Requests = append(res.Requests, t.shKept...)
+		}
+	}
 	winSec := float64(srv.cfg.Window) / 1e9
 	for _, t := range srv.tenants {
 		tr := TenantResult{

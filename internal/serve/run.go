@@ -14,6 +14,9 @@ import (
 // then drains — it returns only after every admitted request has completed,
 // so a Result never has requests unaccounted for.
 func (srv *Server) Serve(p *sim.Proc) (*Result, error) {
+	if srv.sh != nil {
+		return srv.shServe(p)
+	}
 	srv.endAt = p.Now() + sim.Time(srv.cfg.Window)
 	srv.startDispatchers()
 	srv.startLoad()
@@ -30,10 +33,21 @@ func (srv *Server) Serve(p *sim.Proc) (*Result, error) {
 
 // startFailInjector arms the single mid-run FailPanic the config asked for:
 // at FailAt, the named GPU partition (default gpu-part0) proceed-traps as
-// if its mOS hit an unhandled fault.
+// if its mOS hit an unhandled fault. On the sharded plane the injector first
+// sequentializes the kernel — a partition failure is a global, totally
+// ordered control-plane event, so the parallel windows end here and the
+// whole failover (cancellation, SPM restart, reconnect, backlog re-drive)
+// runs single-threaded.
 func (srv *Server) startFailInjector() {
-	srv.pl.K.Spawn("serve-fail-injector", func(p *sim.Proc) {
+	body := func(p *sim.Proc) {
 		p.Sleep(srv.cfg.FailAt)
+		if srv.sh != nil {
+			p.Sequentialize()
+			if part := srv.failPartition(); part != nil {
+				srv.pl.SPM.Fail(part, spm.FailPanic)
+			}
+			return
+		}
 		name := srv.cfg.FailPartition
 		if name == "" {
 			name = "gpu-part0"
@@ -44,7 +58,12 @@ func (srv *Server) startFailInjector() {
 				return
 			}
 		}
-	})
+	}
+	if srv.sh != nil {
+		srv.pl.K.SpawnOn(0, lidFailInjector, "serve-fail-injector", body)
+		return
+	}
+	srv.pl.K.Spawn("serve-fail-injector", body)
 }
 
 // Run boots a fresh platform sized for cfg, serves the configured load, and

@@ -12,9 +12,20 @@ import (
 // configured policy.
 
 // batch is one placement unit: same tenant, same work class, FIFO order.
+// The fields below class and reqs belong to the sharded plane (sharded.go),
+// which routes batch pointers through cross-shard ports: t and rep identify
+// the owners on each side, lane the modeled ring, submitNS the host-side
+// submit cost folded into lane service, and cancelled neuters the pending
+// lane/completion events of a batch requeued by a failover.
 type batch struct {
 	class *workClass
 	reqs  []*Request
+
+	t         *tenant
+	rep       *replica
+	lane      int
+	submitNS  sim.Duration
+	cancelled bool
 }
 
 // startDispatchers spawns the per-tenant dispatcher procs.

@@ -200,6 +200,26 @@ type Config struct {
 	// shedding load with typed *OverloadError while the budget recovers —
 	// degraded mode engaging before circuit breakers trip.
 	SLOAdmission bool
+
+	// Shards, when >= 2, selects the sharded data plane (sharded.go): the
+	// simulation kernel is partitioned into one host shard plus Shards
+	// device shards, GPU partitions are spread across the device shards,
+	// and the per-request path runs as an event-driven flow model over the
+	// fused zero-copy sRPC cost surface instead of per-batch worker procs.
+	// 0 or 1 keeps the classic sequential plane byte-identically. The
+	// sharded plane serves batchable inference mixes only and is mutually
+	// exclusive with Trace, Supervision and RequestTimeout (see New).
+	Shards int
+	// Lanes is the number of parallel sRPC rings each sharded replica opens
+	// (default 2); batches round-robin over the lanes, so service on one
+	// lane does not queue behind an independent batch on another.
+	Lanes int
+	// Parallel runs the sharded event queues on one goroutine per shard
+	// (conservative lookahead windows). Outputs are byte-identical with and
+	// without it — it is an execution strategy, never a model change — and
+	// it is an explicit opt-in so runs stay machine-invariant by default.
+	// Requires Shards >= 2.
+	Parallel bool
 }
 
 func (c *Config) defaults() {
@@ -243,6 +263,9 @@ func (c *Config) defaults() {
 	}
 	if c.ReconnectMaxAttempts <= 0 {
 		c.ReconnectMaxAttempts = 8
+	}
+	if c.Shards >= 2 && c.Lanes < 1 {
+		c.Lanes = 2
 	}
 }
 
@@ -306,6 +329,21 @@ type tenant struct {
 	completed, failed       uint64
 	replayed, duplicates    uint64
 	retried, timeouts       uint64
+
+	// Sharded-plane state (zero on the classic path). The open batch, its
+	// generation counter (invalidates stale window timers), the host-side
+	// in-flight count, the undispatchable-batch backlog and the per-tenant
+	// kept-request stripe all live on the host shard; shAnchor is the
+	// tenant's host-shard anchor proc whose (lid, seq) identity keys every
+	// arrival and timer event of this tenant, making same-instant tie order
+	// identical between sequential and parallel execution.
+	shAnchor  *sim.Proc
+	shOpen    *batch
+	shGen     uint64
+	shSeq     uint64
+	shInFl    int
+	shBacklog []*batch
+	shKept    []*Request
 }
 
 // Server is one booted serving plane.
@@ -339,6 +377,9 @@ type Server struct {
 	// traces accumulates per-request causal records in completion order
 	// (deterministic) when cfg.Trace is set.
 	traces []otrace.RequestTrace
+
+	// sh is the sharded data plane (nil on the classic path).
+	sh *shState
 }
 
 // serveKernel is the batchable inference kernel: its cost is carried in the
@@ -375,6 +416,9 @@ func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: %d partitions requested, platform has %d GPUs",
 			cfg.GPUPartitions, len(pl.GPUs))
 	}
+	if err := validateSharded(cfg); err != nil {
+		return nil, err
+	}
 	// The pool's rodinia kernels live in the global GPU registry alongside
 	// the std kernels BuildPlatform installs (Register replaces, so this
 	// is idempotent across servers in one process).
@@ -382,14 +426,19 @@ func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
 	reg := metrics.NewRegistry()
 	reg.Enable()
 	srv := &Server{
-		pl:          pl,
-		cfg:         cfg,
-		reg:         reg,
-		drainCond:   sim.NewCond(pl.K),
+		pl:             pl,
+		cfg:            cfg,
+		reg:            reg,
+		drainCond:      sim.NewCond(pl.K),
 		ctrTimeouts:    reg.Counter("serve.timeouts"),
 		ctrRetries:     reg.Counter("serve.retries"),
 		ctrReconnects:  reg.Counter("serve.reconnect.attempts"),
 		ctrHangReports: reg.Counter("serve.hang_reports"),
+	}
+	if cfg.Shards >= 2 {
+		// Partition the kernel and anchor the cross-shard ports before any
+		// replica connects: executor placement reads the partition's shard.
+		srv.shBoot()
 	}
 	// Partition health supervision: arm heartbeats on every pooled
 	// partition and start the SPM watchdog before any load exists, so the
@@ -452,6 +501,10 @@ func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
 		if cfg.SLO != nil {
 			t.slo = slo.NewTracker(*cfg.SLO)
 		}
+		if srv.sh != nil {
+			t.shAnchor = srv.shSpawnAnchor(0, lidTenantAnchor+uint64(ti),
+				"serve-anchor-"+spec.Name)
+		}
 		for pi := 0; pi < cfg.GPUPartitions; pi++ {
 			rep, err := newReplica(p, srv, t, pi, smDemand)
 			if err != nil {
@@ -476,7 +529,11 @@ func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
 						// around a transient restart.
 						rep.quarantined = true
 					}
-					rep.cond.Broadcast() // wake an idle worker into failover
+					if srv.sh != nil {
+						srv.shReplicaDown(rep)
+					} else {
+						rep.cond.Broadcast() // wake an idle worker into failover
+					}
 				}
 			}
 		}
@@ -547,14 +604,14 @@ func (srv *Server) complete(p *sim.Proc, t *tenant, r *Request, err error) {
 func (srv *Server) finishTrace(t *tenant, r *Request, err error) {
 	segs := otrace.SegmentsFromMarks(r.Arrived, r.Done, r.marks)
 	srv.traces = append(srv.traces, otrace.RequestTrace{
-		TraceID: r.TraceID,
-		Tenant:  t.spec.Name,
-		Class:   r.Class,
-		Arrived: r.Arrived,
-		Done:    r.Done,
-		Failed:  err != nil,
-		Retries: uint32(r.Retries),
-		Replays: uint32(r.Replays),
+		TraceID:  r.TraceID,
+		Tenant:   t.spec.Name,
+		Class:    r.Class,
+		Arrived:  r.Arrived,
+		Done:     r.Done,
+		Failed:   err != nil,
+		Retries:  uint32(r.Retries),
+		Replays:  uint32(r.Replays),
 		Segments: segs,
 	})
 	if !trace.Default.Enabled() || r.TraceID == 0 {

@@ -1,0 +1,280 @@
+package serve_test
+
+import (
+	"testing"
+
+	"cronus/internal/serve"
+	"cronus/internal/sim"
+	"cronus/internal/tvm"
+	"cronus/internal/workload/rodinia"
+)
+
+// shardedConfig is the common sharded-plane test load: two open-loop
+// inference tenants over two partitions, heavy enough that batching and
+// both lanes engage.
+func shardedConfig() serve.Config {
+	return serve.Config{
+		Seed:          23,
+		Window:        4 * sim.Millisecond,
+		Policy:        serve.RoundRobin,
+		MaxBatch:      4,
+		BatchWindow:   40 * sim.Microsecond,
+		GPUPartitions: 2,
+		GPUFlopsPerNs: 400,
+		Shards:        2,
+		KeepRequests:  true,
+		Tenants: []serve.TenantSpec{
+			{Name: "alpha", Arrival: serve.FixedRate, Rate: 60000, QueueCap: 64,
+				Mix: []serve.WorkClass{{Name: "resnet50", Graph: tvm.ResNet50()}}},
+			{Name: "beta", Arrival: serve.Poisson, Rate: 30000, QueueCap: 64,
+				Mix: []serve.WorkClass{{Name: "resnet18", Graph: tvm.ResNet18()}}},
+		},
+	}
+}
+
+// requestsDigest renders the per-request records into a comparable string.
+func requestsDigest(t *testing.T, res *serve.Result) string {
+	t.Helper()
+	out := ""
+	for _, r := range res.Requests {
+		out += r.Tenant + "/" + r.Class
+		out += string(rune('0' + r.Replays))
+		out += sim.Duration(r.Arrived).String() + "+" + r.Latency().String() + ";"
+	}
+	return out
+}
+
+// TestShardedDeterminism pins the canonical-total-order claim: the same
+// config must produce byte-identical reports and per-request records across
+// shard counts and with the parallel dispatchers on or off.
+func TestShardedDeterminism(t *testing.T) {
+	base := shardedConfig()
+	ref, err := serve.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refReport, refReqs := ref.Report(), requestsDigest(t, ref)
+	if ref.Tenants[0].Completed == 0 || ref.Tenants[1].Completed == 0 {
+		t.Fatalf("sharded run served nothing:\n%s", refReport)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*serve.Config)
+	}{
+		{"rerun", func(c *serve.Config) {}},
+		{"shards=4", func(c *serve.Config) { c.Shards = 4 }},
+		{"shards=8", func(c *serve.Config) { c.Shards = 8 }},
+		{"parallel", func(c *serve.Config) { c.Parallel = true }},
+		{"shards=4-parallel", func(c *serve.Config) { c.Shards = 4; c.Parallel = true }},
+	} {
+		cfg := shardedConfig()
+		tc.mutate(&cfg)
+		res, err := serve.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := res.Report(); got != refReport {
+			t.Errorf("%s: report diverged\n--- ref ---\n%s--- got ---\n%s", tc.name, refReport, got)
+		}
+		if got := requestsDigest(t, res); got != refReqs {
+			t.Errorf("%s: per-request records diverged", tc.name)
+		}
+	}
+}
+
+// TestShardedMatchesClassicAccounting runs the same config on both planes:
+// the arrival timeline is shared (same seeds, same draw order), and under an
+// unsaturated load neither plane sheds, so the offered / admitted /
+// completed columns must agree exactly. Latency may differ — the planes
+// model the data path differently — but conservation must hold on both.
+func TestShardedMatchesClassicAccounting(t *testing.T) {
+	cfg := shardedConfig()
+	cfg.Shards = 0
+	classic, err := serve.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = shardedConfig()
+	sharded, err := serve.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range classic.Tenants {
+		c, s := classic.Tenants[i], sharded.Tenants[i]
+		if c.Offered != s.Offered || c.Admitted != s.Admitted || c.Completed != s.Completed {
+			t.Errorf("tenant %s: classic offered/admitted/completed %d/%d/%d, sharded %d/%d/%d",
+				c.Name, c.Offered, c.Admitted, c.Completed, s.Offered, s.Admitted, s.Completed)
+		}
+		if s.Admitted != s.Completed+s.Failed {
+			t.Errorf("tenant %s: sharded conservation broken: admitted %d != completed %d + failed %d",
+				s.Name, s.Admitted, s.Completed, s.Failed)
+		}
+		if s.Duplicates != 0 {
+			t.Errorf("tenant %s: %d duplicate completions", s.Name, s.Duplicates)
+		}
+	}
+}
+
+// TestShardedFailover injects the mid-run partition panic on the sharded
+// plane. DeviceAffinity pins tenant alpha to the failing partition and a
+// slow device keeps its lanes saturated, so the failure always catches
+// batches in flight: they must replay (not vanish, not duplicate), the
+// pinned tenant must drain through the recovery + backlog-flush path, the
+// survivor must be untouched, and the report must stay byte-identical
+// across shard counts and parallel mode.
+func TestShardedFailover(t *testing.T) {
+	mk := func(shards int, parallel bool) serve.Config {
+		cfg := shardedConfig()
+		cfg.Policy = serve.DeviceAffinity
+		cfg.GPUFlopsPerNs = 100
+		cfg.Shards = shards
+		cfg.Parallel = parallel
+		cfg.FailAt = 1500 * sim.Microsecond
+		cfg.FailPartition = "gpu-part0"
+		return cfg
+	}
+	ref, err := serve.Run(mk(2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(res *serve.Result) (admitted, completed, failed, replayed, dups uint64) {
+		for _, tr := range res.Tenants {
+			admitted += tr.Admitted
+			completed += tr.Completed
+			failed += tr.Failed
+			replayed += tr.Replayed
+			dups += tr.Duplicates
+		}
+		return
+	}
+	admitted, completed, failed, replayed, dups := total(ref)
+	if admitted != completed+failed {
+		t.Errorf("conservation broken: admitted %d != completed %d + failed %d", admitted, completed, failed)
+	}
+	if replayed == 0 {
+		t.Errorf("no replays recorded across a mid-run partition failure:\n%s", ref.Report())
+	}
+	if dups != 0 {
+		t.Errorf("%d duplicate completions", dups)
+	}
+	if len(ref.Failures) != 1 || !ref.Failures[0].Recovered {
+		t.Errorf("expected one recovered failure, got %+v", ref.Failures)
+	}
+	if surv := ref.Tenant("beta"); surv == nil || surv.Replayed != 0 || surv.Failed != 0 {
+		t.Errorf("survivor tenant perturbed by the failover: %+v", surv)
+	}
+	refReport, refReqs := ref.Report(), requestsDigest(t, ref)
+	for _, tc := range []struct {
+		name     string
+		shards   int
+		parallel bool
+	}{
+		{"shards=4", 4, false},
+		{"parallel", 2, true},
+		{"shards=4-parallel", 4, true},
+	} {
+		res, err := serve.Run(mk(tc.shards, tc.parallel))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := res.Report(); got != refReport {
+			t.Errorf("%s: faulted report diverged\n--- ref ---\n%s--- got ---\n%s", tc.name, refReport, got)
+		}
+		if got := requestsDigest(t, res); got != refReqs {
+			t.Errorf("%s: faulted per-request records diverged", tc.name)
+		}
+	}
+}
+
+// TestShardedClosedLoop exercises the closed-loop arrival process on the
+// sharded plane: synchronous clients must make progress and drain cleanly.
+func TestShardedClosedLoop(t *testing.T) {
+	cfg := shardedConfig()
+	cfg.Tenants = append(cfg.Tenants, serve.TenantSpec{
+		Name: "sync", Arrival: serve.ClosedLoop, Clients: 3, Think: 50 * sim.Microsecond,
+		QueueCap: 16,
+		Mix:      []serve.WorkClass{{Name: "resnet50", Graph: tvm.ResNet50()}},
+	})
+	res, err := serve.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Tenant("sync")
+	if tr == nil || tr.Completed == 0 {
+		t.Fatalf("closed-loop tenant served nothing:\n%s", res.Report())
+	}
+	if tr.Admitted != tr.Completed+tr.Failed {
+		t.Errorf("closed-loop conservation broken: admitted %d != completed %d + failed %d",
+			tr.Admitted, tr.Completed, tr.Failed)
+	}
+}
+
+// TestShardsOneIsClassic pins the compatibility contract: Shards values
+// below 2 must take the classic plane untouched, byte-identically.
+func TestShardsOneIsClassic(t *testing.T) {
+	cfg := shardedConfig()
+	cfg.Shards = 0
+	cfg.FailAt = 1500 * sim.Microsecond
+	a, err := serve.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 1
+	b, err := serve.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report() != b.Report() {
+		t.Errorf("Shards=1 diverged from Shards=0\n--- 0 ---\n%s--- 1 ---\n%s", a.Report(), b.Report())
+	}
+	if requestsDigest(t, a) != requestsDigest(t, b) {
+		t.Errorf("Shards=1 per-request records diverged from Shards=0")
+	}
+}
+
+// TestShardedValidation pins the typed refusals of the sharded plane.
+func TestShardedValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*serve.Config)
+	}{
+		{"trace", func(c *serve.Config) { c.Trace = true }},
+		{"timeout", func(c *serve.Config) { c.RequestTimeout = 500 * sim.Microsecond }},
+		{"hang-report", func(c *serve.Config) { c.HangReportAfter = 2 }},
+		{"bench-class", func(c *serve.Config) {
+			nn := rodinia.NN()
+			c.Tenants[0].Mix = []serve.WorkClass{{Name: "nn", Bench: &nn}}
+		}},
+	} {
+		cfg := shardedConfig()
+		tc.mutate(&cfg)
+		if _, err := serve.Run(cfg); err == nil {
+			t.Errorf("%s: sharded config accepted, want a validation error", tc.name)
+		}
+	}
+	cfg := shardedConfig()
+	cfg.Shards = 0
+	cfg.Parallel = true
+	if _, err := serve.Run(cfg); err == nil {
+		t.Errorf("Parallel without Shards accepted, want a validation error")
+	}
+}
+
+// TestShardedBatchCap verifies the batch-8 window actually fills batches on
+// the sharded plane: at 90k fixed-rate the eighth arrival lands 77.8µs after
+// the first, so an 80µs window must yield an average batch near 8.
+func TestShardedBatchCap(t *testing.T) {
+	cfg := shardedConfig()
+	cfg.Tenants = cfg.Tenants[:1]
+	cfg.Tenants[0].Rate = 90000
+	cfg.GPUPartitions = 1
+	cfg.MaxBatch = 8
+	cfg.BatchWindow = 80 * sim.Microsecond
+	res, err := serve.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab := res.AvgBatch(); ab < 7.5 {
+		t.Errorf("avg batch %.2f, want >= 7.5 (the 80µs window must admit 8 arrivals at 90k req/s)", ab)
+	}
+}

@@ -36,6 +36,7 @@ type CostModel struct {
 	PCIeLatency   Duration // per-transaction PCIe round trip
 	PCIePerByte   float64  // PCIe DMA, ns/byte
 	MapPage       Duration // stage-1/stage-2 page table update, per page
+	SpanCheck     Duration // TZASC + stage-2 span permission check (zero-copy grants)
 	SMMUInval     Duration // SMMU TLB invalidation
 	Stage2Inval   Duration // stage-2 invalidation per shared region
 	PageFaultTrap Duration // trap delivery to the SPM and signal to the mEnclave
@@ -80,6 +81,7 @@ func DefaultCosts() *CostModel {
 		PCIeLatency:   900 * Nanosecond,
 		PCIePerByte:   0.085, // ~11.7 GB/s
 		MapPage:       700 * Nanosecond,
+		SpanCheck:     90 * Nanosecond,
 		SMMUInval:     1100 * Nanosecond,
 		Stage2Inval:   2300 * Nanosecond,
 		PageFaultTrap: 5200 * Nanosecond,

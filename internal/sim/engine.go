@@ -55,9 +55,8 @@ func (e *PSEngine) factor() float64 {
 	return e.capacity / total
 }
 
-// settle credits elapsed progress to every active job.
-func (e *PSEngine) settle() {
-	now := e.k.now
+// settle credits elapsed progress to every active job up to instant now.
+func (e *PSEngine) settle(now Time) {
 	if now == e.last {
 		return
 	}
@@ -93,14 +92,14 @@ func (e *PSEngine) Run(p *Proc, demand float64, work Duration) {
 		demand = e.capacity
 	}
 	j := &psJob{p: p, demand: demand, remaining: float64(work)}
-	e.settle()
+	e.settle(p.Now())
 	e.jobs = append(e.jobs, j)
 	e.reproject(j)
 	defer func() {
 		// Runs on normal completion and when the process is killed
 		// mid-job (partition failure): the job leaves the engine and
 		// survivors speed back up.
-		e.settle()
+		e.settle(p.Now())
 		for i, other := range e.jobs {
 			if other == j {
 				e.jobs = append(e.jobs[:i], e.jobs[i+1:]...)
@@ -110,7 +109,7 @@ func (e *PSEngine) Run(p *Proc, demand float64, work Duration) {
 		e.reproject(nil)
 	}()
 	for {
-		e.settle()
+		e.settle(p.Now())
 		if j.remaining <= 0.5 {
 			return
 		}
@@ -123,6 +122,6 @@ func (e *PSEngine) Run(p *Proc, demand float64, work Duration) {
 // Drain removes all jobs without waking them; used when a device is reset as
 // part of failure recovery (the owning processes are killed separately).
 func (e *PSEngine) Drain() {
-	e.settle()
+	e.settle(e.k.nowSeq)
 	e.jobs = nil
 }

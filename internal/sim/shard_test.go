@@ -1,0 +1,350 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// shardScript is one pre-drawn synthetic workload: all randomness is drawn
+// up front so every shard count and assignment consumes identical values.
+type shardScript struct {
+	parts    int
+	jobs     int
+	target   []int      // job -> partition
+	dur      []Duration // job -> service time
+	gap      []Duration // job -> arrival gap before the next dispatch
+	children []bool     // job -> whether the worker forks a helper child
+}
+
+func makeShardScript(seed int64, parts, jobs int) shardScript {
+	rng := rand.New(rand.NewSource(seed))
+	s := shardScript{parts: parts, jobs: jobs}
+	for j := 0; j < jobs; j++ {
+		s.target = append(s.target, rng.Intn(parts))
+		s.dur = append(s.dur, Duration(1+rng.Intn(40))*Microsecond)
+		s.gap = append(s.gap, Duration(rng.Intn(12))*Microsecond)
+		s.children = append(s.children, rng.Intn(3) == 0)
+	}
+	return s
+}
+
+// runShardScript executes the script on a kernel with the given shard count
+// and partition->shard assignment and returns the canonical completion log.
+// Structure: a host on shard 0 parallelizes after boot, dispatches jobs over
+// ports, collects completions over a port, then sequentializes and shuts the
+// workers down — the same life cycle the serving plane uses.
+func runShardScript(t *testing.T, s shardScript, shards int, assign func(int) int) string {
+	t.Helper()
+	const eps = 5 * Microsecond
+	k := NewKernel()
+	k.EnableSharding(shards, eps)
+	var log strings.Builder
+
+	completions := NewPort[[3]int64](k, 0, "completions", eps)
+	dispatch := make([]*Port[int], s.parts)
+	for i := 0; i < s.parts; i++ {
+		i := i
+		sh := assign(i)
+		pt := NewPort[int](k, sh, fmt.Sprintf("dispatch-%d", i), eps)
+		dispatch[i] = pt
+		k.SpawnOn(sh, uint64(100+i), fmt.Sprintf("worker-%d", i), func(p *Proc) {
+			for {
+				job := pt.Recv(p)
+				if job < 0 {
+					return
+				}
+				if s.children[job] {
+					// Fork a same-shard helper mid-parallel-phase: its id and
+					// event keys must derive from the parent deterministically.
+					mb := NewMailbox[int](k, "helper-done")
+					p.Spawn(fmt.Sprintf("helper-%d-%d", i, job), func(q *Proc) {
+						q.Sleep(s.dur[job] / 2)
+						mb.Send(job)
+					})
+					mb.Recv(p)
+					p.Sleep(s.dur[job] / 2)
+				} else {
+					p.Sleep(s.dur[job])
+				}
+				completions.Send(p, [3]int64{int64(job), int64(i), int64(p.Now())})
+			}
+		})
+	}
+
+	k.SpawnOn(0, 1, "host", func(p *Proc) {
+		k.Parallelize()
+		p.Sleep(0)
+		for j := 0; j < s.jobs; j++ {
+			dispatch[s.target[j]].Send(p, j)
+			p.Sleep(s.gap[j])
+		}
+		for n := 0; n < s.jobs; n++ {
+			c := completions.Recv(p)
+			fmt.Fprintf(&log, "job %d part %d done@%v seen@%v\n", c[0], c[1], Time(c[2]), p.Now())
+		}
+		p.Sequentialize()
+		for i := range dispatch {
+			dispatch[i].Send(p, -1)
+		}
+	})
+
+	if err := k.Run(); err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	k.Shutdown()
+	return log.String()
+}
+
+// TestShardedDeterminismTorture runs randomized workloads under every shard
+// count and several placements and asserts byte-identical completion logs —
+// the core determinism contract of DESIGN.md §13.
+func TestShardedDeterminismTorture(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		s := makeShardScript(seed, 6, 60)
+		rng := rand.New(rand.NewSource(seed * 977))
+		randAssign := make([]int, s.parts)
+		for i := range randAssign {
+			randAssign[i] = 1 + rng.Intn(7)
+		}
+		ref := runShardScript(t, s, 1, func(int) int { return 0 })
+		configs := []struct {
+			name   string
+			shards int
+			assign func(int) int
+		}{
+			{"2-mod", 2, func(i int) int { return i % 2 }},
+			{"4-mod", 4, func(i int) int { return 1 + i%3 }},
+			{"8-spread", 8, func(i int) int { return 1 + i }},
+			{"8-random", 8, func(i int) int { return randAssign[i] }},
+		}
+		for _, c := range configs {
+			got := runShardScript(t, s, c.shards, c.assign)
+			if got != ref {
+				t.Fatalf("seed %d config %s: completion log diverged from shards=1\nref:\n%s\ngot:\n%s", seed, c.name, ref, got)
+			}
+		}
+	}
+}
+
+// TestShardedSequentializeKill exercises the safety valve: a controller
+// sequentializes mid-run and kills a cross-shard worker; outputs must stay
+// identical across shard counts.
+func TestShardedSequentializeKill(t *testing.T) {
+	run := func(shards int) string {
+		const eps = 2 * Microsecond
+		k := NewKernel()
+		k.EnableSharding(shards, eps)
+		var log strings.Builder
+		victimDone := false
+		procs := make([]*Proc, 3)
+		for i := 0; i < 3; i++ {
+			i := i
+			sh := 0
+			if shards > 1 {
+				sh = i % shards
+			}
+			procs[i] = k.SpawnOn(sh, uint64(10+i), fmt.Sprintf("w%d", i), func(p *Proc) {
+				for n := 0; ; n++ {
+					p.Sleep(7 * Microsecond)
+					if i == 0 && n == 40 {
+						victimDone = true
+					}
+				}
+			})
+		}
+		k.SpawnOn(0, 1, "ctl", func(p *Proc) {
+			k.Parallelize()
+			p.Sleep(100 * Microsecond)
+			p.Sequentialize()
+			fmt.Fprintf(&log, "seq at %v victimDone=%v\n", p.Now(), victimDone)
+			for _, w := range procs {
+				k.Kill(w)
+			}
+			p.Sleep(10 * Microsecond)
+			fmt.Fprintf(&log, "end at %v\n", p.Now())
+			k.Stop()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		k.Shutdown()
+		return log.String()
+	}
+	ref := run(1)
+	for _, n := range []int{2, 3} {
+		if got := run(n); got != ref {
+			t.Fatalf("shards=%d diverged:\nref:\n%s\ngot:\n%s", n, ref, got)
+		}
+	}
+}
+
+// TestPortOrdering pins the canonical delivery order: same-instant messages
+// from different senders apply in logical-id order, before normal events at
+// that instant, in both execution modes.
+func TestPortOrdering(t *testing.T) {
+	run := func(parallel bool) string {
+		const eps = 1 * Microsecond
+		k := NewKernel()
+		k.EnableSharding(3, eps)
+		var log strings.Builder
+		pt := NewPort[string](k, 0, "in", eps)
+		for i := 0; i < 2; i++ {
+			i := i
+			// Higher shard id gets the LOWER lid: delivery order must follow
+			// lids, not shard ids or spawn order.
+			k.SpawnOn(1+i, uint64(20-i), fmt.Sprintf("sender-%d", i), func(p *Proc) {
+				p.Sleep(10 * Microsecond)
+				pt.Send(p, p.Name())
+			})
+		}
+		k.SpawnOn(0, 1, "recv", func(p *Proc) {
+			if parallel {
+				k.Parallelize()
+				p.Sleep(0)
+			}
+			a := pt.Recv(p)
+			b := pt.Recv(p)
+			fmt.Fprintf(&log, "%s then %s at %v\n", a, b, p.Now())
+			if parallel {
+				p.Sequentialize()
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		k.Shutdown()
+		return log.String()
+	}
+	seq := run(false)
+	par := run(true)
+	// sender-1 has the lower logical id (19 < 20) even though sender-0 was
+	// spawned first and sits on a lower shard.
+	want := "sender-1 then sender-0 at 11.00us\n"
+	if par != want {
+		t.Fatalf("parallel delivery order: got %q want %q", par, want)
+	}
+	if seq != par {
+		t.Fatalf("modes disagree: sequential %q parallel %q", seq, par)
+	}
+}
+
+// TestCallAt covers the kernel-context timer: ordering against process
+// events and chained re-arming.
+func TestCallAt(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	k.Spawn("driver", func(p *Proc) {
+		var tick func()
+		n := 0
+		tick = func() {
+			fired = append(fired, p.Now())
+			n++
+			if n < 3 {
+				p.CallAt(p.Now()+Time(10*Microsecond), tick)
+			}
+		}
+		p.CallAt(p.Now()+Time(10*Microsecond), tick)
+		p.Sleep(Duration(100 * Microsecond))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if len(fired) != 3 {
+		t.Fatalf("expected 3 chained firings, got %d", len(fired))
+	}
+}
+
+// TestPortHopValidation ensures cross-shard sends below the lookahead are
+// rejected loudly rather than corrupting window isolation.
+func TestPortHopValidation(t *testing.T) {
+	k := NewKernel()
+	k.EnableSharding(2, 10*Microsecond)
+	pt := NewPort[int](k, 1, "short-hop", 1*Microsecond)
+	k.SpawnOn(0, 1, "sender", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-shard send below lookahead did not panic")
+			}
+			panic(killToken{p}) // unwind cleanly
+		}()
+		pt.Send(p, 1)
+	})
+	_ = k.Run()
+	k.Shutdown()
+}
+
+// TestParallelDeadline verifies RunUntil cuts parallel windows at the
+// deadline barrier and the run can resume.
+func TestParallelDeadline(t *testing.T) {
+	k := NewKernel()
+	k.EnableSharding(2, 2*Microsecond)
+	ticks := 0
+	k.SpawnOn(1, 2, "ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(10 * Microsecond)
+			ticks++
+		}
+	})
+	k.SpawnOn(0, 1, "main", func(p *Proc) {
+		k.Parallelize()
+		p.Sleep(200 * Microsecond)
+	})
+	if err := k.RunUntil(Time(35 * Microsecond)); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 3 {
+		t.Fatalf("expected 3 ticks by 35us, got %d", ticks)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Fatalf("expected 10 ticks after resume, got %d", ticks)
+	}
+	k.Shutdown()
+}
+
+// TestParallelDeadlock verifies the deadlock detector still fires when every
+// shard is idle with parked processes.
+func TestParallelDeadlock(t *testing.T) {
+	k := NewKernel()
+	k.EnableSharding(2, 2*Microsecond)
+	pt := NewPort[int](k, 1, "never", 2*Microsecond)
+	k.SpawnOn(1, 2, "waiter", func(p *Proc) {
+		pt.Recv(p)
+	})
+	k.SpawnOn(0, 1, "main", func(p *Proc) {
+		k.Parallelize()
+		p.Sleep(10 * Microsecond)
+	})
+	err := k.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(de.Parked) != 1 || de.Parked[0] != "waiter" {
+		t.Fatalf("unexpected parked set %v", de.Parked)
+	}
+	k.Shutdown()
+}
+
+// TestParallelizeValidation ensures the lid contract is enforced up front.
+func TestParallelizeValidation(t *testing.T) {
+	k := NewKernel()
+	k.EnableSharding(2, 2*Microsecond)
+	k.SpawnOn(1, 0, "anon", func(p *Proc) { p.Sleep(Microsecond) })
+	k.SpawnOn(0, 1, "main", func(p *Proc) {
+		k.Parallelize()
+		p.Sleep(Microsecond)
+	})
+	defer k.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Error("Parallelize with an unlabelled live process did not panic")
+		}
+	}()
+	_ = k.Run()
+}

@@ -4,16 +4,26 @@
 //
 // The kernel runs each simulated thread of execution (an mEnclave thread, an
 // mOS service loop, a device engine, the untrusted OS) in its own goroutine,
-// but only one process ever runs at a time: every blocking operation
-// (Sleep, mailbox receive, resource acquire) hands control back to the event
-// loop. Virtual time advances only when the event queue does, so simulation
-// results are fully deterministic and independent of the host machine.
+// but — in the default sequential mode — only one process ever runs at a
+// time: every blocking operation (Sleep, mailbox receive, resource acquire)
+// hands control back to the event loop. Virtual time advances only when the
+// event queue does, so simulation results are fully deterministic and
+// independent of the host machine.
+//
+// The kernel can additionally be sharded (EnableSharding): processes are
+// placed on shards (SpawnOn) and, after Parallelize, shards simulate
+// concurrently on their own goroutines up to a conservative lookahead
+// horizon, exchanging messages only through Port values whose hop latency is
+// at least the configured lookahead. Event ordering stays deterministic and
+// independent of the shard count — see shard.go and DESIGN.md §13.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cronus/internal/metrics"
 )
@@ -51,8 +61,10 @@ const (
 	Second               = 1000 * Millisecond
 )
 
+// String renders the instant as a duration since the epoch.
 func (t Time) String() string { return Duration(t).String() }
 
+// String renders the duration with a unit scaled to its magnitude.
 func (d Duration) String() string {
 	switch {
 	case d < 0:
@@ -74,11 +86,28 @@ func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
 // Milliseconds reports the duration as a floating point number of milliseconds.
 func (d Duration) Milliseconds() float64 { return float64(d) / 1e6 }
 
+// event is one entry in a shard's queue. The key is (t, band, a, b):
+//
+//   - sequential mode: band 1, a 0, b a global schedule sequence — exactly
+//     the (time, sequence) order of the original single-queue kernel, and
+//     independent of how processes are assigned to shards (the global
+//     sequence makes the multi-queue merge behave as one queue);
+//   - parallel mode: a is the logical id of the process the event belongs
+//     to (or of the sender, for port deliveries) and b a per-process
+//     counter, so the order is a deterministic function of the simulated
+//     program alone — byte-identical for every shard count and assignment;
+//   - band 0 is reserved for Port deliveries, which apply before normal
+//     events at the same instant regardless of mode.
+//
+// fn events are kernel callbacks (port deliveries, Proc.CallAt timers): they
+// run inline on the dispatching goroutine with no process handshake.
 type event struct {
-	t   Time
-	seq uint64
-	p   *Proc
-	gen uint64 // wake generation; stale events are skipped
+	t    Time
+	band uint8
+	a, b uint64
+	p    *Proc
+	gen  uint64 // wake generation; stale events are skipped
+	fn   func()
 }
 
 type eventQueue []event
@@ -88,7 +117,13 @@ func (q eventQueue) Less(i, j int) bool {
 	if q[i].t != q[j].t {
 		return q[i].t < q[j].t
 	}
-	return q[i].seq < q[j].seq
+	if q[i].band != q[j].band {
+		return q[i].band < q[j].band
+	}
+	if q[i].a != q[j].a {
+		return q[i].a < q[j].a
+	}
+	return q[i].b < q[j].b
 }
 func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
 func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
@@ -115,6 +150,7 @@ type killToken struct{ p *Proc }
 // operations are methods on the Proc that represents the caller.
 type Proc struct {
 	k      *Kernel
+	sh     *shard
 	name   string
 	id     int
 	resume chan struct{}
@@ -124,6 +160,14 @@ type Proc struct {
 	// onKill callbacks run (in kernel context) when the process is killed
 	// while parked, letting wait-queues drop it eagerly.
 	onKill func()
+	// lid is the application-assigned logical id (SetLID). In the parallel
+	// phase it keys every event the process schedules, making event order a
+	// function of the simulated program rather than of shard placement.
+	lid uint64
+	// evseq counts events scheduled on behalf of this process in the
+	// parallel phase; (lid, evseq) is the placement-invariant event key.
+	evseq    uint64
+	childCtr uint64
 	// traceID/spanID carry the causal-tracing span context: the request
 	// trace this process is currently working for and the enclosing span.
 	// The kernel never reads them; internal/trace threads them through so
@@ -136,21 +180,29 @@ type Proc struct {
 // Name returns the name the process was spawned with.
 func (p *Proc) Name() string { return p.name }
 
-// ID returns the process's stable spawn-order identifier.
+// ID returns the process's stable identifier: spawn order for processes
+// created in sequential mode, a logical-id-derived value for processes
+// spawned during the parallel phase (so the id is independent of shard
+// placement and host interleaving).
 func (p *Proc) ID() int { return p.id }
 
 // Kernel returns the owning simulation kernel.
 func (p *Proc) Kernel() *Kernel { return p.k }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.k.now }
+// Now returns the current virtual time as seen by this process (its shard's
+// clock; identical to Kernel.Now in the unsharded kernel).
+func (p *Proc) Now() Time { return p.sh.now }
+
+// Shard returns the id of the shard this process runs on (0 when unsharded).
+func (p *Proc) Shard() int { return p.sh.id }
 
 // TraceCtx returns the process's current causal span context (trace id and
 // enclosing span id); both are zero when no request context is attached.
 func (p *Proc) TraceCtx() (traceID, spanID uint64) { return p.traceID, p.spanID }
 
 // SetTraceCtx attaches a causal span context to the process (zeros detach).
-// Only one process runs at a time, so no synchronization is needed.
+// Only one process runs at a time on a given shard, so no synchronization is
+// needed.
 func (p *Proc) SetTraceCtx(traceID, spanID uint64) {
 	p.traceID = traceID
 	p.spanID = spanID
@@ -162,6 +214,7 @@ type DeadlockError struct {
 	Parked []string // names of the parked processes
 }
 
+// Error implements error.
 func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("sim: deadlock, %d process(es) parked forever: %v", len(e.Parked), e.Parked)
 }
@@ -173,62 +226,165 @@ type PanicError struct {
 	Value any
 }
 
+// Error implements error.
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("sim: process %q panicked: %v", e.Proc, e.Value)
+}
+
+// shard is one event domain of the kernel: its own clock, queue, parked set
+// and yield channel. The unsharded kernel is a single shard. Only one
+// goroutine drives a shard at a time: the coordinator in sequential mode,
+// the shard's dispatcher goroutine during parallel windows.
+type shard struct {
+	k      *Kernel
+	id     int
+	now    Time
+	eq     eventQueue
+	parked map[*Proc]struct{}
+	procs  map[*Proc]struct{} // all live processes on this shard, for Shutdown
+	yield  chan struct{}
+	cur    *Proc
+
+	// outbox buffers cross-shard port sends made during a parallel window;
+	// the coordinator drains it into the target shards at the barrier.
+	outbox []xmsg
+
+	// work/done carry window horizons to the dispatcher goroutine and
+	// completions back (started lazily at Parallelize).
+	work chan Time
+	done chan struct{}
+}
+
+// xmsg is one buffered cross-shard send: an arrival callback plus its
+// placement-invariant key (arrival instant, sender lid, sender seq).
+type xmsg struct {
+	at Time
+	a  uint64
+	b  uint64
+	to *shard
+	fn func()
 }
 
 // Kernel is the discrete-event scheduler. The zero value is not usable; use
 // NewKernel.
 type Kernel struct {
-	now     Time
-	eq      eventQueue
-	seq     uint64
-	nextID  int
-	live    int // processes spawned and not yet dead
-	parked  map[*Proc]struct{}
-	procs   map[*Proc]struct{} // all live processes, for Shutdown
-	yield   chan struct{}
-	cur     *Proc
+	shards []*shard
+	nowSeq Time   // global clock of the sequential mode
+	gseq   uint64 // global schedule sequence of the sequential mode
+	nextID int
+	eps    Duration // lookahead: minimum cross-shard port hop latency
+	seqCur *Proc    // process being dispatched in sequential mode
+
+	sharded  bool // EnableSharding called
+	parallel bool // currently in the parallel phase (toggled at safe points)
+	everPar  bool // Parallelize happened (Sequentialize is meaningful)
+	pendPar  bool // Parallelize requested; switch at next dispatch boundary
+	started  bool // shard dispatcher goroutines are running
+
+	live    atomic.Int64
+	stopped atomic.Bool
+	seqReq  atomic.Bool // Sequentialize requested (checked by shard windows)
+	errSet  atomic.Bool
+	errMu   sync.Mutex
 	err     error
 	run     bool
-	stopped bool
 }
 
-// NewKernel creates an empty simulation at time zero.
+// NewKernel creates an empty simulation at time zero with a single shard.
 func NewKernel() *Kernel {
-	return &Kernel{
+	k := &Kernel{}
+	k.shards = []*shard{newShard(k, 0)}
+	return k
+}
+
+func newShard(k *Kernel, id int) *shard {
+	return &shard{
+		k:      k,
+		id:     id,
 		yield:  make(chan struct{}),
 		parked: make(map[*Proc]struct{}),
 		procs:  make(map[*Proc]struct{}),
 	}
 }
 
-// Now returns the current virtual time.
-func (k *Kernel) Now() Time { return k.now }
+// Now returns the current virtual time of the sequential clock. It must not
+// be called from process code during the parallel phase — shard clocks are
+// decoupled there; use Proc.Now instead (the kernel panics to surface such
+// callers deterministically).
+func (k *Kernel) Now() Time {
+	if k.parallel {
+		panic("sim: Kernel.Now during the parallel phase (use Proc.Now)")
+	}
+	return k.nowSeq
+}
+
+// setErr records the first error raised by process code.
+func (k *Kernel) setErr(err error) {
+	k.errMu.Lock()
+	if k.err == nil {
+		k.err = err
+		k.errSet.Store(true)
+	}
+	k.errMu.Unlock()
+}
+
+func (k *Kernel) getErr() error {
+	if !k.errSet.Load() {
+		return nil
+	}
+	k.errMu.Lock()
+	defer k.errMu.Unlock()
+	return k.err
+}
 
 // Spawn creates a process running fn and schedules it to start at the
-// current virtual time. It may be called before Run or from inside a running
-// process.
+// current virtual time, on the shard of the spawning process (shard 0 when
+// called from outside process code). It may be called before Run or from
+// inside a running process, but not during the parallel phase — use
+// Proc.Spawn there.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
-	return k.SpawnAt(k.now, name, fn)
+	return k.SpawnAt(k.seqNow(), name, fn)
+}
+
+func (k *Kernel) seqNow() Time {
+	if k.parallel {
+		panic("sim: Kernel.Spawn during the parallel phase (use Proc.Spawn)")
+	}
+	return k.nowSeq
 }
 
 // SpawnAt creates a process running fn, starting at time t (which must not be
 // in the past; earlier times are clamped to now).
 func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
-	if t < k.now {
-		t = k.now
+	if k.parallel {
+		panic("sim: Kernel.SpawnAt during the parallel phase (use Proc.Spawn)")
+	}
+	if t < k.nowSeq {
+		t = k.nowSeq
+	}
+	sh := k.shards[0]
+	if k.seqCur != nil && k.seqCur.state == procRunning {
+		sh = k.seqCur.sh
 	}
 	k.nextID++
+	return k.spawn(sh, t, name, fn, 0, k.nextID)
+}
+
+// spawn creates the process structure, starts its trampoline goroutine and
+// schedules its first event. Callers supply the shard, logical id and stable
+// id appropriate to the current mode.
+func (k *Kernel) spawn(sh *shard, t Time, name string, fn func(p *Proc), lid uint64, id int) *Proc {
 	p := &Proc{
 		k:      k,
+		sh:     sh,
 		name:   name,
-		id:     k.nextID,
+		id:     id,
+		lid:    lid,
 		resume: make(chan struct{}),
 		state:  procQueued,
 	}
-	k.live++
-	k.procs[p] = struct{}{}
+	k.live.Add(1)
+	sh.procs[p] = struct{}{}
 	mSpawned.Inc()
 	if traceHook != nil {
 		traceHook(t, "spawn", name)
@@ -238,14 +394,14 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			r := recover()
 			if r != nil {
-				if _, ok := r.(killToken); !ok && k.err == nil {
-					k.err = &PanicError{Proc: p.name, Value: r}
+				if _, ok := r.(killToken); !ok {
+					k.setErr(&PanicError{Proc: p.name, Value: r})
 				}
 			}
 			p.state = procDead
-			k.live--
-			delete(k.procs, p)
-			k.yield <- struct{}{}
+			k.live.Add(-1)
+			delete(sh.procs, p)
+			sh.yield <- struct{}{}
 		}()
 		p.state = procRunning
 		p.gen++
@@ -254,13 +410,20 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	k.schedule(t, p)
+	sh.schedule(t, p)
 	return p
 }
 
-func (k *Kernel) schedule(t Time, p *Proc) {
-	k.seq++
-	k.eq.pushEvent(event{t: t, seq: k.seq, p: p, gen: p.gen})
+// schedule queues p's next event at time t with the mode-appropriate key.
+func (sh *shard) schedule(t Time, p *Proc) {
+	k := sh.k
+	if k.parallel {
+		p.evseq++
+		sh.eq.pushEvent(event{t: t, band: 1, a: p.lid, b: p.evseq, p: p, gen: p.gen})
+		return
+	}
+	k.gseq++
+	sh.eq.pushEvent(event{t: t, band: 1, b: k.gseq, p: p, gen: p.gen})
 }
 
 // Run executes events until the queue drains. It returns nil on a clean
@@ -279,41 +442,134 @@ func (k *Kernel) RunUntil(deadline Time) error {
 	}
 	k.run = true
 	defer func() { k.run = false }()
-	for k.err == nil {
-		if k.stopped {
+	for {
+		if k.pendPar {
+			k.pendPar = false
+			k.beginParallel()
+		}
+		if k.parallel {
+			err, finished := k.runParallel(deadline)
+			if finished {
+				return err
+			}
+			continue // Sequentialize switched the mode; keep going below
+		}
+		if err := k.getErr(); err != nil {
+			return err
+		}
+		if k.stopped.Load() {
 			return nil
 		}
-		if k.eq.Len() == 0 {
-			if k.live > 0 {
-				names := make([]string, 0, len(k.parked))
-				for p := range k.parked {
-					names = append(names, p.name)
-				}
-				sort.Strings(names)
-				return &DeadlockError{Parked: names}
+		sh := k.minShard()
+		if sh == nil {
+			if k.live.Load() > 0 {
+				return k.deadlock()
 			}
 			return nil
 		}
-		if deadline >= 0 && k.eq.peek().t > deadline {
-			k.now = deadline
+		if deadline >= 0 && sh.eq.peek().t > deadline {
+			k.nowSeq = deadline
 			return nil
 		}
-		ev := k.eq.popEvent()
-		if ev.p.state == procDead || ev.gen != ev.p.gen || ev.p.state == procRunning {
-			continue // stale wake
-		}
-		mEvents.Inc()
-		gQueueDepth.Set(int64(k.eq.Len()))
-		if ev.t > k.now {
-			k.now = ev.t
-		}
-		k.cur = ev.p
-		ev.p.state = procRunning
-		ev.p.resume <- struct{}{}
-		<-k.yield
-		k.cur = nil
+		ev := sh.eq.popEvent()
+		k.dispatchSeq(sh, ev)
 	}
-	return k.err
+}
+
+// minShard returns the shard holding the globally minimal pending event, or
+// nil when every queue is empty. With one shard this is a direct peek.
+func (k *Kernel) minShard() *shard {
+	if len(k.shards) == 1 {
+		if k.shards[0].eq.Len() == 0 {
+			return nil
+		}
+		return k.shards[0]
+	}
+	var best *shard
+	for _, sh := range k.shards {
+		if sh.eq.Len() == 0 {
+			continue
+		}
+		if best == nil || keyLess(sh.eq.peek(), best.eq.peek()) {
+			best = sh
+		}
+	}
+	return best
+}
+
+// keyLess orders two events by the canonical (t, band, a, b) key.
+func keyLess(x, y event) bool {
+	if x.t != y.t {
+		return x.t < y.t
+	}
+	if x.band != y.band {
+		return x.band < y.band
+	}
+	if x.a != y.a {
+		return x.a < y.a
+	}
+	return x.b < y.b
+}
+
+// deadlock collects the parked-process names across shards.
+func (k *Kernel) deadlock() error {
+	var names []string
+	for _, sh := range k.shards {
+		for p := range sh.parked {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return &DeadlockError{Parked: names}
+}
+
+// dispatchSeq runs one event in sequential mode, advancing both the shard
+// clock and the global clock.
+func (k *Kernel) dispatchSeq(sh *shard, ev event) {
+	if ev.fn == nil && (ev.p.state == procDead || ev.gen != ev.p.gen || ev.p.state == procRunning) {
+		return // stale wake
+	}
+	mEvents.Inc()
+	if !k.sharded {
+		gQueueDepth.Set(int64(sh.eq.Len()))
+	}
+	if ev.t > sh.now {
+		sh.now = ev.t
+	}
+	if ev.t > k.nowSeq {
+		k.nowSeq = ev.t
+	}
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	k.seqCur = ev.p
+	sh.cur = ev.p
+	ev.p.state = procRunning
+	ev.p.resume <- struct{}{}
+	<-sh.yield
+	sh.cur = nil
+	k.seqCur = nil
+}
+
+// dispatchPar runs one event inside a parallel window on sh's goroutine.
+func (sh *shard) dispatchPar(ev event) {
+	if ev.fn == nil && (ev.p.state == procDead || ev.gen != ev.p.gen || ev.p.state == procRunning) {
+		return // stale wake
+	}
+	mEvents.Inc()
+	if ev.t > sh.now {
+		sh.now = ev.t
+	}
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	sh.cur = ev.p
+	ev.p.state = procRunning
+	ev.p.resume <- struct{}{}
+	<-sh.yield
+	sh.cur = nil
 }
 
 // block yields to the kernel and waits to be resumed; on resume the wake
@@ -327,7 +583,7 @@ func (p *Proc) block() {
 		p.onKill = nil
 		panic(killToken{p})
 	}
-	p.k.yield <- struct{}{}
+	p.sh.yield <- struct{}{}
 	<-p.resume
 	p.gen++
 	p.onKill = nil
@@ -341,21 +597,29 @@ func (p *Proc) block() {
 func (p *Proc) park(onKill func()) {
 	p.state = procParked
 	p.onKill = onKill
-	p.k.parked[p] = struct{}{}
+	p.sh.parked[p] = struct{}{}
 	p.block()
 }
 
-// wake makes a blocked process runnable at the current time. For a process in
-// an interruptible sleep this is an early wake; for a parked process it is
-// the only way to resume. No-op for running or dead processes.
+// wake makes a blocked process runnable at the current time (the target's
+// shard clock, or the global clock if that is ahead in sequential mode). For
+// a process in an interruptible sleep this is an early wake; for a parked
+// process it is the only way to resume. No-op for running or dead processes.
+// During the parallel phase the caller must run on p's shard — cross-shard
+// communication goes through Ports.
 func (k *Kernel) wake(p *Proc) {
+	sh := p.sh
+	t := sh.now
+	if !k.parallel && k.nowSeq > t {
+		t = k.nowSeq
+	}
 	switch p.state {
 	case procParked:
-		delete(k.parked, p)
+		delete(sh.parked, p)
 		p.state = procQueued
-		k.schedule(k.now, p)
+		sh.schedule(t, p)
 	case procQueued:
-		k.schedule(k.now, p) // early wake; the original timer goes stale
+		sh.schedule(t, p) // early wake; the original timer goes stale
 	}
 }
 
@@ -366,7 +630,7 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	p.state = procQueued
-	p.k.schedule(p.k.now+Time(d), p)
+	p.sh.schedule(p.sh.now+Time(d), p)
 	p.block()
 }
 
@@ -377,11 +641,11 @@ func (p *Proc) SleepInterruptible(d Duration) (interrupted bool) {
 	if d < 0 {
 		d = 0
 	}
-	deadline := p.k.now + Time(d)
+	deadline := p.sh.now + Time(d)
 	p.state = procQueued
-	p.k.schedule(deadline, p)
+	p.sh.schedule(deadline, p)
 	p.block()
-	return p.k.now < deadline
+	return p.sh.now < deadline
 }
 
 // Interrupt wakes p early from an interruptible sleep (or a park). It is a
@@ -390,7 +654,9 @@ func (k *Kernel) Interrupt(p *Proc) { k.wake(p) }
 
 // Kill terminates a process: if it is parked or queued it unwinds at its
 // next scheduling point; a process can also kill itself, which unwinds
-// immediately. Killing a dead process is a no-op.
+// immediately. Killing a dead process is a no-op. During the parallel phase
+// only same-shard kills are legal (failure paths call Proc.Sequentialize
+// first).
 func (k *Kernel) Kill(p *Proc) {
 	if p == nil || p.state == procDead || p.killed {
 		return
@@ -398,7 +664,12 @@ func (k *Kernel) Kill(p *Proc) {
 	p.killed = true
 	mKilled.Inc()
 	if traceHook != nil {
-		traceHook(k.now, "kill", p.name)
+		traceHook(k.killNow(p), "kill", p.name)
+	}
+	sh := p.sh
+	t := sh.now
+	if !k.parallel && k.nowSeq > t {
+		t = k.nowSeq
 	}
 	switch p.state {
 	case procParked:
@@ -406,22 +677,31 @@ func (k *Kernel) Kill(p *Proc) {
 			p.onKill()
 			p.onKill = nil
 		}
-		delete(k.parked, p)
+		delete(sh.parked, p)
 		p.state = procQueued
-		k.schedule(k.now, p)
+		sh.schedule(t, p)
 	case procQueued:
-		k.schedule(k.now, p) // cut any pending sleep short
+		sh.schedule(t, p) // cut any pending sleep short
 	case procRunning:
-		if p == k.cur {
+		if p == sh.cur {
 			panic(killToken{p}) // self-kill: unwind in place
 		}
 	}
 }
 
+// killNow picks the timestamp reported to the trace hook for a kill.
+func (k *Kernel) killNow(p *Proc) Time {
+	if k.parallel {
+		return p.sh.now
+	}
+	return k.nowSeq
+}
+
 // Stop ends the simulation after the current event: Run/RunUntil returns nil
 // even though service-loop processes (pollers, watchdogs) are still queued.
 // Call it from the driving process when the scenario under test is complete.
-func (k *Kernel) Stop() { k.stopped = true }
+// In a sharded run, Sequentialize before Stop so the cut is deterministic.
+func (k *Kernel) Stop() { k.stopped.Store(true) }
 
 // Shutdown unwinds every remaining process so their goroutines exit. Call it
 // after Run/RunUntil returns, never from inside a running process. The
@@ -430,16 +710,19 @@ func (k *Kernel) Shutdown() {
 	if k.run {
 		panic("sim: Shutdown during Run")
 	}
-	for p := range k.procs {
-		if p.state == procDead {
-			continue
+	k.stopDispatchers()
+	for _, sh := range k.shards {
+		for p := range sh.procs {
+			if p.state == procDead {
+				continue
+			}
+			p.killed = true
+			p.state = procQueued
+			p.resume <- struct{}{}
+			<-sh.yield
 		}
-		p.killed = true
-		p.state = procQueued
-		p.resume <- struct{}{}
-		<-k.yield
+		sh.parked = make(map[*Proc]struct{})
 	}
-	k.parked = make(map[*Proc]struct{})
 }
 
 // Killed reports whether the process has been marked for termination.

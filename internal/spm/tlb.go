@@ -66,11 +66,17 @@ type isoWatch struct {
 // resolution. Waiters parked on shared-memory doorbells use this to re-check
 // their predicate on failure paths that never write the watched word.
 // Callbacks run in registration order; the returned cancel removes the hook.
+// Registration and cancel may run concurrently from different kernel shards
+// (doorbell waiters arm on the poll path); isoMu serializes list mutation.
 func (s *SPM) OnIsolationChange(fn func()) (cancel func()) {
+	s.isoMu.Lock()
 	s.isoNext++
 	id := s.isoNext
 	s.isoWatches = append(s.isoWatches, isoWatch{id: id, fn: fn})
+	s.isoMu.Unlock()
 	return func() {
+		s.isoMu.Lock()
+		defer s.isoMu.Unlock()
 		for i := range s.isoWatches {
 			if s.isoWatches[i].id == id {
 				s.isoWatches = append(s.isoWatches[:i], s.isoWatches[i+1:]...)
@@ -83,14 +89,25 @@ func (s *SPM) OnIsolationChange(fn func()) (cancel func()) {
 // isolationChanged notifies every registered observer. Spurious
 // notifications are harmless — observers re-check state and re-park.
 func (s *SPM) isolationChanged() {
-	if len(s.isoWatches) == 0 {
-		return
-	}
-	// Callbacks may register/cancel watches; iterate a snapshot.
+	// Callbacks may register/cancel watches; iterate a snapshot and skip
+	// any watch cancelled between snapshot and fire.
+	s.isoMu.Lock()
 	ws := make([]isoWatch, len(s.isoWatches))
 	copy(ws, s.isoWatches)
+	s.isoMu.Unlock()
 	for _, w := range ws {
-		w.fn()
+		s.isoMu.Lock()
+		live := false
+		for i := range s.isoWatches {
+			if s.isoWatches[i].id == w.id {
+				live = true
+				break
+			}
+		}
+		s.isoMu.Unlock()
+		if live {
+			w.fn()
+		}
 	}
 }
 

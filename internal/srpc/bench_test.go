@@ -1,11 +1,14 @@
 package srpc_test
 
 import (
+	"fmt"
 	"testing"
 
+	"cronus/internal/gpu"
 	"cronus/internal/metrics"
 	"cronus/internal/mos/driver"
 	"cronus/internal/sim"
+	"cronus/internal/srpc"
 	"cronus/internal/testrig"
 )
 
@@ -80,5 +83,79 @@ func TestSyncCallEventBudget(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BenchmarkSrpcMultiRing measures host time per fused zero-copy call when
+// the load is spread over parallel rings to one enclave. One ring serializes
+// every record behind a single executor and doorbell; with several rings,
+// independent submitter/executor pairs never touch each other's header
+// words. Host ns/op is the tracked number (exported to BENCH_hotpath.json).
+func BenchmarkSrpcMultiRing(b *testing.B) {
+	for _, rings := range []int{1, 4} {
+		rings := rings
+		b.Run(fmt.Sprintf("rings=%d", rings), func(b *testing.B) {
+			err := testrig.Run(testrig.DefaultOptions(), func(rig *testrig.Rig, _ []testrig.ExtraGPU, p *sim.Proc) error {
+				h, err := setup(p, rig)
+				if err != nil {
+					return err
+				}
+				clients := make([]*srpc.Client, rings)
+				dsts := make([]uint64, rings)
+				for i := range clients {
+					c, err := h.connect(p)
+					if err != nil {
+						return err
+					}
+					if err := c.GrantArena(p, 1024); err != nil {
+						return err
+					}
+					res, err := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(4096))
+					if err != nil {
+						return err
+					}
+					dsts[i], _ = driver.DecodePtr(res)
+					clients[i] = c
+				}
+				payload := make([]byte, 1024)
+				perRing := b.N/rings + 1
+				done := sim.NewSignal(p.Kernel())
+				remaining := rings
+				b.ResetTimer()
+				for i := range clients {
+					c, dst := clients[i], dsts[i]
+					p.Kernel().Spawn(fmt.Sprintf("pusher-%d", i), func(q *sim.Proc) {
+						launch := driver.EncodeLaunch("saxpy", gpu.Dim{16, 1, 1}, dst, dst, 2)
+						for n := 0; n < perRing; n++ {
+							if err := c.CallZC(q, srpc.ZCRequest{
+								Payload: payload, CopyCall: driver.CallHtoD, Dst: dst,
+								ExecCall: driver.CallLaunch, ExecArgs: launch,
+							}, nil); err != nil {
+								b.Error(err)
+								break
+							}
+						}
+						if err := c.Barrier(q); err != nil {
+							b.Error(err)
+						}
+						remaining--
+						if remaining == 0 {
+							done.Fire()
+						}
+					})
+				}
+				done.Wait(p)
+				b.StopTimer()
+				for _, c := range clients {
+					if err := c.Close(p); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }

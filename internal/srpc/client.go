@@ -29,6 +29,8 @@ type Client struct {
 	lastRec  uint64 // slot index of the most recently pushed record
 	smem     uint64 // owner-side IPA of the region
 	gid      int
+	arena    *arena // zero-copy payload grant (nil until GrantArena)
+	zcSeq    uint64 // fused-call ordinal, rotates arena slots
 	closed   bool
 	dead     bool
 
@@ -174,6 +176,10 @@ func (c *Client) teardown() {
 	if !c.dead {
 		c.dead = true
 		_ = c.owner.MOS().SPM.Unshare(c.gid)
+		if c.arena != nil {
+			_ = c.owner.MOS().SPM.Unshare(c.arena.gid)
+		}
+		dropNotifies(c.streamID)
 	}
 }
 
@@ -299,7 +305,11 @@ func (c *Client) push(p *sim.Proc, name string, args []byte, kind uint32, respCa
 			if db != nil {
 				db.disarm()
 			}
-			gRingOcc.Set(int64(c.rid + slots - sid))
+			// Fused records are pushed from parallel shards; a last-writer
+			// gauge there would make snapshots depend on host scheduling.
+			if kind != kindNotify {
+				gRingOcc.Set(int64(c.rid + slots - sid))
+			}
 			break
 		}
 		if db == nil {
@@ -455,6 +465,10 @@ func (c *Client) Close(p *sim.Proc) error {
 	}
 	_ = c.ring.writeU32(p, offClosed, 1)
 	_ = c.owner.MOS().SPM.Unshare(c.gid)
+	if c.arena != nil {
+		_ = c.owner.MOS().SPM.Unshare(c.arena.gid)
+	}
+	dropNotifies(c.streamID)
 	c.dead = true
 	return nil
 }

@@ -19,6 +19,10 @@ var (
 	// e.g. teardown in progress). Serving-plane runs watch this to detect
 	// event-efficient waits silently degrading.
 	mDoorbellFallback = metrics.Default.Counter("srpc.doorbell.fallback")
+	// mZCCalls counts fused zero-copy records (CallZC); mArenaBytes counts
+	// payload bytes staged in arena grants instead of pushed through rings.
+	mZCCalls    = metrics.Default.Counter("srpc.zc.calls")
+	mArenaBytes = metrics.Default.Counter("srpc.zc.arena_bytes")
 	// mRingCorrupt counts streams aborted by a failed ring-consistency
 	// check (corrupted producer index or record header). Each abort tears
 	// exactly one stream down and surfaces ErrRingCorrupt to its owner.

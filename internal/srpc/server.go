@@ -200,7 +200,7 @@ func (s *Server) RunExecutor(p *sim.Proc, streamID uint64) {
 		// record and the record to the ring). A mismatch means a corrupted
 		// header — misparsing it would desynchronize Sid from the record
 		// framing for the rest of the stream's life.
-		if hd.Err() != nil || kind > kindSync || slots == 0 ||
+		if hd.Err() != nil || kind > kindNotify || slots == 0 ||
 			uint64(slots) > r.slots || uint64(slots) != recordSlots(payloadLen, respCap) {
 			s.corrupt(p, st, fmt.Sprintf("corrupt record header at sid %d (len=%d kind=%d slots=%d respCap=%d)",
 				st.sid, payloadLen, kind, slots, respCap))
@@ -217,6 +217,11 @@ func (s *Server) RunExecutor(p *sim.Proc, streamID uint64) {
 		var callErr error
 		if err := bd.Err(); err != nil {
 			callErr = err
+		} else if kind == kindNotify {
+			// Fused zero-copy record: the payload lives in the arena grant,
+			// not the ring; execute both calls, then deliver completion
+			// through the registered callback below.
+			callErr = s.execZC(p, name, args)
 		} else {
 			// Name concatenation only happens when tracing is on — the
 			// executor loop is the hot path of every streamed mECall.
@@ -255,14 +260,25 @@ func (s *Server) RunExecutor(p *sim.Proc, streamID uint64) {
 			if err := r.writeSlots(p, st.sid, out); err != nil {
 				return
 			}
-		} else if callErr != nil {
+		} else if callErr != nil && kind != kindNotify {
 			// Asynchronous failure: sticky error, surfaced at the
 			// next synchronization point (CUDA-style).
 			s.sticky(p, r, stickyAppErr, callErr.Error())
 		}
+		recSlot := st.sid
 		st.sid += uint64(slots)
 		if err := r.writeU64(p, offSid, st.sid); err != nil {
 			return
+		}
+		if kind == kindNotify {
+			// Completion callback, after the Sid advance so the ring state
+			// observed from the callback is consistent. A fused record with
+			// no registered callback surfaces failures sticky, like async.
+			if fn, ok := takeNotify(st.id, recSlot); ok {
+				fn(p, callErr)
+			} else if callErr != nil {
+				s.sticky(p, r, stickyAppErr, callErr.Error())
+			}
 		}
 	}
 }

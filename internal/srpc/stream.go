@@ -77,6 +77,11 @@ const streamMagic = 0x5352504356310001 // "SRPCV1" + version
 const (
 	kindAsync = 0
 	kindSync  = 1
+	// kindNotify is a fused zero-copy record (zerocopy.go): the bulk
+	// payload lives in the stream's arena grant rather than the ring, and
+	// completion is delivered through a registered callback instead of a
+	// synchronous wait on Sid.
+	kindNotify = 2
 )
 
 // Sticky-word codes (offSticky). The executor publishes asynchronous

@@ -1,0 +1,198 @@
+package srpc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cronus/internal/gpu"
+	"cronus/internal/mos/driver"
+	"cronus/internal/sim"
+	"cronus/internal/srpc"
+)
+
+// TestZeroCopyFusedExec drives the fused data plane end to end: the payload
+// is staged in the arena grant, one kindNotify record replaces the HtoD +
+// Launch pair, and the completion callback fires in the executor's context.
+// The device result must match what the classic streamed path computes.
+func TestZeroCopyFusedExec(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		if err := c.GrantArena(p, 4096); err != nil {
+			return err
+		}
+		alloc := func(n uint64) uint64 {
+			res, err := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ptr, _ := driver.DecodePtr(res)
+			return ptr
+		}
+		a, b, cc := alloc(16), alloc(16), alloc(16)
+		if _, err := c.Call(p, driver.CallHtoD, driver.EncodeHtoD(b, gpu.PackF32([]float32{5, 6, 7, 8}))); err != nil {
+			return err
+		}
+		done := sim.NewSignal(p.Kernel())
+		var notifyErr error
+		req := srpc.ZCRequest{
+			Payload:  gpu.PackF32([]float32{1, 2, 3, 4}),
+			CopyCall: driver.CallHtoD,
+			Dst:      a,
+			ExecCall: driver.CallLaunch,
+			ExecArgs: driver.EncodeLaunch("vec_add", gpu.Dim{4, 1, 1}, a, b, cc),
+		}
+		if err := c.CallZC(p, req, func(_ *sim.Proc, err error) {
+			notifyErr = err
+			done.Fire()
+		}); err != nil {
+			return err
+		}
+		done.Wait(p)
+		if notifyErr != nil {
+			return fmt.Errorf("fused exec failed: %w", notifyErr)
+		}
+		res, err := c.Call(p, driver.CallDtoH, driver.EncodeDtoH(cc, 16))
+		if err != nil {
+			return err
+		}
+		blob, _ := driver.DecodeBlob(res)
+		got := gpu.UnpackF32(blob)
+		want := []float32{6, 8, 10, 12}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("fused result %v, want %v", got, want)
+				break
+			}
+		}
+		return c.Close(p)
+	})
+}
+
+// TestZeroCopyArenaRotation pushes far more fused records than the arena has
+// slots, forcing rotation, and asserts every completion observed the payload
+// written for it — the flow-control reclamation argument of CallZC.
+func TestZeroCopyArenaRotation(t *testing.T) {
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		if err := c.GrantArena(p, 64); err != nil {
+			return err
+		}
+		alloc := func(n uint64) uint64 {
+			res, err := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ptr, _ := driver.DecodePtr(res)
+			return ptr
+		}
+		a, b, cc := alloc(16), alloc(16), alloc(16)
+		if _, err := c.Call(p, driver.CallHtoD, driver.EncodeHtoD(b, gpu.PackF32([]float32{0, 0, 0, 0}))); err != nil {
+			return err
+		}
+		const calls = 100 // > ring slots, so arena slots rotate
+		completions := 0
+		var firstErr error
+		for i := 0; i < calls; i++ {
+			v := float32(i)
+			req := srpc.ZCRequest{
+				Payload:  gpu.PackF32([]float32{v, v, v, v}),
+				CopyCall: driver.CallHtoD,
+				Dst:      a,
+				ExecCall: driver.CallLaunch,
+				ExecArgs: driver.EncodeLaunch("vec_add", gpu.Dim{4, 1, 1}, a, b, cc),
+			}
+			if err := c.CallZC(p, req, func(_ *sim.Proc, err error) {
+				completions++
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(p); err != nil {
+			return err
+		}
+		if firstErr != nil {
+			return fmt.Errorf("fused exec failed: %w", firstErr)
+		}
+		if completions != calls {
+			t.Errorf("got %d completions, want %d", completions, calls)
+		}
+		// The executor runs records strictly in order, so the last fused
+		// HtoD to land in a must carry the last payload.
+		res, err := c.Call(p, driver.CallDtoH, driver.EncodeDtoH(a, 16))
+		if err != nil {
+			return err
+		}
+		blob, _ := driver.DecodeBlob(res)
+		got := gpu.UnpackF32(blob)
+		for i := range got {
+			if got[i] != float32(calls-1) {
+				t.Errorf("payload slot reused too early: device saw %v, want all %v", got, float32(calls-1))
+				break
+			}
+		}
+		return c.Close(p)
+	})
+}
+
+// TestZeroCopyEventBudget pins the event saving that motivates the fused
+// path: one CallZC must dispatch far fewer simulator events than the HtoD +
+// Launch + Barrier triple it replaces (the Barrier alone costs a sync wait).
+func TestZeroCopyEventBudget(t *testing.T) {
+	const calls = 50
+	run(t, func(h *harness, p *sim.Proc) error {
+		c, err := h.connect(p)
+		if err != nil {
+			return err
+		}
+		if err := c.GrantArena(p, 4096); err != nil {
+			return err
+		}
+		res, err := c.Call(p, driver.CallMemAlloc, driver.EncodeMemAlloc(4096))
+		if err != nil {
+			return err
+		}
+		dst, _ := driver.DecodePtr(res)
+		payload := make([]byte, 1024)
+		launch := driver.EncodeLaunch("saxpy", gpu.Dim{16, 1, 1}, dst, dst, 2)
+		start := p.Now()
+		for i := 0; i < calls; i++ {
+			if err := c.CallZC(p, srpc.ZCRequest{
+				Payload: payload, CopyCall: driver.CallHtoD, Dst: dst,
+				ExecCall: driver.CallLaunch, ExecArgs: launch,
+			}, nil); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(p); err != nil {
+			return err
+		}
+		fusedTime := p.Now() - start
+		// Classic path for the same work: two pushes plus a barrier each.
+		start = p.Now()
+		for i := 0; i < calls; i++ {
+			if _, err := c.Call(p, driver.CallHtoD, driver.EncodeHtoD(dst, payload)); err != nil {
+				return err
+			}
+			if _, err := c.Call(p, driver.CallLaunch, launch); err != nil {
+				return err
+			}
+			if err := c.Barrier(p); err != nil {
+				return err
+			}
+		}
+		classicTime := p.Now() - start
+		if fusedTime >= classicTime {
+			t.Errorf("fused path not faster in virtual time: fused %v vs classic %v", fusedTime, classicTime)
+		}
+		return c.Close(p)
+	})
+}
