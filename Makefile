@@ -32,6 +32,7 @@ bench-hotpath:
 	{ $(GO) test -bench 'ViewAccess|TZASCCheck|PhysMemWrite4K|Translate' -benchmem -run '^$$' ./internal/spm ./internal/hw ; \
 	  $(GO) test -bench 'ShardedEngine' -benchmem -run '^$$' ./internal/sim ; \
 	  $(GO) test -bench 'SRPCSyncCall|SrpcMultiRing' -benchmem -benchtime=200x -run '^$$' ./internal/srpc ; \
+	  $(GO) test -bench 'ServeLoadMultiNode' -benchmem -benchtime=1x -run '^$$' ./internal/serve ; \
 	  $(GO) test -bench 'Figure7Rodinia|Figure8Training|SRPCStreaming' -benchmem -benchtime=1x -run '^$$' . ; } \
 	| $(GO) run ./cmd/cronus-benchjson > BENCH_hotpath.json
 	@echo "wrote BENCH_hotpath.json"
@@ -71,11 +72,13 @@ doc-lint:
 
 # Short deterministic chaos soak: 3 seeds over all fault kinds, plus a
 # targeted supervision soak (persistent-hang wedges caught by the heartbeat
-# watchdog, crash loops ending in quarantine), every report replay-verified
-# byte-for-byte. The full soak is `go run ./cmd/cronus-chaos`.
+# watchdog, crash loops ending in quarantine), plus a 2-node cluster soak
+# (node crashes, net-partitions, slow links over the fabric), every report
+# replay-verified byte-for-byte. The full soak is `go run ./cmd/cronus-chaos`.
 chaos:
 	$(GO) run ./cmd/cronus-chaos -seeds 3 -verify
 	$(GO) run ./cmd/cronus-chaos -seeds 2 -kinds persistent-hang,crash-loop -faults 2 -verify
+	$(GO) run ./cmd/cronus-chaos -nodes 2 -partitions 4 -tenants 4 -seeds 3 -verify
 
 # Causal-tracing guards: the export-determinism and attribution-conservation
 # tests, plus the zero-alloc disabled-path benchmarks (their assertions run
@@ -98,6 +101,7 @@ ci:
 	$(MAKE) trace-verify
 	$(GO) run ./cmd/cronus-chaos -seeds 3 -verify
 	$(GO) run ./cmd/cronus-chaos -seeds 2 -kinds persistent-hang,crash-loop -faults 2 -verify
+	$(GO) run ./cmd/cronus-chaos -nodes 2 -partitions 4 -tenants 4 -seeds 3 -verify
 	$(MAKE) bench-gate BENCH_THRESHOLD=1.0
 
 # Pretty-printed tables for all experiments.

@@ -23,6 +23,15 @@
 //	cronus-chaos -kinds persistent-hang,crash-loop
 //	cronus-chaos -verify                 # double-run every seed, byte-compare
 //	cronus-chaos -trace -seeds 3 -v      # causal spans + flight-recorder dumps
+//	cronus-chaos -nodes 2 -partitions 4 -tenants 4    # node-level cluster soak
+//	cronus-chaos -nodes 2 -partitions 4 -kinds node-crash -verify
+//
+// With -nodes >= 2 the campaign shifts to the multi-node fabric: every seed
+// runs a cluster serving plane (sharded data plane spanning the nodes), the
+// fault mix comes from the node-level kinds (node-crash, net-partition,
+// slow-link), and the invariants add cross-node failover and no-split-brain
+// on top of conservation and typed errors. -partitions must divide evenly
+// over -nodes; -trace only applies to single-node campaigns.
 package main
 
 import (
@@ -41,7 +50,8 @@ func main() {
 	partitions := flag.Int("partitions", 2, "GPU partitions in the pool")
 	windowMS := flag.Int("window-ms", 10, "load window per run, virtual ms")
 	faults := flag.Int("faults", 3, "faults compiled per schedule")
-	kinds := flag.String("kinds", "", "comma-separated fault kinds (default all): crash,ring-corrupt,device-hang,attest-fail,persistent-hang,crash-loop")
+	kinds := flag.String("kinds", "", "comma-separated fault kinds (default all): crash,ring-corrupt,device-hang,attest-fail,persistent-hang,crash-loop; with -nodes >= 2: node-crash,net-partition,slow-link")
+	nodes := flag.Int("nodes", 0, "fabric nodes (0 = single-node chaos; >= 2 soaks the cluster plane with node-level faults)")
 	verify := flag.Bool("verify", false, "re-run every seed and byte-compare the reports (replay contract)")
 	verbose := flag.Bool("v", false, "print the full report of every seed, not just failures")
 	traceOn := flag.Bool("trace", false,
@@ -61,6 +71,12 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Kinds = parsed
+
+	if *nodes >= 2 {
+		opts.Nodes = *nodes
+		runCluster(*baseSeed, *seeds, opts, *verify, *verbose)
+		return
+	}
 
 	cr, err := chaos.RunCampaign(*baseSeed, *seeds, opts)
 	if err != nil {
@@ -87,6 +103,55 @@ func main() {
 		diverged := 0
 		for _, rr := range cr.Runs {
 			again, err := chaos.RunOne(rr.Seed, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cronus-chaos: verify:", err)
+				os.Exit(1)
+			}
+			if again.Report() != rr.Report() {
+				diverged++
+				fmt.Printf("REPLAY DIVERGENCE: seed %d produced two different reports\n", rr.Seed)
+			}
+		}
+		if diverged == 0 {
+			fmt.Printf("verify: %d seeds replayed byte-identically\n", len(cr.Runs))
+		} else {
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// runCluster drives the -nodes >= 2 campaign: the node-level fault soak over
+// the multi-node fabric, with the same -verify replay contract as the
+// single-node path.
+func runCluster(baseSeed int64, seeds int, opts chaos.Options, verify, verbose bool) {
+	cr, err := chaos.RunNodeCampaign(baseSeed, seeds, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cronus-chaos:", err)
+		os.Exit(1)
+	}
+	fmt.Print(cr.Report())
+	if verbose {
+		for _, rr := range cr.Runs {
+			if rr.Passed() { // failing seeds are already in the campaign report
+				fmt.Printf("--- seed %d ---\n%s", rr.Seed, rr.Report())
+			}
+		}
+	}
+
+	ok := cr.Passed()
+	if !ok {
+		fmt.Println("soak: FAIL")
+	} else {
+		fmt.Println("soak: every invariant upheld")
+	}
+
+	if verify {
+		diverged := 0
+		for _, rr := range cr.Runs {
+			again, err := chaos.RunNodeOne(rr.Seed, opts)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "cronus-chaos: verify:", err)
 				os.Exit(1)

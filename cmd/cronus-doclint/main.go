@@ -31,6 +31,7 @@ var defaultDirs = []string{
 	"internal/srpc",
 	"internal/spm",
 	"internal/chaos",
+	"internal/cluster",
 	"internal/mos",
 	"internal/trace",
 	"internal/metrics",

@@ -16,14 +16,21 @@
 //	cronus-serve -max-batch 1                     # disable batching
 //	cronus-serve -trace out.json                  # causal spans -> Perfetto JSON
 //	cronus-serve -slo-target-us 400               # arm the SLO burn-rate engine
-//	cronus-serve -shards 4                        # sharded kernel + flow-model data plane
-//	cronus-serve -shards 4 -lanes 4 -parallel     # ... with parallel shard execution
+//	cronus-serve -shards 2                        # sharded kernel + flow-model data plane
+//	cronus-serve -partitions 8 -shards 4 -lanes 4 -parallel  # ... parallel shard execution
+//	cronus-serve -nodes 2 -partitions 8 -shards 8            # two-node fabric cluster
+//	cronus-serve -nodes 2 -partitions 8 -shards 8 -node-crash-ms 11  # ... with a node crash
 //
 // -shards 0 (the default) and -shards 1 run the classic sequential plane
 // byte-identically. With -shards >= 2 the run moves to the sharded data
 // plane, which models inference serving only: the general-compute rodinia
 // class is left out of the tenant mix, and -trace/-supervise are rejected
-// by config validation.
+// by config validation. The partition count must be a positive multiple of
+// the shard count (a -shards value that does not divide it is a usage
+// error, exit status 2). With -nodes >= 2 the run spans a simulated
+// multi-node fabric: shards and partitions must also divide evenly across
+// the nodes, tenants are homed by consistent hashing, and -link-latency-us /
+// -link-gbps price the inter-node transport.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"fmt"
 	"os"
 
+	"cronus/internal/cluster"
 	"cronus/internal/otrace"
 	"cronus/internal/serve"
 	"cronus/internal/sim"
@@ -69,7 +77,20 @@ func main() {
 		"sRPC rings per replica on the sharded plane (0 = default)")
 	parallel := flag.Bool("parallel", false,
 		"run kernel shards on their own goroutines (requires -shards >= 2)")
+	nodes := flag.Int("nodes", 0,
+		"simulated fabric nodes (0 or 1 = single node; >= 2 requires -shards and -partitions divisible by it)")
+	linkLatencyUS := flag.Float64("link-latency-us", 0,
+		"inter-node link latency, virtual µs (0 = default 5µs)")
+	linkGBps := flag.Float64("link-gbps", 0,
+		"inter-node link bandwidth, GB/s (0 = default 10)")
+	nodeCrashMS := flag.Int("node-crash-ms", 0,
+		"crash node 1 at this virtual ms (0 = none; requires -nodes >= 2)")
 	flag.Parse()
+
+	if err := serve.CheckShardLayout(*shards, *partitions, *nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "cronus-serve:", err)
+		os.Exit(2)
+	}
 
 	cfg := serve.Config{
 		Seed:          *seed,
@@ -83,6 +104,20 @@ func main() {
 		Shards:        *shards,
 		Lanes:         *lanes,
 		Parallel:      *parallel,
+	}
+	if *nodes >= 2 {
+		cfg.Nodes = *nodes
+		if *linkLatencyUS > 0 {
+			cfg.LinkLatency = sim.Duration(*linkLatencyUS * 1e3)
+		}
+		cfg.LinkGBps = *linkGBps
+		if *nodeCrashMS > 0 {
+			cfg.NodeFaults = append(cfg.NodeFaults, cluster.Fault{
+				Kind: cluster.NodeCrash,
+				Node: 1,
+				At:   sim.Duration(*nodeCrashMS) * sim.Millisecond,
+			})
+		}
 	}
 	if *failAtMS > 0 {
 		cfg.FailAt = sim.Duration(*failAtMS) * sim.Millisecond

@@ -71,18 +71,44 @@ const (
 	KindCrashLoop Kind = "crash-loop"
 )
 
-// AllKinds is the default fault mix for compiled schedules.
+// Node-level fault kinds target whole fabric nodes rather than single
+// partitions; they are only meaningful for cluster campaigns
+// (Options.Nodes >= 2, CompileCluster) and ride the serving plane's
+// Config.NodeFaults hooks instead of an Injector.
+const (
+	// KindNodeCrash kills a whole fabric node at a virtual instant: its
+	// partition block quarantines permanently (the machine is gone), every
+	// in-flight batch there is cancelled and replayed exactly once, and each
+	// tenant homed on the node re-hashes to a survivor.
+	KindNodeCrash Kind = "node-crash"
+	// KindNetPartition severs one node's fabric link for a window: dispatch
+	// toward it fails with the typed *cluster.NetPartitionedError and
+	// completions crossing back park until the link heals.
+	KindNetPartition Kind = "net-partition"
+	// KindSlowLink multiplies one node's link latency for a window —
+	// degraded but functional, so its tenants slow down without failing.
+	KindSlowLink Kind = "slow-link"
+)
+
+// AllKinds is the default fault mix for compiled single-node schedules.
 var AllKinds = []Kind{KindCrash, KindRingCorrupt, KindDeviceHang, KindAttestFail,
 	KindPersistentHang, KindCrashLoop}
 
+// NodeKinds is the default fault mix for cluster schedules (CompileCluster).
+var NodeKinds = []Kind{KindNodeCrash, KindNetPartition, KindSlowLink}
+
 // ParseKinds parses a comma-separated fault-kind list (the cronus-chaos
-// -kinds flag) against the known kinds, rejecting unknown names.
+// -kinds flag) against the known kinds — partition-level and node-level
+// alike — rejecting unknown names.
 func ParseKinds(s string) ([]Kind, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil
 	}
-	known := make(map[Kind]bool, len(AllKinds))
+	known := make(map[Kind]bool, len(AllKinds)+len(NodeKinds))
 	for _, k := range AllKinds {
+		known[k] = true
+	}
+	for _, k := range NodeKinds {
 		known[k] = true
 	}
 	var kinds []Kind
@@ -96,11 +122,14 @@ func ParseKinds(s string) ([]Kind, error) {
 	return kinds, nil
 }
 
-// kindNames renders AllKinds for error and usage text.
+// kindNames renders every known kind for error and usage text.
 func kindNames() string {
-	names := make([]string, len(AllKinds))
-	for i, k := range AllKinds {
-		names[i] = string(k)
+	names := make([]string, 0, len(AllKinds)+len(NodeKinds))
+	for _, k := range AllKinds {
+		names = append(names, string(k))
+	}
+	for _, k := range NodeKinds {
+		names = append(names, string(k))
 	}
 	return strings.Join(names, ",")
 }
@@ -132,6 +161,13 @@ type Fault struct {
 	// Crashes is how many back-to-back crashes a crash-loop injects
 	// (matched to the supervision policy's QuarantineAfter).
 	Crashes int
+	// Node is the target fabric node of a node-level fault (cluster
+	// campaigns only).
+	Node int
+	// Until closes a net-partition or slow-link window opened at After.
+	Until sim.Duration
+	// Mult is a slow-link's latency multiplier.
+	Mult float64
 }
 
 // String renders the fault and its trigger deterministically.
@@ -151,6 +187,13 @@ func (f *Fault) String() string {
 	case KindCrashLoop:
 		return fmt.Sprintf("crash-loop  partition=gpu-part%d after=%v crashes=%d",
 			f.Partition, f.After, f.Crashes)
+	case KindNodeCrash:
+		return fmt.Sprintf("node-crash  node=n%d after=%v", f.Node, f.After)
+	case KindNetPartition:
+		return fmt.Sprintf("net-partition node=n%d after=%v until=%v", f.Node, f.After, f.Until)
+	case KindSlowLink:
+		return fmt.Sprintf("slow-link   node=n%d after=%v until=%v mult=%g",
+			f.Node, f.After, f.Until, f.Mult)
 	}
 	return string(f.Kind)
 }
@@ -199,6 +242,11 @@ type Options struct {
 	// Faults is the number of faults Compile draws (default 3; an
 	// attest-fail draw adds its paired crash on top).
 	Faults int
+	// Nodes selects the cluster campaign: with Nodes >= 2 the serving runs
+	// span a simulated multi-node fabric (CompileCluster / RunNodeOne) and
+	// the fault mix comes from NodeKinds. Zero keeps the single-node
+	// campaign. Partitions must divide evenly over Nodes.
+	Nodes int
 	// Kinds restricts the fault mix (default AllKinds).
 	Kinds []Kind
 	// RelTol is the survivor-tenant p95 latency tolerance relative to

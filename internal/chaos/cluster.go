@@ -1,0 +1,379 @@
+package chaos
+
+// Cluster campaigns: node-level chaos against the serving plane's multi-node
+// fabric mode. Where the single-node harness arms an Injector on a booted
+// platform, node faults ride the serving config itself (serve.Config.
+// NodeFaults) — the cluster boots its own kernel and platforms under
+// serve.Run, arms the schedule before the shards parallelize, and the same
+// (seed, Options) replays byte-identically.
+//
+// The invariants shift with the blast radius: request conservation and
+// exactly-once still hold per tenant, failures must stay typed (the fabric
+// adds *cluster.NetPartitionedError to the allowlist), the no-split-brain
+// ledger must read zero in both runs, every tenant homed on a crashed node
+// must re-hash to a survivor, and tenants homed away from every faulted node
+// must be indistinguishable from baseline — byte-identical accounting and
+// p95 within tolerance — except after a node crash, where survivors
+// legitimately absorb the rehomed load and only their arrival process is
+// required to match.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"cronus/internal/cluster"
+	"cronus/internal/serve"
+	"cronus/internal/sim"
+	"cronus/internal/srpc"
+	"cronus/internal/tvm"
+)
+
+// nodeKindMix filters a kind list down to the node-level kinds, falling back
+// to NodeKinds when the list has none (or is the single-node default).
+func nodeKindMix(kinds []Kind) []Kind {
+	var mix []Kind
+	for _, k := range kinds {
+		if k == KindNodeCrash || k == KindNetPartition || k == KindSlowLink {
+			mix = append(mix, k)
+		}
+	}
+	if len(mix) == 0 {
+		return NodeKinds
+	}
+	return mix
+}
+
+// CompileCluster derives a node-fault schedule from the seed, domain-
+// separated from Compile so the same seed yields unrelated single-node and
+// cluster plans. Fault instants land in the middle three fifths of the
+// window; partition and slow-link windows last between a tenth and three
+// tenths of it. At most Nodes-1 distinct nodes crash — crashing the last
+// survivor (or the same node twice) would leave nothing to fail over to, so
+// such draws degrade to a heal-able net-partition on the same node.
+func CompileCluster(seed int64, opts Options) *Schedule {
+	opts.defaults()
+	rng := rand.New(rand.NewSource(seed ^ 0x6e6f6465)) // domain-separate from Compile
+	mix := nodeKindMix(opts.Kinds)
+	s := &Schedule{Seed: seed}
+	windowAt := func() sim.Duration {
+		return opts.Window/5 + sim.Duration(rng.Int63n(int64(3*opts.Window/5)))
+	}
+	crashed := map[int]bool{}
+	for n := 0; n < opts.Faults; n++ {
+		f := &Fault{Kind: mix[rng.Intn(len(mix))], Node: rng.Intn(opts.Nodes)}
+		if f.Kind == KindNodeCrash && (len(crashed) >= opts.Nodes-1 || crashed[f.Node]) {
+			f.Kind = KindNetPartition
+		}
+		f.After = windowAt()
+		switch f.Kind {
+		case KindNodeCrash:
+			crashed[f.Node] = true
+		case KindNetPartition, KindSlowLink:
+			f.Until = f.After + opts.Window/10 + sim.Duration(rng.Int63n(int64(opts.Window/5)))
+			if f.Kind == KindSlowLink {
+				f.Mult = float64(2 + rng.Intn(7))
+			}
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	return s
+}
+
+// nodeFaults lowers the schedule to the serving plane's fault hooks.
+func (s *Schedule) nodeFaults() []cluster.Fault {
+	var fs []cluster.Fault
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case KindNodeCrash:
+			fs = append(fs, cluster.Fault{Kind: cluster.NodeCrash, Node: f.Node, At: f.After})
+		case KindNetPartition:
+			fs = append(fs, cluster.Fault{Kind: cluster.NetPartition, Node: f.Node,
+				At: f.After, Until: f.Until})
+		case KindSlowLink:
+			fs = append(fs, cluster.Fault{Kind: cluster.SlowLink, Node: f.Node,
+				At: f.After, Until: f.Until, Mult: f.Mult})
+		}
+	}
+	return fs
+}
+
+// clusterServeConfig is the serving load a cluster seed runs against: the
+// sharded data plane spanning Options.Nodes fabric nodes, one shard per
+// partition, round-robin placement inside each home group, and HashBound 1.0
+// so the boot assignment spreads tenants evenly — every node gets victims
+// and survivors. Supervision, tracing and the SLO engine stay off: the
+// sharded plane models inference serving only and rejects them by
+// validation.
+func clusterServeConfig(seed int64, o Options, faults []cluster.Fault) serve.Config {
+	cfg := serve.Config{
+		Seed:           seed,
+		Window:         o.Window,
+		Policy:         serve.RoundRobin,
+		MaxBatch:       4,
+		BatchWindow:    50 * sim.Microsecond,
+		GPUPartitions:  o.Partitions,
+		GPUFlopsPerNs:  400,
+		KeepRequests:   true,
+		RequestTimeout: 2 * sim.Millisecond,
+		MaxRetries:     1,
+		RetryBackoff:   100 * sim.Microsecond,
+		Shards:         o.Partitions,
+		Nodes:          o.Nodes,
+		HashBound:      1.0,
+		NodeFaults:     faults,
+	}
+	for ti := 0; ti < o.Tenants; ti++ {
+		cfg.Tenants = append(cfg.Tenants, serve.TenantSpec{
+			Name:     fmt.Sprintf("tenant-%d", ti),
+			Arrival:  serve.Poisson,
+			Rate:     o.Rate,
+			QueueCap: 512,
+			Mix:      []serve.WorkClass{{Name: "resnet18", Graph: tvm.ResNet18()}},
+		})
+	}
+	return cfg
+}
+
+// NodeRunReport is the outcome of one cluster chaos seed: the compiled node-
+// fault schedule, both serving results, and every invariant violation.
+type NodeRunReport struct {
+	// Seed is the schedule seed.
+	Seed int64
+	// Opts are the (defaulted) options the run used.
+	Opts Options
+	// Schedule is the compiled node-fault plan.
+	Schedule *Schedule
+	// Baseline and Faulted are the two serving results.
+	Baseline, Faulted *serve.Result
+	// Violations lists every invariant the run broke.
+	Violations []string
+}
+
+// Passed reports whether the run upheld every invariant.
+func (rr *NodeRunReport) Passed() bool { return len(rr.Violations) == 0 }
+
+// Report renders the run as deterministic text: same (seed, Options) in,
+// byte-identical text out — the same replay contract the single-node
+// harness honors.
+func (rr *NodeRunReport) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos cluster seed=%d nodes=%d tenants=%d partitions=%d window=%v: %d faults\n",
+		rr.Seed, rr.Opts.Nodes, rr.Opts.Tenants, rr.Opts.Partitions, rr.Opts.Window,
+		len(rr.Schedule.Faults))
+	for i, f := range rr.Schedule.Faults {
+		fmt.Fprintf(&b, "  [%d] %-58s armed\n", i, f)
+	}
+	b.WriteString("faulted run:\n")
+	b.WriteString(indent(rr.Faulted.Report()))
+	faultNodes, _ := rr.Schedule.faultNodes()
+	for ti := range rr.Faulted.Tenants {
+		ft := &rr.Faulted.Tenants[ti]
+		if faultNodes[ft.Home] || ti >= len(rr.Baseline.Tenants) {
+			continue
+		}
+		bt := &rr.Baseline.Tenants[ti]
+		fmt.Fprintf(&b, "survivor %s: p95 %s (baseline %s)\n",
+			ft.Name, sim.Duration(ft.P95NS), sim.Duration(bt.P95NS))
+	}
+	if rr.Passed() {
+		b.WriteString("verdict: PASS\n")
+	} else {
+		fmt.Fprintf(&b, "verdict: FAIL (%d violations)\n", len(rr.Violations))
+		for _, v := range rr.Violations {
+			fmt.Fprintf(&b, "  violation: %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// faultNodes splits the schedule's targets: every faulted node, and the
+// subset that crashes outright.
+func (s *Schedule) faultNodes() (all, crashes map[int]bool) {
+	all, crashes = map[int]bool{}, map[int]bool{}
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case KindNodeCrash:
+			all[f.Node] = true
+			crashes[f.Node] = true
+		case KindNetPartition, KindSlowLink:
+			all[f.Node] = true
+		}
+	}
+	return all, crashes
+}
+
+// checkNodeInvariants audits one finished cluster seed. Every violated
+// invariant becomes one deterministic line.
+func (rr *NodeRunReport) checkNodeInvariants() []string {
+	var v []string
+	v = append(v, conservation("baseline", rr.Baseline)...)
+	v = append(v, conservation("faulted", rr.Faulted)...)
+	// No-split-brain: a tenant's requests were never concurrently live on
+	// two nodes, in either run.
+	if rr.Baseline.SplitBrain != 0 {
+		v = append(v, fmt.Sprintf("baseline: split-brain ledger read %d, want 0", rr.Baseline.SplitBrain))
+	}
+	if rr.Faulted.SplitBrain != 0 {
+		v = append(v, fmt.Sprintf("faulted: split-brain ledger read %d, want 0", rr.Faulted.SplitBrain))
+	}
+	// Exactly-once with typed failures: everything admitted completes once,
+	// and every failure is one of the plane's typed errors — the fabric adds
+	// the net-partition error to the single-node allowlist.
+	for _, r := range rr.Faulted.Requests {
+		if r.Done == 0 {
+			v = append(v, fmt.Sprintf("request %d (%s) admitted but never completed", r.ID, r.Tenant))
+			continue
+		}
+		if r.Err != nil {
+			var te *serve.TimeoutError
+			var pq *serve.PoolQuarantinedError
+			var np *cluster.NetPartitionedError
+			if !errors.As(r.Err, &te) && !errors.As(r.Err, &pq) && !errors.As(r.Err, &np) &&
+				!errors.Is(r.Err, srpc.ErrRingCorrupt) {
+				v = append(v, fmt.Sprintf("request %d (%s) failed with untyped error %q",
+					r.ID, r.Tenant, r.Err))
+			}
+		}
+	}
+	faultNodes, crashNodes := rr.Schedule.faultNodes()
+	// Cross-node failover: every tenant homed on a crashed node must have
+	// re-hashed to a survivor (CompileCluster guarantees one exists).
+	for ti := range rr.Faulted.Tenants {
+		ft := &rr.Faulted.Tenants[ti]
+		if crashNodes[ft.Home] && !ft.Rehomed {
+			v = append(v, fmt.Sprintf("tenant %s homed on crashed node n%d never rehomed",
+				ft.Name, ft.Home))
+		}
+	}
+	// Survivors — tenants homed away from every faulted node. Their arrival
+	// process never depends on faults, so Offered must always match. With no
+	// crash in the schedule nothing re-places onto their nodes either, so
+	// the full single-node contract applies: identical accounting, p95
+	// within tolerance. After a crash the rehomed load lands on survivor
+	// nodes legitimately, so only the arrival check holds.
+	hasCrash := len(crashNodes) > 0
+	for ti := range rr.Faulted.Tenants {
+		ft := &rr.Faulted.Tenants[ti]
+		if faultNodes[ft.Home] || ti >= len(rr.Baseline.Tenants) {
+			continue
+		}
+		bt := &rr.Baseline.Tenants[ti]
+		if ft.Offered != bt.Offered {
+			v = append(v, fmt.Sprintf("survivor %s: offered %d drifted from baseline %d",
+				ft.Name, ft.Offered, bt.Offered))
+		}
+		if hasCrash {
+			continue
+		}
+		if ft.Completed != bt.Completed || ft.Shed != bt.Shed || ft.Failed != bt.Failed {
+			v = append(v, fmt.Sprintf(
+				"survivor %s: accounting drifted from baseline (completed %d/%d shed %d/%d failed %d/%d)",
+				ft.Name, ft.Completed, bt.Completed, ft.Shed, bt.Shed, ft.Failed, bt.Failed))
+		}
+		tol := math.Max(rr.Opts.RelTol*bt.P95NS, float64(rr.Opts.AbsTol))
+		if math.Abs(ft.P95NS-bt.P95NS) > tol {
+			v = append(v, fmt.Sprintf("survivor %s: p95 %s drifted beyond tolerance of baseline %s",
+				ft.Name, sim.Duration(ft.P95NS), sim.Duration(bt.P95NS)))
+		}
+	}
+	return v
+}
+
+// RunNodeOne compiles the seed's node-fault schedule and executes it: a
+// fault-free baseline cluster run, the faulted run over the identical
+// config, then every invariant check. The returned report is fully
+// deterministic — same (seed, Options), byte-identical Report().
+func RunNodeOne(seed int64, o Options) (*NodeRunReport, error) {
+	o.defaults()
+	if o.Nodes < 2 {
+		return nil, fmt.Errorf("chaos: cluster campaign needs Nodes >= 2, got %d", o.Nodes)
+	}
+	if o.Partitions%o.Nodes != 0 {
+		return nil, fmt.Errorf("chaos: Partitions (%d) must divide evenly over Nodes (%d)",
+			o.Partitions, o.Nodes)
+	}
+	mRuns.Inc()
+	rr := &NodeRunReport{Seed: seed, Opts: o, Schedule: CompileCluster(seed, o)}
+	base, err := serve.Run(clusterServeConfig(seed, o, nil))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: cluster baseline run (seed %d): %w", seed, err)
+	}
+	rr.Baseline = base
+	faulted, err := serve.Run(clusterServeConfig(seed, o, rr.Schedule.nodeFaults()))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: cluster faulted run (seed %d): %w", seed, err)
+	}
+	rr.Faulted = faulted
+	rr.Violations = rr.checkNodeInvariants()
+	mViolations.Add(uint64(len(rr.Violations)))
+	return rr, nil
+}
+
+// NodeCampaignReport aggregates a cluster soak over consecutive seeds.
+type NodeCampaignReport struct {
+	// BaseSeed is the first seed of the campaign.
+	BaseSeed int64
+	// Opts are the shared run options.
+	Opts Options
+	// Runs holds one report per seed, in seed order.
+	Runs []*NodeRunReport
+}
+
+// Violations is the total violation count across all runs.
+func (cr *NodeCampaignReport) Violations() int {
+	n := 0
+	for _, rr := range cr.Runs {
+		n += len(rr.Violations)
+	}
+	return n
+}
+
+// Passed reports whether every seed upheld every invariant.
+func (cr *NodeCampaignReport) Passed() bool { return cr.Violations() == 0 }
+
+// Report renders the campaign summary: one line per seed, then the verdict,
+// with failing seeds' full reports appended.
+func (cr *NodeCampaignReport) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos cluster campaign: seeds %d..%d (%d runs, %d nodes)\n",
+		cr.BaseSeed, cr.BaseSeed+int64(len(cr.Runs))-1, len(cr.Runs), cr.Opts.Nodes)
+	faults := 0
+	for _, rr := range cr.Runs {
+		verdict := "PASS"
+		if !rr.Passed() {
+			verdict = fmt.Sprintf("FAIL (%d violations)", len(rr.Violations))
+		}
+		fmt.Fprintf(&b, "  seed %4d: %d faults, %s\n",
+			rr.Seed, len(rr.Schedule.Faults), verdict)
+		faults += len(rr.Schedule.Faults)
+	}
+	fmt.Fprintf(&b, "total: %d faults armed, %d violations\n", faults, cr.Violations())
+	for _, rr := range cr.Runs {
+		if !rr.Passed() {
+			fmt.Fprintf(&b, "--- seed %d ---\n%s", rr.Seed, rr.Report())
+		}
+	}
+	return b.String()
+}
+
+// RunNodeCampaign soaks n consecutive cluster seeds starting at baseSeed. It
+// returns an error only when a run cannot execute at all; invariant
+// violations are collected in the report.
+func RunNodeCampaign(baseSeed int64, n int, o Options) (*NodeCampaignReport, error) {
+	cr := &NodeCampaignReport{BaseSeed: baseSeed, Opts: o}
+	for i := 0; i < n; i++ {
+		rr, err := RunNodeOne(baseSeed+int64(i), o)
+		if err != nil {
+			return nil, err
+		}
+		cr.Runs = append(cr.Runs, rr)
+	}
+	// Opts echoed in the header must be the defaulted set the runs used.
+	if len(cr.Runs) > 0 {
+		cr.Opts = cr.Runs[0].Opts
+	}
+	return cr, nil
+}

@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+func clusterOpts() Options {
+	return Options{Nodes: 2, Partitions: 4, Tenants: 4}
+}
+
+// CompileCluster is a pure function of (seed, Options): same inputs, same
+// schedule; the crash budget never exceeds Nodes-1 distinct nodes.
+func TestCompileClusterDeterministic(t *testing.T) {
+	o := clusterOpts()
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := CompileCluster(seed, o), CompileCluster(seed, o)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d compiled two different schedules:\n%s\nvs\n%s", seed, a, b)
+		}
+		crashed := map[int]bool{}
+		for _, f := range a.Faults {
+			if f.Node < 0 || f.Node >= o.Nodes {
+				t.Fatalf("seed %d: fault targets node %d of %d", seed, f.Node, o.Nodes)
+			}
+			switch f.Kind {
+			case KindNodeCrash:
+				if crashed[f.Node] {
+					t.Fatalf("seed %d: node %d crashed twice", seed, f.Node)
+				}
+				crashed[f.Node] = true
+			case KindNetPartition, KindSlowLink:
+				if f.Until <= f.After {
+					t.Fatalf("seed %d: %s window empty (%v..%v)", seed, f.Kind, f.After, f.Until)
+				}
+				if f.Kind == KindSlowLink && f.Mult < 2 {
+					t.Fatalf("seed %d: slow-link mult %g < 2", seed, f.Mult)
+				}
+			default:
+				t.Fatalf("seed %d: single-node kind %q in a cluster schedule", seed, f.Kind)
+			}
+		}
+		if len(crashed) > o.Nodes-1 {
+			t.Fatalf("seed %d: %d nodes crashed, budget is %d", seed, len(crashed), o.Nodes-1)
+		}
+	}
+}
+
+// The -kinds parser accepts node-level names alongside the partition-level
+// ones, and CompileCluster honors a restricted mix.
+func TestNodeKindParsing(t *testing.T) {
+	kinds, err := ParseKinds("node-crash,slow-link")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 2 || kinds[0] != KindNodeCrash || kinds[1] != KindSlowLink {
+		t.Fatalf("parsed %v", kinds)
+	}
+	if _, err := ParseKinds("node-melt"); err == nil {
+		t.Fatal("unknown node kind accepted")
+	}
+	o := clusterOpts()
+	o.Kinds = []Kind{KindSlowLink}
+	for seed := int64(1); seed <= 10; seed++ {
+		for _, f := range CompileCluster(seed, o).Faults {
+			if f.Kind != KindSlowLink {
+				t.Fatalf("seed %d: restricted mix compiled %q", seed, f.Kind)
+			}
+		}
+	}
+	// A single-node default mix falls back to every node kind rather than
+	// compiling partition-level faults the cluster cannot inject.
+	o.Kinds = nil
+	saw := map[Kind]bool{}
+	for seed := int64(1); seed <= 30; seed++ {
+		for _, f := range CompileCluster(seed, o).Faults {
+			saw[f.Kind] = true
+		}
+	}
+	for _, k := range NodeKinds {
+		if !saw[k] {
+			t.Errorf("default cluster mix never drew %q over 30 seeds", k)
+		}
+	}
+}
+
+// One cluster seed replays byte-identically — the cronus-chaos -nodes
+// -verify contract.
+func TestRunNodeOneReplay(t *testing.T) {
+	o := clusterOpts()
+	a, err := RunNodeOne(7, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Passed() {
+		t.Fatalf("seed 7 violated invariants:\n%s", a.Report())
+	}
+	b, err := RunNodeOne(7, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report() != b.Report() {
+		t.Fatalf("seed 7 produced two different reports:\n%s\nvs\n%s", a.Report(), b.Report())
+	}
+}
+
+// A short soak upholds every invariant and renders the expected summary.
+func TestRunNodeCampaign(t *testing.T) {
+	cr, err := RunNodeCampaign(1, 5, clusterOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Passed() {
+		t.Fatalf("campaign failed:\n%s", cr.Report())
+	}
+	rep := cr.Report()
+	if !strings.Contains(rep, "chaos cluster campaign: seeds 1..5 (5 runs, 2 nodes)") {
+		t.Fatalf("unexpected campaign header:\n%s", rep)
+	}
+	if !strings.Contains(rep, "0 violations") {
+		t.Fatalf("campaign report missing violation total:\n%s", rep)
+	}
+	for _, rr := range cr.Runs {
+		if !strings.Contains(rr.Report(), "verdict: PASS") {
+			t.Fatalf("run report missing verdict:\n%s", rr.Report())
+		}
+	}
+}
+
+// A crash schedule actually exercises failover: the victim tenants re-hash
+// and the faulted report says so.
+func TestRunNodeCrashFailover(t *testing.T) {
+	o := clusterOpts()
+	o.Kinds = []Kind{KindNodeCrash}
+	o.Faults = 1
+	rr, err := RunNodeOne(3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Passed() {
+		t.Fatalf("crash seed violated invariants:\n%s", rr.Report())
+	}
+	_, crashes := rr.Schedule.faultNodes()
+	if len(crashes) != 1 {
+		t.Fatalf("schedule compiled %d crashes, want 1:\n%s", len(crashes), rr.Schedule)
+	}
+	rehomed := 0
+	for i := range rr.Faulted.Tenants {
+		if rr.Faulted.Tenants[i].Rehomed {
+			rehomed++
+		}
+	}
+	if rehomed == 0 {
+		t.Fatalf("node crash fired but no tenant rehomed:\n%s", rr.Report())
+	}
+	if len(rr.Faulted.NodeEvents) == 0 {
+		t.Fatalf("node crash fired but the event log is empty:\n%s", rr.Report())
+	}
+}
+
+// RunNodeOne rejects configurations the fabric cannot model.
+func TestRunNodeOneValidation(t *testing.T) {
+	if _, err := RunNodeOne(1, Options{Nodes: 1, Partitions: 2}); err == nil {
+		t.Fatal("Nodes=1 accepted")
+	}
+	if _, err := RunNodeOne(1, Options{Nodes: 2, Partitions: 3}); err == nil {
+		t.Fatal("indivisible partition count accepted")
+	}
+}

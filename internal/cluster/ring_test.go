@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tenant-%d", i)
+	}
+	return keys
+}
+
+// TestRingDistributionBound places 1k tenants on 4 nodes with the serving
+// plane's default 1.25 bounded-load factor and checks every node stays at
+// or under the bound — i.e. max/mean load ≤ 1.25 — and no node is starved.
+func TestRingDistributionBound(t *testing.T) {
+	const nodes, tenants = 4, 1000
+	r, err := NewRing(nodes, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := (tenants*125 + nodes*100 - 1) / (nodes * 100) // ceil(1.25 * tenants / nodes)
+	homes := r.Assign(ringKeys(tenants), bound)
+	loads := make([]int, nodes)
+	for i, n := range homes {
+		if n < 0 || n >= nodes {
+			t.Fatalf("key %d assigned out-of-range node %d", i, n)
+		}
+		loads[n]++
+	}
+	mean := float64(tenants) / float64(nodes)
+	for n, l := range loads {
+		if l > bound {
+			t.Errorf("node %d load %d exceeds bound %d", n, l, bound)
+		}
+		if l == 0 {
+			t.Errorf("node %d starved", n)
+		}
+		// max/mean ≤ configured bound/mean (1.252 here: the bound ceils).
+		if ratio := float64(l) / mean; ratio > float64(bound)/mean {
+			t.Errorf("node %d max/mean %.3f exceeds bound/mean %.3f", n, ratio, float64(bound)/mean)
+		}
+	}
+}
+
+// TestRingDeterminism re-assigns the same keys with the same seed (must be
+// identical) and with a different seed (must differ somewhere — the seed
+// perturbs every hash).
+func TestRingDeterminism(t *testing.T) {
+	keys := ringKeys(1000)
+	r1, _ := NewRing(4, 64, 7)
+	r2, _ := NewRing(4, 64, 7)
+	a, b := r1.Assign(keys, 0), r2.Assign(keys, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at key %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	r3, _ := NewRing(4, 64, 8)
+	c := r3.Assign(keys, 0)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical assignments")
+	}
+}
+
+// TestRingMinimalMovementJoin grows the ring from 4 to 5 nodes (same seed,
+// unbounded walk) and checks the classic consistent-hashing property: every
+// key either keeps its node or moves to the new node — no shuffling among
+// the old nodes.
+func TestRingMinimalMovementJoin(t *testing.T) {
+	keys := ringKeys(1000)
+	r4, _ := NewRing(4, 64, 11)
+	r5, _ := NewRing(5, 64, 11)
+	before, after := r4.Assign(keys, 0), r5.Assign(keys, 0)
+	moved := 0
+	for i := range keys {
+		if before[i] != after[i] {
+			moved++
+			if after[i] != 4 {
+				t.Fatalf("key %d moved %d→%d, not to the joining node 4", i, before[i], after[i])
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the joining node")
+	}
+	if moved > len(keys)/2 {
+		t.Fatalf("join moved %d/%d keys — far beyond its arc share", moved, len(keys))
+	}
+}
+
+// TestRingMinimalMovementLeave kills one node via the alive mask and checks
+// only that node's keys re-home: survivors' keys are untouched because the
+// clockwise walk only skips the dead node's points.
+func TestRingMinimalMovementLeave(t *testing.T) {
+	keys := ringKeys(1000)
+	r, _ := NewRing(4, 64, 13)
+	before := r.Assign(keys, 0)
+	alive := []bool{true, true, false, true}
+	moved := 0
+	for i, k := range keys {
+		n := r.Home(k, alive, nil, 0)
+		if before[i] == 2 {
+			if n == 2 || n < 0 {
+				t.Fatalf("key %d still homed on the dead node (%d)", i, n)
+			}
+			moved++
+		} else if n != before[i] {
+			t.Fatalf("survivor key %d moved %d→%d on unrelated node death", i, before[i], n)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("dead node owned no keys — distribution degenerate")
+	}
+}
+
+// TestRingAllDead returns -1 only when no node is alive.
+func TestRingAllDead(t *testing.T) {
+	r, _ := NewRing(3, 8, 1)
+	if n := r.Home("x", []bool{false, false, false}, nil, 0); n != -1 {
+		t.Fatalf("all-dead ring returned node %d", n)
+	}
+	if n := r.Home("x", []bool{false, true, false}, nil, 0); n != 1 {
+		t.Fatalf("single-survivor ring returned node %d", n)
+	}
+}

@@ -75,10 +75,20 @@ func (d *Dispatcher) RegisterMOS(m *mos.MOS) {
 }
 
 // NextStreamID implements srpc.Transport: ids are minted per platform,
-// starting at 1.
+// starting at 1 (or at SetStreamBase+1 on multi-node fabrics).
 func (d *Dispatcher) NextStreamID() uint64 {
 	d.nextStream++
 	return d.nextStream
+}
+
+// SetStreamBase offsets this platform's stream-id counter. Multi-node
+// fabrics boot several platforms into one simulation kernel; executor procs
+// derive their logical ids from stream ids, and logical ids must be unique
+// across every process alive when the kernel parallelizes — so each node
+// gets a disjoint stream-id range (cluster.BootNodes assigns node<<16).
+// Call it before the first stream is minted.
+func (d *Dispatcher) SetStreamBase(base uint64) {
+	d.nextStream = base
 }
 
 // mosFor locates the mOS hosting an enclave id.

@@ -63,14 +63,15 @@ func (t *tenant) inSystem() int {
 // replica, so capacity is that single slot — unless the pin is quarantined
 // and the scheduler is falling back to spreading over the survivors.
 func (srv *Server) capacity(t *tenant) (usable, total int) {
-	if len(t.reps) == 0 {
+	reps := srv.placementSet(t)
+	if len(reps) == 0 {
 		return 0, 0
 	}
-	if srv.cfg.Policy == DeviceAffinity && !t.reps[t.idx%len(t.reps)].quarantined {
+	if srv.cfg.Policy == DeviceAffinity && !reps[t.idx%len(reps)].quarantined {
 		return 1, 1
 	}
-	total = len(t.reps)
-	for _, rep := range t.reps {
+	total = len(reps)
+	for _, rep := range reps {
 		if !rep.quarantined {
 			usable++
 		}
@@ -95,6 +96,12 @@ func (srv *Server) effectiveCap(t *tenant, now sim.Time) int {
 	c := t.q.cap
 	if usable != total {
 		c = t.q.cap * usable / total
+	}
+	if srv.cl != nil && t.rehomed && srv.cl.aliveCnt < srv.cl.nodes {
+		// Cross-node failover tightened the cluster: a re-homed tenant's cap
+		// shrinks by the lost capacity fraction, so survivors shed the load
+		// the dead node can no longer carry instead of absorbing it all.
+		c = c * srv.cl.aliveCnt / srv.cl.nodes
 	}
 	if srv.cfg.SLOAdmission && t.slo != nil && t.slo.Signal(now).Firing {
 		c /= 2

@@ -114,3 +114,47 @@ func BenchmarkServeLoadScaleOut(b *testing.B) {
 	b.ReportMetric(last.AvgBatch(), "vbatch")
 	b.ReportMetric(float64(shards), "shards")
 }
+
+// BenchmarkServeLoadMultiNode is the fabric cluster's aggregate-throughput
+// row: eight tenants, each offering the single-tenant saturation load, over
+// eight partitions and eight kernel shards split across two nodes. Tenants
+// hash onto home nodes (HashBound 1.0 forces an even four-per-node split)
+// and DeviceAffinity pins each to its own partition inside the home group,
+// so the vreq/s aggregate is the two-node scale-out of the four-partition
+// ScaleOut row — inter-node transfer costs included.
+func BenchmarkServeLoadMultiNode(b *testing.B) {
+	cfg := benchConfig(4)
+	cfg.Nodes = 2
+	cfg.Shards = 8
+	cfg.GPUPartitions = 8
+	cfg.Policy = serve.DeviceAffinity
+	cfg.HashBound = 1.0
+	cfg.Tenants = nil
+	for ti := 0; ti < 8; ti++ {
+		cfg.Tenants = append(cfg.Tenants, serve.TenantSpec{
+			Name: fmt.Sprintf("load%d", ti), Arrival: serve.FixedRate, Rate: 90000, QueueCap: 64,
+			Mix: []serve.WorkClass{{Name: "resnet50", Graph: tvm.ResNet50()}},
+		})
+	}
+	var last *serve.Result
+	for i := 0; i < b.N; i++ {
+		res, err := serve.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	var agg float64
+	var p50 float64
+	for _, tr := range last.Tenants {
+		agg += tr.GoodputRPS
+		if tr.P50NS > p50 {
+			p50 = tr.P50NS
+		}
+	}
+	b.ReportMetric(agg, "vreq/s")
+	b.ReportMetric(p50, "vp50_ns")
+	b.ReportMetric(last.AvgBatch(), "vbatch")
+	b.ReportMetric(float64(cfg.Shards), "shards")
+	b.ReportMetric(float64(cfg.Nodes), "nodes")
+}

@@ -23,7 +23,8 @@ import (
 type replica struct {
 	srv      *Server
 	t        *tenant
-	partIdx  int
+	node     int // owning fabric node (0 on a single-node plane)
+	partIdx  int // node-local partition index
 	partName string
 
 	cubin    []byte
@@ -57,7 +58,19 @@ type replica struct {
 	lanePort  *sim.Port[*batch]
 }
 
-func newReplica(p *sim.Proc, srv *Server, t *tenant, pi int, smDemand uint64) (*replica, error) {
+// plat returns the platform of the replica's owning node. Partition and SPM
+// lookups must go through it: partIdx is node-local, and every node has its
+// own SPM and "gpu-part%d" namespace.
+func (rep *replica) plat() *core.Platform {
+	return rep.srv.plats[rep.node]
+}
+
+// sess returns the tenant's session on the replica's node.
+func (rep *replica) sess() *core.Session {
+	return rep.t.sessions[rep.node]
+}
+
+func newReplica(p *sim.Proc, srv *Server, t *tenant, node, pi int, smDemand uint64) (*replica, error) {
 	kernels := []string{serveKernel}
 	seen := map[string]bool{serveKernel: true}
 	maxIn := 4
@@ -78,6 +91,7 @@ func newReplica(p *sim.Proc, srv *Server, t *tenant, pi int, smDemand uint64) (*
 	rep := &replica{
 		srv:      srv,
 		t:        t,
+		node:     node,
 		partIdx:  pi,
 		partName: fmt.Sprintf("gpu-part%d", pi),
 		cubin:    gpu.BuildCubin(kernels...),
@@ -115,7 +129,7 @@ func (rep *replica) connect(p *sim.Proc) error {
 		opts.Rings = rep.srv.cfg.Lanes
 		opts.ZCPayload = rep.inCap
 	}
-	conn, err := rep.t.sess.OpenCUDA(p, opts)
+	conn, err := rep.sess().OpenCUDA(p, opts)
 	if err != nil {
 		return err
 	}
@@ -220,8 +234,8 @@ func (rep *replica) requeue(rs []*Request) {
 // replica into the release-parking path instead.
 func (rep *replica) failover(p *sim.Proc) {
 	rep.drainPending()
-	part := rep.srv.pl.GPUs[rep.partIdx].Part
-	if err := rep.srv.pl.SPM.AwaitReady(p, part); err != nil {
+	part := rep.plat().GPUs[rep.partIdx].Part
+	if err := rep.plat().SPM.AwaitReady(p, part); err != nil {
 		rep.quarantined = true
 		return
 	}
@@ -273,10 +287,10 @@ func reconnectBackoff(base, max sim.Duration, attempt int) sim.Duration {
 // ReconnectMaxAttempts cap if the quarantine engaged mid-attempt. A
 // partition that is merely slow keeps being retried at the capped backoff.
 func (rep *replica) reconnect(p *sim.Proc) error {
-	part := rep.srv.pl.GPUs[rep.partIdx].Part
+	part := rep.plat().GPUs[rep.partIdx].Part
 	cfg := &rep.srv.cfg
 	for attempt := 1; ; attempt++ {
-		if err := rep.srv.pl.SPM.AwaitReady(p, part); err != nil {
+		if err := rep.plat().SPM.AwaitReady(p, part); err != nil {
 			return err
 		}
 		rep.srv.ctrReconnects.Inc()
@@ -296,8 +310,8 @@ func (rep *replica) reconnect(p *sim.Proc) error {
 // rejoins the pool with a fresh enclave.
 func (rep *replica) awaitRelease(p *sim.Proc) {
 	rep.drainPending()
-	part := rep.srv.pl.GPUs[rep.partIdx].Part
-	rep.srv.pl.SPM.AwaitRelease(p, part)
+	part := rep.plat().GPUs[rep.partIdx].Part
+	rep.plat().SPM.AwaitRelease(p, part)
 	// Same driver re-probe settle as the failover path.
 	p.Sleep(500 * sim.Microsecond)
 	if err := rep.reconnect(p); err != nil {
@@ -316,7 +330,7 @@ func (rep *replica) awaitRelease(p *sim.Proc) {
 func (rep *replica) reportHang(p *sim.Proc) error {
 	rep.consecTimeouts = 0
 	rep.srv.ctrHangReports.Inc()
-	rep.srv.pl.SPM.Fail(rep.srv.pl.GPUs[rep.partIdx].Part, spm.FailHang)
+	rep.plat().SPM.Fail(rep.plat().GPUs[rep.partIdx].Part, spm.FailHang)
 	return fmt.Errorf("serve: replica %s/p%d reported hang after consecutive timeouts: %w",
 		rep.t.spec.Name, rep.partIdx, srpc.ErrPeerFailed)
 }

@@ -35,6 +35,12 @@ type TenantResult struct {
 	GoodputRPS float64
 	// ShedRate is shed/offered (0 when nothing was offered).
 	ShedRate float64
+
+	// Home is the node the placement ring assigned at boot; Rehomed is set
+	// when cross-node failover moved the tenant during the run. Zero-valued
+	// on a single-node plane.
+	Home    int
+	Rehomed bool
 }
 
 // FailureSummary is one partition failure observed during the run.
@@ -85,6 +91,14 @@ type Result struct {
 
 	// DrainedAt is the virtual time the last admitted request completed.
 	DrainedAt sim.Time
+
+	// Nodes is the fabric node count (0 or 1 means single-node). SplitBrain
+	// counts no-split-brain invariant violations — dispatches to a node while
+	// another still carried the tenant's live requests — and must stay 0.
+	// NodeEvents is the deterministic cluster event log (crashes, re-homes).
+	Nodes      int
+	SplitBrain uint64
+	NodeEvents []string
 }
 
 // TenantSLO is one tenant's SLO outcome at drain time.
@@ -126,6 +140,15 @@ func (r *Result) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "serving plane: seed=%d policy=%s max-batch=%d window=%s avg-batch=%.2f\n",
 		r.Seed, r.Policy, r.MaxBatch, r.Window, r.AvgBatch())
+	if r.Nodes >= 2 {
+		fmt.Fprintf(&b, "cluster: nodes=%d split-brain=%d\n", r.Nodes, r.SplitBrain)
+		for _, t := range r.Tenants {
+			fmt.Fprintf(&b, "cluster: %-12s home=n%d rehomed=%v\n", t.Name, t.Home, t.Rehomed)
+		}
+		for _, ev := range r.NodeEvents {
+			fmt.Fprintf(&b, "node-event: %s\n", ev)
+		}
+	}
 	fmt.Fprintf(&b, "%-12s %8s %8s %6s %9s %6s %7s %7s %5s %10s %10s %10s %9s %6s\n",
 		"tenant", "offered", "admitted", "shed", "completed", "failed", "replays", "retries", "dups",
 		"p50", "p95", "p99", "goodput/s", "shed%")
@@ -235,6 +258,10 @@ func (srv *Server) result() *Result {
 		if t.offered > 0 {
 			tr.ShedRate = float64(t.shed) / float64(t.offered)
 		}
+		if srv.cl != nil {
+			tr.Home = t.home0
+			tr.Rehomed = t.rehomed
+		}
 		res.Tenants = append(res.Tenants, tr)
 		if t.slo != nil {
 			good, bad := t.slo.Totals()
@@ -251,18 +278,27 @@ func (srv *Server) result() *Result {
 			})
 		}
 	}
-	for _, rec := range srv.failures {
+	for i, rec := range srv.failures {
 		fs := FailureSummary{
 			Partition:   rec.Partition,
 			Reason:      rec.Reason,
 			FailedAt:    rec.FailedAt,
 			Quarantined: rec.Quarantined,
 		}
+		if srv.cl != nil && i < len(srv.failNodes) {
+			// Partition names repeat across nodes; qualify them.
+			fs.Partition = fmt.Sprintf("n%d/%s", srv.failNodes[i], rec.Partition)
+		}
 		if rec.ReadyAt > 0 {
 			fs.Recovered = true
 			fs.DowntimeNS = rec.Downtime()
 		}
 		res.Failures = append(res.Failures, fs)
+	}
+	if srv.cl != nil {
+		res.Nodes = srv.cl.nodes
+		res.SplitBrain = srv.cl.splitBrain
+		res.NodeEvents = append([]string(nil), srv.cl.events...)
 	}
 	return res
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 
+	"cronus/internal/cluster"
 	"cronus/internal/core"
 	"cronus/internal/sim"
 	"cronus/internal/spm"
@@ -68,9 +69,14 @@ func (srv *Server) startFailInjector() {
 
 // Run boots a fresh platform sized for cfg, serves the configured load, and
 // returns the drained Result — the one-call entry point used by
-// cmd/cronus-serve, the ServeTable experiment and the tests.
+// cmd/cronus-serve, the ServeTable experiment and the tests. With Nodes >= 2
+// it boots that many node platforms into one simulation and serves through
+// the cluster gateway instead.
 func Run(cfg Config) (*Result, error) {
 	cfg.defaults()
+	if cfg.Nodes >= 2 {
+		return runCluster(cfg)
+	}
 	pcfg := core.DefaultConfig()
 	pcfg.GPUs = cfg.GPUPartitions
 	pcfg.NPUs = 0 // the serving pool is GPU-backed; skip NPU boot time
@@ -90,6 +96,49 @@ func Run(cfg Config) (*Result, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return res, nil
+}
+
+// runCluster is the multi-node Run body: one simulation kernel, Nodes
+// independently-booted platforms (each with its own SPM, partition pool and
+// mOS instances) joined by the modeled fabric, one serving plane spanning
+// them.
+func runCluster(cfg Config) (*Result, error) {
+	pcfg := core.DefaultConfig()
+	pcfg.GPUs = cfg.GPUPartitions / cfg.Nodes
+	if pcfg.GPUs < 1 || cfg.GPUPartitions%cfg.Nodes != 0 {
+		return nil, fmt.Errorf("serve: GPUPartitions (%d) must be a positive multiple of Nodes (%d)",
+			cfg.GPUPartitions, cfg.Nodes)
+	}
+	pcfg.NPUs = 0
+	pcfg.MPS = true
+	var (
+		res     *Result
+		bodyErr error
+	)
+	k := sim.NewKernel()
+	k.Spawn("main", func(p *sim.Proc) {
+		defer k.Stop()
+		plats, err := cluster.BootNodes(p, cfg.Nodes, pcfg)
+		if err != nil {
+			bodyErr = err
+			return
+		}
+		srv, err := NewCluster(p, plats, cfg)
+		if err != nil {
+			bodyErr = err
+			return
+		}
+		res, bodyErr = srv.Serve(p)
+	})
+	if err := k.Run(); err != nil {
+		k.Shutdown()
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	k.Shutdown()
+	if bodyErr != nil {
+		return nil, fmt.Errorf("serve: %w", bodyErr)
 	}
 	return res, nil
 }

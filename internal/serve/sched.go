@@ -26,6 +26,11 @@ type batch struct {
 	lane      int
 	submitNS  sim.Duration
 	cancelled bool
+
+	// attempts is set by the sharded lane-deadline model when the batch's
+	// service time exceeds RequestTimeout: the number of watchdog attempts
+	// (MaxRetries+1) the lane burned before the batch resolved as a timeout.
+	attempts int
 }
 
 // startDispatchers spawns the per-tenant dispatcher procs.
@@ -139,25 +144,37 @@ func (srv *Server) allQuarantined(t *tenant) bool {
 	return true
 }
 
+// placementSet is the replica slice the placement policy ranges over: the
+// whole pool on a single-node plane, the tenant's home-node block on a
+// cluster (node-local placement — the global tier picks the node, the
+// existing policies pick within it).
+func (srv *Server) placementSet(t *tenant) []*replica {
+	if srv.cl == nil {
+		return t.reps
+	}
+	return t.reps[t.home*srv.cl.ppn : (t.home+1)*srv.cl.ppn]
+}
+
 // pick applies the placement policy over the tenant's live replicas.
 // Quarantined replicas are skipped everywhere; a DeviceAffinity tenant
 // whose pinned partition is quarantined degrades to least-outstanding over
 // the surviving replicas (re-placing load beats refusing it — affinity is
 // a performance preference, quarantine an availability fact).
 func (srv *Server) pick(t *tenant) *replica {
+	reps := srv.placementSet(t)
 	switch srv.cfg.Policy {
 	case DeviceAffinity:
-		rep := t.reps[t.idx%len(t.reps)]
+		rep := reps[t.idx%len(reps)]
 		if rep.quarantined {
-			return pickLeastOutstanding(t)
+			return pickLeastOutstanding(reps)
 		}
 		if rep.down {
 			return nil
 		}
 		return rep
 	case RoundRobin:
-		for i := 0; i < len(t.reps); i++ {
-			rep := t.reps[t.rrNext%len(t.reps)]
+		for i := 0; i < len(reps); i++ {
+			rep := reps[t.rrNext%len(reps)]
 			t.rrNext++
 			if !rep.down && !rep.quarantined {
 				return rep
@@ -165,7 +182,7 @@ func (srv *Server) pick(t *tenant) *replica {
 		}
 		return nil
 	case LeastOutstanding:
-		return pickLeastOutstanding(t)
+		return pickLeastOutstanding(reps)
 	default:
 		panic(fmt.Sprintf("serve: unknown policy %q", srv.cfg.Policy))
 	}
@@ -173,9 +190,9 @@ func (srv *Server) pick(t *tenant) *replica {
 
 // pickLeastOutstanding picks the usable replica with the fewest queued or
 // executing requests (ties: lowest partition index).
-func pickLeastOutstanding(t *tenant) *replica {
+func pickLeastOutstanding(reps []*replica) *replica {
 	var best *replica
-	for _, rep := range t.reps {
+	for _, rep := range reps {
 		if rep.down || rep.quarantined {
 			continue
 		}

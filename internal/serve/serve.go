@@ -44,6 +44,7 @@ package serve
 import (
 	"fmt"
 
+	"cronus/internal/cluster"
 	"cronus/internal/core"
 	"cronus/internal/gpu"
 	"cronus/internal/metrics"
@@ -220,6 +221,28 @@ type Config struct {
 	// it is an explicit opt-in so runs stay machine-invariant by default.
 	// Requires Shards >= 2.
 	Parallel bool
+
+	// Nodes, when >= 2, selects cluster mode (cluster.go): the plane spans
+	// that many simulated machines (cluster.BootNodes), each owning
+	// GPUPartitions/Nodes partitions and Shards/Nodes kernel shards, joined
+	// by a modeled fabric. Tenants hash onto home nodes (consistent hashing
+	// with bounded-load overflow) and fail over across nodes when a home
+	// pool is lost. Requires the sharded plane; Shards and GPUPartitions
+	// must divide evenly over Nodes.
+	Nodes int
+	// LinkLatency is the one-way gateway↔node propagation delay (default
+	// 5µs; must be at least the PCIe-latency kernel lookahead).
+	LinkLatency sim.Duration
+	// LinkGBps is the per-link bandwidth in GB/s (default 10).
+	LinkGBps float64
+	// HashBound is the bounded-load factor of the placement ring: no node
+	// is assigned more than ceil(HashBound · tenants / nodes) home tenants
+	// (default 1.25).
+	HashBound float64
+	// NodeFaults schedules node-level faults (offsets from serving start):
+	// node-crash, net-partition, slow-link. The chaos harness compiles its
+	// cluster schedules into this.
+	NodeFaults []cluster.Fault
 }
 
 func (c *Config) defaults() {
@@ -266,6 +289,17 @@ func (c *Config) defaults() {
 	}
 	if c.Shards >= 2 && c.Lanes < 1 {
 		c.Lanes = 2
+	}
+	if c.Nodes >= 2 {
+		if c.LinkLatency <= 0 {
+			c.LinkLatency = 5 * sim.Microsecond
+		}
+		if c.LinkGBps <= 0 {
+			c.LinkGBps = 10
+		}
+		if c.HashBound <= 0 {
+			c.HashBound = 1.25
+		}
 	}
 }
 
@@ -344,13 +378,27 @@ type tenant struct {
 	shInFl    int
 	shBacklog []*batch
 	shKept    []*Request
+
+	// Cluster-mode state (cluster.go; zero on single-node runs): one
+	// session per node, the current and initial home node, whether a
+	// failover re-hashed the tenant, and the gateway's no-split-brain
+	// ledger (liveCnt requests in flight, all on liveNode).
+	sessions []*core.Session
+	home     int
+	home0    int
+	rehomed  bool
+	liveNode int
+	liveCnt  int
 }
 
 // Server is one booted serving plane.
 type Server struct {
-	pl  *core.Platform
-	cfg Config
-	reg *metrics.Registry
+	// pl is the gateway-side platform (plats[0]); plats holds every node's
+	// platform in cluster mode (a single element otherwise).
+	pl    *core.Platform
+	plats []*core.Platform
+	cfg   Config
+	reg   *metrics.Registry
 
 	tenants []*tenant
 	nextID  uint64
@@ -369,7 +417,10 @@ type Server struct {
 	ctrReconnects  *metrics.Counter // replica reconnect attempts (failover/recycle)
 	ctrHangReports *metrics.Counter // circuit-breaker FailHang reports to the SPM
 
-	failures   []*spm.FailureRecord
+	failures []*spm.FailureRecord
+	// failNodes is the node index of each failures entry (always 0 on
+	// single-node runs) — cluster reports prefix the partition name with it.
+	failNodes  []int
 	cancelFail func()
 
 	requests []*Request // retained when cfg.KeepRequests
@@ -378,8 +429,10 @@ type Server struct {
 	// (deterministic) when cfg.Trace is set.
 	traces []otrace.RequestTrace
 
-	// sh is the sharded data plane (nil on the classic path).
+	// sh is the sharded data plane (nil on the classic path); cl is the
+	// cluster placement tier (nil on single-node runs).
 	sh *shState
+	cl *clState
 }
 
 // serveKernel is the batchable inference kernel: its cost is carried in the
@@ -408,13 +461,38 @@ func init() {
 // tenant, one accelerator mEnclave per (tenant, pooled partition), buffers
 // allocated, SPM failure records subscribed.
 func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
+	return NewCluster(p, []*core.Platform{pl}, cfg)
+}
+
+// NewCluster boots a serving plane spanning the given node platforms (one
+// element = the single-node plane New wraps). In cluster mode every tenant
+// gets a session and a replica set on every node, a home node from the
+// placement ring, and the gateway's fabric machinery is armed.
+func NewCluster(p *sim.Proc, plats []*core.Platform, cfg Config) (*Server, error) {
 	cfg.defaults()
+	if len(plats) == 0 {
+		return nil, fmt.Errorf("serve: no platforms")
+	}
+	pl := plats[0]
 	if len(cfg.Tenants) == 0 {
 		return nil, fmt.Errorf("serve: no tenants configured")
 	}
-	if cfg.GPUPartitions > len(pl.GPUs) {
-		return nil, fmt.Errorf("serve: %d partitions requested, platform has %d GPUs",
-			cfg.GPUPartitions, len(pl.GPUs))
+	partsPerNode := cfg.GPUPartitions
+	if len(plats) >= 2 || cfg.Nodes >= 2 {
+		if cfg.Nodes != len(plats) {
+			return nil, fmt.Errorf("serve: Config.Nodes is %d but %d node platforms were booted",
+				cfg.Nodes, len(plats))
+		}
+		if err := validateCluster(cfg); err != nil {
+			return nil, err
+		}
+		partsPerNode = cfg.GPUPartitions / cfg.Nodes
+	}
+	for n, npl := range plats {
+		if partsPerNode > len(npl.GPUs) {
+			return nil, fmt.Errorf("serve: %d partitions requested on node %d, platform has %d GPUs",
+				partsPerNode, n, len(npl.GPUs))
+		}
 	}
 	if err := validateSharded(cfg); err != nil {
 		return nil, err
@@ -427,6 +505,7 @@ func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
 	reg.Enable()
 	srv := &Server{
 		pl:             pl,
+		plats:          plats,
 		cfg:            cfg,
 		reg:            reg,
 		drainCond:      sim.NewCond(pl.K),
@@ -434,6 +513,13 @@ func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
 		ctrRetries:     reg.Counter("serve.retries"),
 		ctrReconnects:  reg.Counter("serve.reconnect.attempts"),
 		ctrHangReports: reg.Counter("serve.hang_reports"),
+	}
+	if len(plats) >= 2 {
+		// The placement tier must exist before shBoot: the partition→shard
+		// mapping groups each node's partitions onto its shard block.
+		if err := srv.clBoot(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Shards >= 2 {
 		// Partition the kernel and anchor the cross-shard ports before any
@@ -490,11 +576,16 @@ func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
 			}
 			t.classes = append(t.classes, cl)
 		}
-		sess, err := pl.NewSession(p, spec.Name)
-		if err != nil {
-			return nil, fmt.Errorf("serve: session for %s: %w", spec.Name, err)
+		// One session per node: the replica block on node n is owned by the
+		// tenant's session on that node's platform (t.sess aliases node 0).
+		for n := 0; n < len(plats); n++ {
+			sess, err := plats[n].NewSession(p, spec.Name)
+			if err != nil {
+				return nil, fmt.Errorf("serve: session for %s on node %d: %w", spec.Name, n, err)
+			}
+			t.sessions = append(t.sessions, sess)
 		}
-		t.sess = sess
+		t.sess = t.sessions[0]
 		t.q = newQueue(pl.K, spec.QueueCap,
 			reg.Gauge("serve.tenant."+spec.Name+".queue_depth"))
 		t.latHist = reg.Histogram("serve.tenant." + spec.Name + ".latency_ns")
@@ -505,39 +596,56 @@ func New(p *sim.Proc, pl *core.Platform, cfg Config) (*Server, error) {
 			t.shAnchor = srv.shSpawnAnchor(0, lidTenantAnchor+uint64(ti),
 				"serve-anchor-"+spec.Name)
 		}
-		for pi := 0; pi < cfg.GPUPartitions; pi++ {
-			rep, err := newReplica(p, srv, t, pi, smDemand)
-			if err != nil {
-				return nil, fmt.Errorf("serve: replica %s/gpu-part%d: %w", spec.Name, pi, err)
+		if srv.cl != nil {
+			srv.clAssignHome(t)
+		}
+		for n := 0; n < len(plats); n++ {
+			for pi := 0; pi < partsPerNode; pi++ {
+				rep, err := newReplica(p, srv, t, n, pi, smDemand)
+				if err != nil {
+					return nil, fmt.Errorf("serve: replica %s/n%d/gpu-part%d: %w", spec.Name, n, pi, err)
+				}
+				t.reps = append(t.reps, rep)
 			}
-			t.reps = append(t.reps, rep)
 		}
 		srv.tenants = append(srv.tenants, t)
 	}
 	// Subscribe to SPM failure records: mark every replica on the failed
 	// partition down the instant the proceed-trap fires, so the scheduler
-	// routes around it while its mOS restarts.
-	srv.cancelFail = pl.SPM.OnFailure(func(rec *spm.FailureRecord) {
-		srv.failures = append(srv.failures, rec)
-		for _, t := range srv.tenants {
-			for _, rep := range t.reps {
-				if rep.partName == rec.Partition {
-					rep.down = true
-					if rec.Quarantined {
-						// Crash-loop policy tripped: the scheduler must
-						// stop waiting on this partition, not route
-						// around a transient restart.
-						rep.quarantined = true
-					}
-					if srv.sh != nil {
-						srv.shReplicaDown(rep)
-					} else {
-						rep.cond.Broadcast() // wake an idle worker into failover
+	// routes around it while its mOS restarts. Every node's SPM is its own
+	// failure domain, and partition names repeat across nodes ("gpu-part0"
+	// exists on each), so the subscription matches (node, partition) pairs.
+	cancels := make([]func(), 0, len(plats))
+	for n := range plats {
+		n := n
+		cancels = append(cancels, plats[n].SPM.OnFailure(func(rec *spm.FailureRecord) {
+			srv.failures = append(srv.failures, rec)
+			srv.failNodes = append(srv.failNodes, n)
+			for _, t := range srv.tenants {
+				for _, rep := range t.reps {
+					if rep.node == n && rep.partName == rec.Partition {
+						rep.down = true
+						if rec.Quarantined {
+							// Crash-loop policy tripped: the scheduler must
+							// stop waiting on this partition, not route
+							// around a transient restart.
+							rep.quarantined = true
+						}
+						if srv.sh != nil {
+							srv.shReplicaDown(rep)
+						} else {
+							rep.cond.Broadcast() // wake an idle worker into failover
+						}
 					}
 				}
 			}
+		}))
+	}
+	srv.cancelFail = func() {
+		for _, c := range cancels {
+			c()
 		}
-	})
+	}
 	return srv, nil
 }
 

@@ -43,7 +43,11 @@ package serve
 // order at snapshot time.
 //
 // Faults. The only failure source the sharded plane admits is the FailAt
-// injector (Supervision and RequestTimeout are validated out), and the
+// injector (Supervision and HangReportAfter are validated out; a
+// RequestTimeout is modeled as a lane deadline — a batch whose service time
+// exceeds it burns MaxRetries+1 timeout windows plus the doubling backoff
+// gaps on its lane and completes with the typed TimeoutError, matching the
+// classic watchdog's accounting), and the
 // injector sequentializes the kernel before pulling the trigger, so every
 // failover runs single-threaded: in-flight batches on the dead replica are
 // cancelled (their pending lane/completion events become no-ops) and their
@@ -54,6 +58,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"cronus/internal/cluster"
 	"cronus/internal/sim"
 	"cronus/internal/spm"
 )
@@ -66,6 +71,8 @@ const (
 	lidFailInjector uint64 = 7       // the FailAt injector
 	lidTenantAnchor uint64 = 0x100   // + tenant index (host shard)
 	lidShardAnchor  uint64 = 0x200   // + shard id (device shards)
+	lidNodeFault    uint64 = 0x300   // + node index (cluster fault procs)
+	lidGateway      uint64 = 0x400   // the cluster gateway anchor (host shard)
 	lidClosedLoop   uint64 = 0x10000 // * (tenant index + 1) + client + 1
 )
 
@@ -87,6 +94,45 @@ type shState struct {
 	compl   *sim.Port[*batch]
 }
 
+// ShardLayoutError is the typed usage error for a shard/partition/node
+// layout that cannot be mapped cleanly: partition counts that do not divide
+// across shards, or shard/partition counts that do not divide across nodes.
+// CLIs report it and exit with a usage status instead of booting a lopsided
+// plane.
+type ShardLayoutError struct {
+	Shards     int
+	Partitions int
+	Nodes      int
+}
+
+// Error implements error.
+func (e *ShardLayoutError) Error() string {
+	if e.Nodes >= 2 {
+		return fmt.Sprintf("serve: layout -shards %d -partitions %d -nodes %d: shards and partitions must each be positive multiples of the node count",
+			e.Shards, e.Partitions, e.Nodes)
+	}
+	return fmt.Sprintf("serve: layout -shards %d -partitions %d: the partition count must be a positive multiple of the shard count",
+		e.Shards, e.Partitions)
+}
+
+// CheckShardLayout validates a CLI-facing shard/partition/node combination:
+// with shards >= 2 the partitions must divide evenly over the shards, and
+// with nodes >= 2 both shards and partitions must divide evenly over the
+// nodes. Library configs are not forced through this (benchmarks legitimately
+// run one partition over many shards); it exists so command-line layouts fail
+// fast with a typed usage error instead of producing a surprising mapping.
+func CheckShardLayout(shards, partitions, nodes int) error {
+	if nodes >= 2 {
+		if shards < 2 || shards%nodes != 0 || partitions < 1 || partitions%nodes != 0 {
+			return &ShardLayoutError{Shards: shards, Partitions: partitions, Nodes: nodes}
+		}
+	}
+	if shards >= 2 && (partitions < 1 || partitions%shards != 0) {
+		return &ShardLayoutError{Shards: shards, Partitions: partitions, Nodes: nodes}
+	}
+	return nil
+}
+
 // validateSharded rejects configurations the sharded plane does not model.
 // The checks run after defaults(), on every New.
 func validateSharded(cfg Config) error {
@@ -101,8 +147,6 @@ func validateSharded(cfg Config) error {
 		return fmt.Errorf("serve: the sharded data plane does not support Trace (use Shards <= 1)")
 	case cfg.Supervision != nil:
 		return fmt.Errorf("serve: the sharded data plane does not support Supervision (use Shards <= 1)")
-	case cfg.RequestTimeout > 0:
-		return fmt.Errorf("serve: the sharded data plane does not support RequestTimeout (use Shards <= 1)")
 	case cfg.HangReportAfter > 0:
 		return fmt.Errorf("serve: the sharded data plane does not support HangReportAfter (use Shards <= 1)")
 	}
@@ -132,12 +176,40 @@ func (srv *Server) shBoot() {
 		hop:     hop,
 		anchors: make([]*sim.Proc, 1+srv.cfg.Shards),
 	}
-	for pi := 0; pi < srv.cfg.GPUPartitions; pi++ {
-		srv.pl.GPUs[pi].Part.SetShard(1 + pi%srv.cfg.Shards)
+	if srv.cl != nil {
+		// Cluster layout: node n's partitions map onto its own shard block
+		// [1+n·spn, 1+(n+1)·spn), so no kernel shard ever hosts partitions
+		// of two nodes and a node crash quiesces a whole shard group.
+		for n := 0; n < srv.cl.nodes; n++ {
+			for pi := 0; pi < srv.cl.ppn; pi++ {
+				srv.plats[n].GPUs[pi].Part.SetShard(1 + n*srv.cl.spn + pi%srv.cl.spn)
+			}
+		}
+	} else {
+		for pi := 0; pi < srv.cfg.GPUPartitions; pi++ {
+			srv.pl.GPUs[pi].Part.SetShard(1 + pi%srv.cfg.Shards)
+		}
 	}
 	for s := 1; s <= srv.cfg.Shards; s++ {
 		srv.sh.anchors[s] = srv.shSpawnAnchor(s, lidShardAnchor+uint64(s),
 			fmt.Sprintf("serve-anchor-shard%d", s))
+	}
+	if srv.cl != nil {
+		// The gateway anchor keys the heal-queue flush timers, and each node
+		// gets its own completion port whose hop is the fabric link latency:
+		// a completion crossing node→gateway pays the propagation delay in
+		// the port hop and the serialization/bandwidth cost in submitNS.
+		srv.cl.gw = srv.shSpawnAnchor(0, lidGateway, "serve-gateway")
+		srv.cl.compl = make([]*sim.Port[*batch], srv.cl.nodes)
+		for n := 0; n < srv.cl.nodes; n++ {
+			n := n
+			srv.cl.compl[n] = sim.NewPort[*batch](k, 0,
+				fmt.Sprintf("serve-compl-n%d", n), srv.cfg.LinkLatency)
+			srv.cl.compl[n].SetHandler(func(at sim.Time, b *batch) {
+				srv.clComplArrive(n, at, b)
+			})
+		}
+		return
 	}
 	srv.sh.compl = sim.NewPort[*batch](k, 0, "serve-completions", hop)
 	srv.sh.compl.SetHandler(srv.shDone)
@@ -156,9 +228,16 @@ func (srv *Server) shSpawnAnchor(shard int, lid uint64, name string) *sim.Proc {
 // port to a replica being built (before its first connect).
 func (srv *Server) shInitReplica(rep *replica) {
 	rep.lanes = make([]laneState, srv.cfg.Lanes)
-	shard := srv.pl.GPUs[rep.partIdx].Part.Shard()
-	rep.lanePort = sim.NewPort[*batch](srv.pl.K,
-		shard, fmt.Sprintf("serve-lane-%s-p%d", rep.t.spec.Name, rep.partIdx), srv.sh.hop)
+	shard := rep.plat().GPUs[rep.partIdx].Part.Shard()
+	hop := srv.sh.hop
+	name := fmt.Sprintf("serve-lane-%s-p%d", rep.t.spec.Name, rep.partIdx)
+	if srv.cl != nil {
+		// Gateway→node crossings ride the fabric, not PCIe: the port hop is
+		// the inter-node link latency (validated ≥ the kernel lookahead).
+		hop = srv.cfg.LinkLatency
+		name = fmt.Sprintf("serve-lane-%s-n%d-p%d", rep.t.spec.Name, rep.node, rep.partIdx)
+	}
+	rep.lanePort = sim.NewPort[*batch](srv.pl.K, shard, name, hop)
 	rep.lanePort.SetHandler(func(at sim.Time, b *batch) {
 		srv.shLaneArrive(rep, at, b)
 	})
@@ -175,6 +254,9 @@ func (srv *Server) shServe(p *sim.Proc) (*Result, error) {
 	srv.shStartLoad(p)
 	if srv.cfg.FailAt > 0 {
 		srv.startFailInjector()
+	}
+	if srv.cl != nil {
+		srv.clArmFaults(p)
 	}
 	if srv.cfg.Parallel {
 		srv.pl.K.Parallelize()
@@ -361,6 +443,13 @@ func (srv *Server) shCloseBatch(now sim.Time, t *tenant) {
 // quarantined, which completes the requests with the typed error.
 func (srv *Server) shDispatch(now sim.Time, t *tenant, b *batch) {
 	rep := srv.pick(t)
+	if rep == nil && srv.cl != nil && srv.clHomeUnusable(t) {
+		// The tenant's whole home-node placement set is quarantined: re-hash
+		// onto a surviving node before giving up on the batch.
+		if srv.clRehome(now, t, "pool-quarantined") {
+			rep = srv.pick(t)
+		}
+	}
 	if rep == nil {
 		if srv.allQuarantined(t) {
 			err := &PoolQuarantinedError{Tenant: t.spec.Name}
@@ -372,10 +461,32 @@ func (srv *Server) shDispatch(now sim.Time, t *tenant, b *batch) {
 		t.shBacklog = append(t.shBacklog, b)
 		return
 	}
+	if srv.cl != nil && srv.cl.fab.PartitionedAt(rep.node, now) {
+		// The gateway→node link is partitioned: the send fails with the
+		// typed fabric error instead of silently vanishing into the cut.
+		err := &cluster.NetPartitionedError{Node: rep.node, Tenant: t.spec.Name}
+		for _, r := range b.reqs {
+			srv.shFinish(t, r, now, err)
+		}
+		return
+	}
 	b.rep = rep
 	b.lane = rep.nextLane % len(rep.lanes)
 	rep.nextLane++
 	b.submitNS = srv.pl.Costs.SpanCheck + srv.pl.Costs.RingPush
+	if srv.cl != nil {
+		// Fabric transfer: serialization + bandwidth (+ slow-link penalty)
+		// for the batch payload; the base propagation delay rides the port
+		// hop. The no-split-brain ledger also advances here: a dispatch to
+		// a node other than the one carrying the tenant's live requests is
+		// a split brain.
+		b.submitNS += srv.cl.fab.TransferNS(rep.node, b.class.inBytes*len(b.reqs), now)
+		if t.liveCnt > 0 && t.liveNode != rep.node {
+			srv.cl.splitBrain++
+		}
+		t.liveNode = rep.node
+		t.liveCnt += len(b.reqs)
+	}
 	rep.outstanding += len(b.reqs)
 	rep.inflightB = append(rep.inflightB, b)
 	t.shInFl += len(b.reqs)
@@ -398,6 +509,24 @@ func (srv *Server) shLaneArrive(rep *replica, at sim.Time, b *batch) {
 		c.RingPoll + c.SpanCheck + 2*c.RPCDispatch +
 		c.DMA(b.class.inBytes*n) +
 		c.KernelDispatch + b.class.itemNS*sim.Duration(n)
+	if to := srv.cfg.RequestTimeout; to > 0 && service > to {
+		// Lane-deadline model of the classic watchdog: a batch whose service
+		// exceeds the timeout occupies its lane for MaxRetries+1 timeout
+		// windows plus the doubling backoff gaps, then completes with the
+		// typed TimeoutError. The accounting is applied host-side in shDone.
+		attempts := srv.cfg.MaxRetries + 1
+		total := sim.Duration(0)
+		backoff := srv.cfg.RetryBackoff
+		for i := 0; i < attempts; i++ {
+			total += to
+			if i < attempts-1 {
+				total += backoff
+				backoff *= 2
+			}
+		}
+		b.attempts = attempts
+		service = total
+	}
 	ln := &rep.lanes[b.lane]
 	start := at
 	if ln.busyUntil > start {
@@ -408,12 +537,16 @@ func (srv *Server) shLaneArrive(rep *replica, at sim.Time, b *batch) {
 	ln.batches++
 	ln.reqs += uint64(n)
 	ln.busyNS += service
-	anchor := srv.sh.anchors[srv.pl.GPUs[rep.partIdx].Part.Shard()]
+	anchor := srv.sh.anchors[rep.plat().GPUs[rep.partIdx].Part.Shard()]
+	compl := srv.sh.compl
+	if srv.cl != nil {
+		compl = srv.cl.compl[rep.node]
+	}
 	anchor.CallAt(done, func() {
 		if b.cancelled {
 			return
 		}
-		srv.sh.compl.Send(anchor, b)
+		compl.Send(anchor, b)
 	})
 }
 
@@ -427,8 +560,28 @@ func (srv *Server) shDone(at sim.Time, b *batch) {
 	b.rep.outstanding -= len(b.reqs)
 	b.rep.dropInflight(b)
 	t.shInFl -= len(b.reqs)
+	if srv.cl != nil {
+		t.liveCnt -= len(b.reqs)
+	}
+	var err error
+	if b.attempts > 0 {
+		// The lane-deadline model resolved this batch as a watchdog timeout:
+		// apply the classic plane's accounting — one timeout per attempt,
+		// one retry record per attempt after the first — host-side, where
+		// the totals live.
+		err = &TimeoutError{Tenant: t.spec.Name, Attempts: b.attempts}
+		t.timeouts += uint64(b.attempts)
+		srv.ctrTimeouts.Add(uint64(b.attempts))
+		if retries := b.attempts - 1; retries > 0 {
+			t.retried += uint64(retries * len(b.reqs))
+			srv.ctrRetries.Add(uint64(retries))
+			for _, r := range b.reqs {
+				r.Retries += retries
+			}
+		}
+	}
 	for _, r := range b.reqs {
-		srv.shFinish(t, r, at, nil)
+		srv.shFinish(t, r, at, err)
 	}
 }
 
@@ -483,6 +636,9 @@ func (srv *Server) shReplicaDown(rep *replica) {
 			b.cancelled = true
 			rep.outstanding -= len(b.reqs)
 			t.shInFl -= len(b.reqs)
+			if srv.cl != nil {
+				t.liveCnt -= len(b.reqs)
+			}
 			for _, r := range b.reqs {
 				r.Replays++
 				t.replayed++
@@ -495,8 +651,11 @@ func (srv *Server) shReplicaDown(rep *replica) {
 	for i := range rep.lanes {
 		rep.lanes[i].busyUntil = 0
 	}
-	srv.pl.K.Spawn(fmt.Sprintf("serve-failover-%s-p%d", t.spec.Name, rep.partIdx),
-		func(p *sim.Proc) { srv.shRecover(p, rep) })
+	name := fmt.Sprintf("serve-failover-%s-p%d", t.spec.Name, rep.partIdx)
+	if srv.cl != nil {
+		name = fmt.Sprintf("serve-failover-%s-n%d-p%d", t.spec.Name, rep.node, rep.partIdx)
+	}
+	srv.pl.K.Spawn(name, func(p *sim.Proc) { srv.shRecover(p, rep) })
 }
 
 // shRecover is the recovery proc body: wait for the SPM to finish the
@@ -506,8 +665,8 @@ func (srv *Server) shReplicaDown(rep *replica) {
 // the replica and, when it was the last usable one, fails the backlog with
 // the typed pool error so the drain is never stranded.
 func (srv *Server) shRecover(p *sim.Proc, rep *replica) {
-	part := srv.pl.GPUs[rep.partIdx].Part
-	if err := srv.pl.SPM.AwaitReady(p, part); err != nil {
+	part := rep.plat().GPUs[rep.partIdx].Part
+	if err := rep.plat().SPM.AwaitReady(p, part); err != nil {
 		srv.shQuarantined(p, rep)
 		return
 	}
@@ -527,6 +686,13 @@ func (srv *Server) shRecover(p *sim.Proc, rep *replica) {
 func (srv *Server) shQuarantined(p *sim.Proc, rep *replica) {
 	rep.quarantined = true
 	t := rep.t
+	if srv.cl != nil && rep.node == t.home && srv.clHomeUnusable(t) {
+		// The quarantine emptied the tenant's home placement set: re-home to
+		// a surviving node, which also re-drives the backlog there.
+		if srv.clRehome(p.Now(), t, "pool-quarantined") {
+			return
+		}
+	}
 	if !srv.allQuarantined(t) {
 		return
 	}

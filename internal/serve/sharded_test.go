@@ -239,7 +239,6 @@ func TestShardedValidation(t *testing.T) {
 		mutate func(*serve.Config)
 	}{
 		{"trace", func(c *serve.Config) { c.Trace = true }},
-		{"timeout", func(c *serve.Config) { c.RequestTimeout = 500 * sim.Microsecond }},
 		{"hang-report", func(c *serve.Config) { c.HangReportAfter = 2 }},
 		{"bench-class", func(c *serve.Config) {
 			nn := rodinia.NN()
@@ -276,5 +275,69 @@ func TestShardedBatchCap(t *testing.T) {
 	}
 	if ab := res.AvgBatch(); ab < 7.5 {
 		t.Errorf("avg batch %.2f, want >= 7.5 (the 80µs window must admit 8 arrivals at 90k req/s)", ab)
+	}
+}
+
+// TestShardedRequestTimeout pins the lane-deadline model (PR 8): a
+// RequestTimeout smaller than every batch's service time makes every request
+// resolve as a watchdog timeout with the classic accounting — Attempts =
+// MaxRetries+1, timeouts counted per attempt, retries per attempt after the
+// first — while conservation still holds.
+func TestShardedRequestTimeout(t *testing.T) {
+	cfg := shardedConfig()
+	cfg.RequestTimeout = 10 * sim.Microsecond // far below resnet service time
+	cfg.MaxRetries = 2
+	cfg.RetryBackoff = 5 * sim.Microsecond
+	res, err := serve.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Tenants {
+		if tr.Completed != 0 {
+			t.Errorf("tenant %s: %d requests completed under an unreachable timeout", tr.Name, tr.Completed)
+		}
+		if tr.Admitted != tr.Failed {
+			t.Errorf("tenant %s: conservation broken: admitted %d != failed %d", tr.Name, tr.Admitted, tr.Failed)
+		}
+		if tr.Admitted > 0 && tr.Timeouts == 0 {
+			t.Errorf("tenant %s: no timeouts counted", tr.Name)
+		}
+	}
+	attempts := cfg.MaxRetries + 1
+	for _, r := range res.Requests {
+		te, ok := r.Err.(*serve.TimeoutError)
+		if !ok {
+			t.Fatalf("request %d: error %v, want *TimeoutError", r.ID, r.Err)
+		}
+		if te.Attempts != attempts {
+			t.Fatalf("request %d: %d attempts, want %d", r.ID, te.Attempts, attempts)
+		}
+		if r.Retries != attempts-1 {
+			t.Fatalf("request %d: %d retries, want %d", r.ID, r.Retries, attempts-1)
+		}
+	}
+}
+
+// TestShardedTimeoutInert pins the other half of the lane-deadline model: a
+// RequestTimeout no batch ever exceeds must leave the run byte-identical to
+// the same config without one.
+func TestShardedTimeoutInert(t *testing.T) {
+	base := shardedConfig()
+	ref, err := serve.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shardedConfig()
+	cfg.RequestTimeout = 10 * sim.Second // no lane ever serves this long
+	res, err := serve.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Report() != res.Report() {
+		t.Errorf("an unreachable RequestTimeout changed the report\n--- without ---\n%s--- with ---\n%s",
+			ref.Report(), res.Report())
+	}
+	if requestsDigest(t, ref) != requestsDigest(t, res) {
+		t.Errorf("an unreachable RequestTimeout changed the per-request records")
 	}
 }
