@@ -73,12 +73,15 @@ doc-lint:
 # Short deterministic chaos soak: 3 seeds over all fault kinds, plus a
 # targeted supervision soak (persistent-hang wedges caught by the heartbeat
 # watchdog, crash loops ending in quarantine), plus a 2-node cluster soak
-# (node crashes, net-partitions, slow links over the fabric), every report
-# replay-verified byte-for-byte. The full soak is `go run ./cmd/cronus-chaos`.
+# (node crashes, net-partitions, slow links over the fabric), plus an
+# attestation soak (ticket storms and stale-measurement revocations against
+# the admission gate), every report replay-verified byte-for-byte. The full
+# soak is `go run ./cmd/cronus-chaos`.
 chaos:
 	$(GO) run ./cmd/cronus-chaos -seeds 3 -verify
 	$(GO) run ./cmd/cronus-chaos -seeds 2 -kinds persistent-hang,crash-loop -faults 2 -verify
 	$(GO) run ./cmd/cronus-chaos -nodes 2 -partitions 4 -tenants 4 -seeds 3 -verify
+	$(GO) run ./cmd/cronus-chaos -nodes 2 -partitions 4 -tenants 4 -kinds attest-storm,stale-measurement -seeds 3 -verify
 
 # Causal-tracing guards: the export-determinism and attribution-conservation
 # tests, plus the zero-alloc disabled-path benchmarks (their assertions run
@@ -102,6 +105,7 @@ ci:
 	$(GO) run ./cmd/cronus-chaos -seeds 3 -verify
 	$(GO) run ./cmd/cronus-chaos -seeds 2 -kinds persistent-hang,crash-loop -faults 2 -verify
 	$(GO) run ./cmd/cronus-chaos -nodes 2 -partitions 4 -tenants 4 -seeds 3 -verify
+	$(GO) run ./cmd/cronus-chaos -nodes 2 -partitions 4 -tenants 4 -kinds attest-storm,stale-measurement -seeds 3 -verify
 	$(MAKE) bench-gate BENCH_THRESHOLD=1.0
 
 # Pretty-printed tables for all experiments.

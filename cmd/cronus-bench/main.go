@@ -137,6 +137,13 @@ func experimentsList() []experiment {
 			}
 			return experiments.RenderServeBatchSweep(rows), nil
 		}},
+		{"attest", "Attestation: ticket resumption vs cold quote verification", func() (fmt.Stringer, error) {
+			rows, err := experiments.AttestAmortization(nil)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RenderAttestAmortization(rows), nil
+		}},
 		{"chaos", "Chaos soak: fault kinds vs recovery machinery", func() (fmt.Stringer, error) {
 			rows, err := experiments.ChaosSweep(5)
 			if err != nil {

@@ -25,13 +25,20 @@
 //	cronus-chaos -trace -seeds 3 -v      # causal spans + flight-recorder dumps
 //	cronus-chaos -nodes 2 -partitions 4 -tenants 4    # node-level cluster soak
 //	cronus-chaos -nodes 2 -partitions 4 -kinds node-crash -verify
+//	cronus-chaos -nodes 2 -partitions 4 -tenants 4 -kinds attest-storm,stale-measurement
 //
 // With -nodes >= 2 the campaign shifts to the multi-node fabric: every seed
 // runs a cluster serving plane (sharded data plane spanning the nodes), the
 // fault mix comes from the node-level kinds (node-crash, net-partition,
 // slow-link), and the invariants add cross-node failover and no-split-brain
-// on top of conservation and typed errors. -partitions must divide evenly
-// over -nodes; -trace only applies to single-node campaigns.
+// on top of conservation and typed errors. The attestation kinds
+// (attest-storm, stale-measurement) also ride the cluster campaign: naming
+// either one in -kinds turns the session-ticket admission gate and the
+// continuous re-measurement prober on in both the baseline and the faulted
+// run, and adds the attestation invariants — typed *attest.RevokedError
+// sheds only, the revoked partition quarantined with reason "revoked", and
+// zero completions after a revocation. -partitions must divide evenly over
+// -nodes; -trace only applies to single-node campaigns.
 package main
 
 import (
@@ -50,7 +57,7 @@ func main() {
 	partitions := flag.Int("partitions", 2, "GPU partitions in the pool")
 	windowMS := flag.Int("window-ms", 10, "load window per run, virtual ms")
 	faults := flag.Int("faults", 3, "faults compiled per schedule")
-	kinds := flag.String("kinds", "", "comma-separated fault kinds (default all): crash,ring-corrupt,device-hang,attest-fail,persistent-hang,crash-loop; with -nodes >= 2: node-crash,net-partition,slow-link")
+	kinds := flag.String("kinds", "", "comma-separated fault kinds (default all): crash,ring-corrupt,device-hang,attest-fail,persistent-hang,crash-loop; with -nodes >= 2: node-crash,net-partition,slow-link,attest-storm,stale-measurement")
 	nodes := flag.Int("nodes", 0, "fabric nodes (0 = single-node chaos; >= 2 soaks the cluster plane with node-level faults)")
 	verify := flag.Bool("verify", false, "re-run every seed and byte-compare the reports (replay contract)")
 	verbose := flag.Bool("v", false, "print the full report of every seed, not just failures")

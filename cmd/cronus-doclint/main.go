@@ -32,6 +32,7 @@ var defaultDirs = []string{
 	"internal/spm",
 	"internal/chaos",
 	"internal/cluster",
+	"internal/attest",
 	"internal/mos",
 	"internal/trace",
 	"internal/metrics",

@@ -20,6 +20,8 @@
 //	cronus-serve -partitions 8 -shards 4 -lanes 4 -parallel  # ... parallel shard execution
 //	cronus-serve -nodes 2 -partitions 8 -shards 8            # two-node fabric cluster
 //	cronus-serve -nodes 2 -partitions 8 -shards 8 -node-crash-ms 11  # ... with a node crash
+//	cronus-serve -attest-tickets                  # attestation admission gate
+//	cronus-serve -attest-tickets -attest-reprobe-us 500      # ... + re-measurement prober
 //
 // -shards 0 (the default) and -shards 1 run the classic sequential plane
 // byte-identically. With -shards >= 2 the run moves to the sharded data
@@ -85,7 +87,20 @@ func main() {
 		"inter-node link bandwidth, GB/s (0 = default 10)")
 	nodeCrashMS := flag.Int("node-crash-ms", 0,
 		"crash node 1 at this virtual ms (0 = none; requires -nodes >= 2)")
+	attTickets := flag.Bool("attest-tickets", false,
+		"gate every dispatch on attestation, with session-ticket resumption and cached quote verification")
+	attTTLUS := flag.Int("attest-ticket-ttl-us", 0,
+		"session-ticket lifetime, virtual µs (0 = default 5000; requires -attest-tickets)")
+	attReprobeUS := flag.Int("attest-reprobe-us", 0,
+		"continuous re-measurement probe interval, virtual µs (0 = prober off; requires -attest-tickets)")
+	attCache := flag.Int("attest-cache", 0,
+		"session-ticket cache capacity (0 = default 1024; requires -attest-tickets)")
 	flag.Parse()
+
+	if !*attTickets && (*attTTLUS > 0 || *attReprobeUS > 0 || *attCache > 0) {
+		fmt.Fprintln(os.Stderr, "cronus-serve: -attest-ticket-ttl-us/-attest-reprobe-us/-attest-cache require -attest-tickets")
+		os.Exit(2)
+	}
 
 	if err := serve.CheckShardLayout(*shards, *partitions, *nodes); err != nil {
 		fmt.Fprintln(os.Stderr, "cronus-serve:", err)
@@ -121,6 +136,18 @@ func main() {
 	}
 	if *failAtMS > 0 {
 		cfg.FailAt = sim.Duration(*failAtMS) * sim.Millisecond
+	}
+	if *attTickets {
+		cfg.AttestTickets = true
+		if *attTTLUS > 0 {
+			cfg.AttestTicketTTL = sim.Duration(*attTTLUS) * sim.Microsecond
+		}
+		if *attReprobeUS > 0 {
+			cfg.AttestReprobe = sim.Duration(*attReprobeUS) * sim.Microsecond
+		}
+		if *attCache > 0 {
+			cfg.AttestCacheCap = *attCache
+		}
 	}
 	if *traceOut != "" {
 		cfg.Trace = true
@@ -172,6 +199,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(res.Report())
+	if *attTickets {
+		// The admission-gate counters: how much of the dispatch volume rode
+		// a session-ticket resume (one MAC) versus a cold quote verification.
+		c := res.Metrics.Counters
+		fmt.Printf("attestation: cold=%d resumed=%d ticket-hits=%d verify-hits=%d coalesced=%d probes=%d revocations=%d\n",
+			c["serve.attest.cold"], c["serve.attest.resumed"],
+			c["attest.tickets.hits"], c["attest.verify.hits"], c["attest.verify.coalesced"],
+			c["serve.attest.probes"], c["serve.attest.revocations"])
+	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

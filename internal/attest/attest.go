@@ -1,12 +1,39 @@
-// Package attest implements CRONUS's attestation machinery (§IV-A): the
-// platform root of trust, the attestation-key chain, the dynamic platform
-// report covering mOSes, mEnclaves, the device tree and accelerator keys,
-// local attestation between mEnclaves, Diffie-Hellman ownership secrets, and
-// MAC-protected messaging over untrusted memory.
+// Package attest implements CRONUS's attestation machinery (§IV-A), from
+// the one-shot primitives up to the amortization layer that makes
+// attestation cheap enough to gate every session at serving scale.
+//
+// # Primitives
+//
+// The platform root of trust signs an attestation key (AtK) that a trusted
+// attestation Service endorses; the SPM uses the AtK to sign dynamic
+// platform Reports covering mOS images, mEnclave measurements, the device
+// tree and accelerator keys (each endorsed by its VendorCA). A client-side
+// Verifier checks the complete chain against the Expected measurements it
+// pinned from the application manifest. Local attestation between
+// co-located mEnclaves goes through the SPM-held LocalSealer, and
+// Channel/DHKey provide MAC-protected sequenced messaging plus the
+// Diffie-Hellman ownership secret for everything crossing untrusted memory.
+//
+// # Attestation at scale
+//
+// Three pieces amortize the per-session cost (DESIGN.md §15):
+//
+//   - TicketCache: a successful dynamic attestation mints a sealed,
+//     epoch-bound Ticket keyed by (tenant, partition measurement); later
+//     sessions Resume on the ticket and skip the quote round-trip, with
+//     deterministic virtual-time TTL expiry and an LRU bound.
+//   - VerifyCache: quote verifications are memoized per (measurement,
+//     epoch) and identical in-flight verifications coalesce single-flight
+//     style, so admission cost is shared across tenants hitting the same
+//     partition.
+//   - Revocation: when continuous re-measurement catches a stale or
+//     flipped measurement, RevokeMeasurement purges the partition's
+//     tickets and later lookups shed with the typed *RevokedError.
 //
 // All asymmetric cryptography is Ed25519; key material is derived
-// deterministically from hardware fuse values so simulations are
-// reproducible.
+// deterministically from hardware fuse values, and the caches are driven
+// entirely by caller-supplied virtual time, so simulations are
+// reproducible byte-for-byte.
 package attest
 
 import (

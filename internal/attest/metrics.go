@@ -5,7 +5,10 @@ import "cronus/internal/metrics"
 // Attestation-path accounting: how often the crypto plumbing actually runs.
 // The channel counters pair naturally with srpc.calls — every lock-step
 // mECall costs one seal and one open on each side, which is exactly the
-// overhead streaming sRPC amortizes away.
+// overhead streaming sRPC amortizes away. The ticket/verify-cache counters
+// (attest.tickets.*, attest.verify.*) register per-cache — in whichever
+// registry the serving plane hands NewTicketCache/NewVerifyCache — so each
+// run's amortization accounting stays isolated and deterministic.
 var (
 	mReportsVerified = metrics.Default.Counter("attest.reports.verified")
 	mChannelSeals    = metrics.Default.Counter("attest.channel.seals")

@@ -1,0 +1,228 @@
+package attest
+
+import (
+	"strings"
+	"testing"
+
+	"cronus/internal/metrics"
+	"cronus/internal/sim"
+)
+
+func testCache(capacity int, ttl sim.Duration) (*TicketCache, *metrics.Registry) {
+	reg := metrics.NewRegistry()
+	reg.Enable()
+	return NewTicketCache([]byte("seed"), capacity, ttl, reg), reg
+}
+
+func counter(t *testing.T, reg *metrics.Registry, name string) uint64 {
+	t.Helper()
+	snap := reg.Snapshot()
+	return snap.Counters[name]
+}
+
+func TestTicketTTLBoundaries(t *testing.T) {
+	const ttl = 1000 * sim.Microsecond
+	meas := Measure([]byte("mos"))
+	cases := []struct {
+		name    string
+		mintAt  sim.Time
+		tryAt   sim.Time
+		wantHit bool
+	}{
+		{"immediately after mint", 0, 1, true},
+		{"one tick before expiry", 0, sim.Time(ttl) - 1, true},
+		{"exactly at expiry", 0, sim.Time(ttl), false},
+		{"after expiry", 0, sim.Time(ttl) + 1, false},
+		{"late mint still honors ttl", 5000, 5000 + sim.Time(ttl) - 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, _ := testCache(8, ttl)
+			c.Mint("tenant-a", meas, 1, tc.mintAt)
+			hit, err := c.Resume("tenant-a", meas, 1, tc.tryAt)
+			if err != nil {
+				t.Fatalf("Resume: %v", err)
+			}
+			if hit != tc.wantHit {
+				t.Fatalf("Resume at %d after mint at %d: hit=%v, want %v",
+					tc.tryAt, tc.mintAt, hit, tc.wantHit)
+			}
+		})
+	}
+}
+
+func TestTicketLRUCapacityPressure(t *testing.T) {
+	c, reg := testCache(2, sim.Duration(1)*sim.Second)
+	m1, m2, m3 := Measure([]byte("a")), Measure([]byte("b")), Measure([]byte("c"))
+	c.Mint("t", m1, 1, 0)
+	c.Mint("t", m2, 1, 1)
+	// Touch m1 so m2 becomes least-recently-used.
+	if hit, _ := c.Resume("t", m1, 1, 2); !hit {
+		t.Fatal("m1 should resume before eviction")
+	}
+	c.Mint("t", m3, 1, 3) // evicts m2
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if hit, _ := c.Resume("t", m2, 1, 4); hit {
+		t.Fatal("m2 should have been evicted as LRU")
+	}
+	if hit, _ := c.Resume("t", m1, 1, 5); !hit {
+		t.Fatal("m1 should have survived eviction")
+	}
+	if hit, _ := c.Resume("t", m3, 1, 6); !hit {
+		t.Fatal("m3 should be live")
+	}
+	if got := counter(t, reg, "attest.tickets.evicted"); got != 1 {
+		t.Fatalf("evicted = %d, want 1", got)
+	}
+}
+
+func TestTicketEpochBumpInvalidates(t *testing.T) {
+	c, reg := testCache(8, sim.Duration(1)*sim.Second)
+	meas := Measure([]byte("mos"))
+	c.Mint("t", meas, 3, 0)
+	if hit, _ := c.Resume("t", meas, 3, 1); !hit {
+		t.Fatal("same-epoch resume should hit")
+	}
+	// The partition restarted: epoch bumped 3 -> 4. The old ticket is dead.
+	if hit, _ := c.Resume("t", meas, 4, 2); hit {
+		t.Fatal("epoch-bumped resume must miss")
+	}
+	if got := counter(t, reg, "attest.tickets.epoch_stale"); got != 1 {
+		t.Fatalf("epoch_stale = %d, want 1", got)
+	}
+	// And the slot is gone entirely, so the next try is a plain miss.
+	if hit, _ := c.Resume("t", meas, 4, 3); hit {
+		t.Fatal("slot should have been dropped")
+	}
+	if got := counter(t, reg, "attest.tickets.misses"); got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+}
+
+func TestTicketRevocation(t *testing.T) {
+	c, reg := testCache(8, sim.Duration(1)*sim.Second)
+	good, bad := Measure([]byte("good")), Measure([]byte("bad"))
+	c.Mint("t1", bad, 1, 0)
+	c.Mint("t2", bad, 1, 0)
+	c.Mint("t1", good, 1, 0)
+	if n := c.RevokeMeasurement("gpu-part0", bad); n != 2 {
+		t.Fatalf("RevokeMeasurement purged %d tickets, want 2", n)
+	}
+	_, err := c.Resume("t1", bad, 1, 1)
+	re, ok := err.(*RevokedError)
+	if !ok {
+		t.Fatalf("Resume after revocation: err = %v, want *RevokedError", err)
+	}
+	if re.Partition != "gpu-part0" || re.Tenant != "t1" || re.Meas != bad {
+		t.Fatalf("RevokedError fields wrong: %+v", re)
+	}
+	if hit, err := c.Resume("t1", good, 1, 1); err != nil || !hit {
+		t.Fatalf("unrelated measurement affected by revocation: hit=%v err=%v", hit, err)
+	}
+	if got := counter(t, reg, "attest.tickets.revoked"); got != 2 {
+		t.Fatalf("revoked = %d, want 2", got)
+	}
+}
+
+func TestTicketStorm(t *testing.T) {
+	c, reg := testCache(8, sim.Duration(1)*sim.Second)
+	for _, blob := range []string{"a", "b", "c"} {
+		c.Mint("t", Measure([]byte(blob)), 1, 0)
+	}
+	if n := c.Storm(10); n != 3 {
+		t.Fatalf("Storm flushed %d, want 3", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len after storm = %d, want 0", c.Len())
+	}
+	if hit, _ := c.Resume("t", Measure([]byte("a")), 1, 11); hit {
+		t.Fatal("post-storm resume must go cold")
+	}
+	if got := counter(t, reg, "attest.tickets.stormed"); got != 3 {
+		t.Fatalf("stormed = %d, want 3", got)
+	}
+}
+
+func TestTicketSealRejectsTamper(t *testing.T) {
+	c, _ := testCache(8, sim.Duration(1)*sim.Second)
+	meas := Measure([]byte("mos"))
+	tk := c.Mint("t", meas, 1, 0)
+	tk.Epoch = 99 // tamper with the cached ticket body
+	if hit, _ := c.Resume("t", meas, 99, 1); hit {
+		t.Fatal("tampered ticket must not resume")
+	}
+}
+
+func TestVerifyCacheDelay(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Enable()
+	vc := NewVerifyCache(reg)
+	meas := Measure([]byte("mos"))
+	const cost = 480 * sim.Microsecond
+
+	if d := vc.Delay(meas, 1, 1000, cost); d != cost {
+		t.Fatalf("cold delay = %s, want %s", d, cost)
+	}
+	// In flight: a second session 100us later waits only the remainder.
+	at2 := sim.Time(1000) + sim.Time(100*sim.Microsecond)
+	if d := vc.Delay(meas, 1, at2, cost); d != cost-100*sim.Microsecond {
+		t.Fatalf("coalesced delay = %s, want %s", d, cost-100*sim.Microsecond)
+	}
+	// Memoized: after completion the verdict is free.
+	at3 := sim.Time(1000) + sim.Time(cost) + 1
+	if d := vc.Delay(meas, 1, at3, cost); d != 0 {
+		t.Fatalf("memoized delay = %s, want 0", d)
+	}
+	// A different epoch is a fresh verification.
+	if d := vc.Delay(meas, 2, at3, cost); d != cost {
+		t.Fatalf("epoch-bumped delay = %s, want %s", d, cost)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["attest.verify.misses"] != 2 ||
+		snap.Counters["attest.verify.coalesced"] != 1 ||
+		snap.Counters["attest.verify.hits"] != 1 {
+		t.Fatalf("counter mix wrong: %v", snap.Counters)
+	}
+	// Invalidate drops every epoch of the measurement.
+	vc.Invalidate(meas)
+	if d := vc.Delay(meas, 1, at3+sim.Time(cost)*4, cost); d != cost {
+		t.Fatalf("post-invalidate delay = %s, want %s", d, cost)
+	}
+}
+
+// TestTicketDeterminism pins that two identical operation sequences produce
+// byte-identical metrics snapshots — the replay contract the chaos harness
+// relies on.
+func TestTicketDeterminism(t *testing.T) {
+	run := func() string {
+		c, reg := testCache(4, 500*sim.Microsecond)
+		vc := NewVerifyCache(reg)
+		now := sim.Time(0)
+		for i := 0; i < 64; i++ {
+			meas := Measure([]byte{byte(i % 6)})
+			epoch := uint64(1 + i/32)
+			if hit, err := c.Resume("tenant", meas, epoch, now); err == nil && !hit {
+				vc.Delay(meas, epoch, now, 480*sim.Microsecond)
+				c.Mint("tenant", meas, epoch, now)
+			}
+			if i == 40 {
+				c.RevokeMeasurement("gpu-part1", Measure([]byte{2}))
+			}
+			if i == 50 {
+				c.Storm(now)
+			}
+			now += sim.Time(37 * sim.Microsecond)
+		}
+		var b strings.Builder
+		if err := reg.Snapshot().WriteJSON(&b); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return b.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("snapshots diverged:\n%s\n---\n%s", a, b)
+	}
+}

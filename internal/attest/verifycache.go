@@ -1,0 +1,82 @@
+package attest
+
+import (
+	"cronus/internal/metrics"
+	"cronus/internal/sim"
+)
+
+// This file implements batched + cached quote verification for the serve
+// admission path. Verifying a platform quote costs two signature checks;
+// at scale many tenants hit the same partition within the same epoch, so
+// the verifier (1) memoizes verified (measurement, epoch) pairs — later
+// admissions pay nothing — and (2) coalesces identical in-flight
+// verifications single-flight style: a session that arrives while the same
+// quote is still being verified waits only for the remaining slice of the
+// first verification instead of starting its own.
+
+// vkey identifies one verification: a measurement at a partition epoch.
+// The epoch is part of the key so an mOS restart (epoch bump) can never
+// be satisfied by a stale cached verdict.
+type vkey struct {
+	meas  Measurement
+	epoch uint64
+}
+
+// VerifyCache memoizes quote verifications per (measurement, epoch) and
+// coalesces identical in-flight ones. It is driven entirely by virtual
+// time passed in by the caller, so runs replay byte-identically.
+type VerifyCache struct {
+	done map[vkey]sim.Time // verification completion instant
+
+	mHits, mMisses, mCoalesced *metrics.Counter
+}
+
+// NewVerifyCache builds an empty verification cache. Counters register in
+// reg (metrics.Default when nil).
+func NewVerifyCache(reg *metrics.Registry) *VerifyCache {
+	if reg == nil {
+		reg = metrics.Default
+	}
+	return &VerifyCache{
+		done:       make(map[vkey]sim.Time),
+		mHits:      reg.Counter("attest.verify.hits"),
+		mMisses:    reg.Counter("attest.verify.misses"),
+		mCoalesced: reg.Counter("attest.verify.coalesced"),
+	}
+}
+
+// Delay returns the admission delay a session must pay at virtual instant
+// now to have (meas, epoch) verified, where a cold verification costs
+// cost. Three cases:
+//
+//   - memoized (a prior verification already completed): 0, counted a hit;
+//   - in flight (a verification of the same key completes at a future
+//     instant): the remaining slice of that verification, counted
+//     coalesced;
+//   - cold: the full cost, counted a miss; the completion instant is
+//     recorded so concurrent sessions coalesce onto it.
+func (c *VerifyCache) Delay(meas Measurement, epoch uint64, now sim.Time, cost sim.Duration) sim.Duration {
+	k := vkey{meas, epoch}
+	if at, ok := c.done[k]; ok {
+		if at <= now {
+			c.mHits.Inc()
+			return 0
+		}
+		c.mCoalesced.Inc()
+		return sim.Duration(at - now)
+	}
+	c.mMisses.Inc()
+	c.done[k] = now + sim.Time(cost)
+	return cost
+}
+
+// Invalidate drops every cached verdict for meas (all epochs) — the
+// revocation hook: a measurement caught stale by re-measurement must be
+// re-verified from scratch if it ever reappears.
+func (c *VerifyCache) Invalidate(meas Measurement) {
+	for k := range c.done {
+		if k.meas == meas {
+			delete(c.done, k)
+		}
+	}
+}

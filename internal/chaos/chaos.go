@@ -90,6 +90,27 @@ const (
 	KindSlowLink Kind = "slow-link"
 )
 
+// Attestation fault kinds exercise the serving plane's attestation gate
+// (serve.Config.AttestTickets + AttestFaults); like the node kinds they are
+// cluster-campaign faults, riding the serving config instead of an Injector.
+// Compiling either kind turns the gate on in both the baseline and faulted
+// runs of the seed, so the two stay comparable.
+const (
+	// KindAttestStorm flushes the whole session-ticket cache at a virtual
+	// instant: a mass expiry that sends every tenant back through cold
+	// (cached, coalesced) quote verification at once.
+	KindAttestStorm Kind = "attest-storm"
+	// KindStaleMeasurement flips a word of a victim partition's mOS
+	// measurement; the continuous re-measurement prober detects the
+	// mismatch, sheds in-flight work with the typed *attest.RevokedError
+	// and drains the partition into quarantine.
+	KindStaleMeasurement Kind = "stale-measurement"
+)
+
+// AttestKinds is the attestation fault mix for cluster schedules that opt in
+// via Options.Kinds (they are never drawn by default).
+var AttestKinds = []Kind{KindAttestStorm, KindStaleMeasurement}
+
 // AllKinds is the default fault mix for compiled single-node schedules.
 var AllKinds = []Kind{KindCrash, KindRingCorrupt, KindDeviceHang, KindAttestFail,
 	KindPersistentHang, KindCrashLoop}
@@ -104,11 +125,14 @@ func ParseKinds(s string) ([]Kind, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil
 	}
-	known := make(map[Kind]bool, len(AllKinds)+len(NodeKinds))
+	known := make(map[Kind]bool, len(AllKinds)+len(NodeKinds)+len(AttestKinds))
 	for _, k := range AllKinds {
 		known[k] = true
 	}
 	for _, k := range NodeKinds {
+		known[k] = true
+	}
+	for _, k := range AttestKinds {
 		known[k] = true
 	}
 	var kinds []Kind
@@ -124,11 +148,14 @@ func ParseKinds(s string) ([]Kind, error) {
 
 // kindNames renders every known kind for error and usage text.
 func kindNames() string {
-	names := make([]string, 0, len(AllKinds)+len(NodeKinds))
+	names := make([]string, 0, len(AllKinds)+len(NodeKinds)+len(AttestKinds))
 	for _, k := range AllKinds {
 		names = append(names, string(k))
 	}
 	for _, k := range NodeKinds {
+		names = append(names, string(k))
+	}
+	for _, k := range AttestKinds {
 		names = append(names, string(k))
 	}
 	return strings.Join(names, ",")
@@ -194,6 +221,11 @@ func (f *Fault) String() string {
 	case KindSlowLink:
 		return fmt.Sprintf("slow-link   node=n%d after=%v until=%v mult=%g",
 			f.Node, f.After, f.Until, f.Mult)
+	case KindAttestStorm:
+		return fmt.Sprintf("attest-storm after=%v", f.After)
+	case KindStaleMeasurement:
+		return fmt.Sprintf("stale-measurement node=n%d partition=gpu-part%d after=%v",
+			f.Node, f.Partition, f.After)
 	}
 	return string(f.Kind)
 }

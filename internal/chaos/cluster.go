@@ -24,19 +24,24 @@ import (
 	"math/rand"
 	"strings"
 
+	"cronus/internal/attest"
 	"cronus/internal/cluster"
 	"cronus/internal/serve"
 	"cronus/internal/sim"
+	"cronus/internal/spm"
 	"cronus/internal/srpc"
 	"cronus/internal/tvm"
 )
 
-// nodeKindMix filters a kind list down to the node-level kinds, falling back
-// to NodeKinds when the list has none (or is the single-node default).
+// nodeKindMix filters a kind list down to the cluster-capable kinds (node
+// faults and attestation faults), falling back to NodeKinds when the list has
+// none (or is the single-node default).
 func nodeKindMix(kinds []Kind) []Kind {
 	var mix []Kind
 	for _, k := range kinds {
-		if k == KindNodeCrash || k == KindNetPartition || k == KindSlowLink {
+		switch k {
+		case KindNodeCrash, KindNetPartition, KindSlowLink,
+			KindAttestStorm, KindStaleMeasurement:
 			mix = append(mix, k)
 		}
 	}
@@ -44,6 +49,18 @@ func nodeKindMix(kinds []Kind) []Kind {
 		return NodeKinds
 	}
 	return mix
+}
+
+// hasAttestKinds reports whether the (cluster-filtered) kind mix can draw an
+// attestation fault — which decides whether the serving configs of a seed arm
+// the attestation gate.
+func hasAttestKinds(kinds []Kind) bool {
+	for _, k := range nodeKindMix(kinds) {
+		if k == KindAttestStorm || k == KindStaleMeasurement {
+			return true
+		}
+	}
+	return false
 }
 
 // CompileCluster derives a node-fault schedule from the seed, domain-
@@ -62,10 +79,24 @@ func CompileCluster(seed int64, opts Options) *Schedule {
 		return opts.Window/5 + sim.Duration(rng.Int63n(int64(3*opts.Window/5)))
 	}
 	crashed := map[int]bool{}
+	ppn := opts.Partitions / opts.Nodes
+	staled := map[[2]int]bool{}
 	for n := 0; n < opts.Faults; n++ {
 		f := &Fault{Kind: mix[rng.Intn(len(mix))], Node: rng.Intn(opts.Nodes)}
 		if f.Kind == KindNodeCrash && (len(crashed) >= opts.Nodes-1 || crashed[f.Node]) {
 			f.Kind = KindNetPartition
+		}
+		if f.Kind == KindStaleMeasurement {
+			f.Partition = rng.Intn(ppn)
+			// A duplicate victim would be a no-op (revocation is permanent),
+			// and revoking every partition would leave admitted requests with
+			// nowhere typed-healthy to land; degrade such draws to a storm.
+			if staled[[2]int{f.Node, f.Partition}] || len(staled) >= opts.Partitions-1 {
+				f.Kind = KindAttestStorm
+				f.Partition = 0
+			} else {
+				staled[[2]int{f.Node, f.Partition}] = true
+			}
 		}
 		f.After = windowAt()
 		switch f.Kind {
@@ -76,6 +107,8 @@ func CompileCluster(seed int64, opts Options) *Schedule {
 			if f.Kind == KindSlowLink {
 				f.Mult = float64(2 + rng.Intn(7))
 			}
+		case KindAttestStorm:
+			f.Node = 0 // a storm hits the gateway-wide ticket cache, not a node
 		}
 		s.Faults = append(s.Faults, f)
 	}
@@ -100,6 +133,22 @@ func (s *Schedule) nodeFaults() []cluster.Fault {
 	return fs
 }
 
+// attestFaults lowers the schedule's attestation faults to the serving
+// plane's Config.AttestFaults hooks.
+func (s *Schedule) attestFaults() []serve.AttestFault {
+	var fs []serve.AttestFault
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case KindAttestStorm:
+			fs = append(fs, serve.AttestFault{Kind: serve.AttestStorm, At: f.After})
+		case KindStaleMeasurement:
+			fs = append(fs, serve.AttestFault{Kind: serve.StaleMeasurement,
+				At: f.After, Node: f.Node, Part: f.Partition})
+		}
+	}
+	return fs
+}
+
 // clusterServeConfig is the serving load a cluster seed runs against: the
 // sharded data plane spanning Options.Nodes fabric nodes, one shard per
 // partition, round-robin placement inside each home group, and HashBound 1.0
@@ -107,7 +156,7 @@ func (s *Schedule) nodeFaults() []cluster.Fault {
 // and survivors. Supervision, tracing and the SLO engine stay off: the
 // sharded plane models inference serving only and rejects them by
 // validation.
-func clusterServeConfig(seed int64, o Options, faults []cluster.Fault) serve.Config {
+func clusterServeConfig(seed int64, o Options, faults []cluster.Fault, afs []serve.AttestFault) serve.Config {
 	cfg := serve.Config{
 		Seed:           seed,
 		Window:         o.Window,
@@ -124,6 +173,16 @@ func clusterServeConfig(seed int64, o Options, faults []cluster.Fault) serve.Con
 		Nodes:          o.Nodes,
 		HashBound:      1.0,
 		NodeFaults:     faults,
+		AttestFaults:   afs,
+	}
+	if hasAttestKinds(o.Kinds) {
+		// The gate arms in baseline and faulted runs alike (same config
+		// modulo the fault lists), so the two stay comparable: a short TTL
+		// makes tickets cycle a few times inside the window, and a tight
+		// reprobe catches a tampered measurement well before the drain.
+		cfg.AttestTickets = true
+		cfg.AttestTicketTTL = 2 * sim.Millisecond
+		cfg.AttestReprobe = 500 * sim.Microsecond
 	}
 	for ti := 0; ti < o.Tenants; ti++ {
 		cfg.Tenants = append(cfg.Tenants, serve.TenantSpec{
@@ -200,6 +259,10 @@ func (s *Schedule) faultNodes() (all, crashes map[int]bool) {
 			crashes[f.Node] = true
 		case KindNetPartition, KindSlowLink:
 			all[f.Node] = true
+		case KindStaleMeasurement:
+			// A revocation quarantines part of the node's pool: tenants homed
+			// there shift load (possibly rehoming), so the node is faulted.
+			all[f.Node] = true
 		}
 	}
 	return all, crashes
@@ -231,8 +294,9 @@ func (rr *NodeRunReport) checkNodeInvariants() []string {
 			var te *serve.TimeoutError
 			var pq *serve.PoolQuarantinedError
 			var np *cluster.NetPartitionedError
+			var rv *attest.RevokedError
 			if !errors.As(r.Err, &te) && !errors.As(r.Err, &pq) && !errors.As(r.Err, &np) &&
-				!errors.Is(r.Err, srpc.ErrRingCorrupt) {
+				!errors.As(r.Err, &rv) && !errors.Is(r.Err, srpc.ErrRingCorrupt) {
 				v = append(v, fmt.Sprintf("request %d (%s) failed with untyped error %q",
 					r.ID, r.Tenant, r.Err))
 			}
@@ -248,13 +312,50 @@ func (rr *NodeRunReport) checkNodeInvariants() []string {
 				ft.Name, ft.Home))
 		}
 	}
+	// Attestation invariants. No completion may ever land on a partition
+	// after its revocation (untrusted results must shed, not leak), and
+	// every stale-measurement victim must show the revoked + quarantined
+	// failure the prober is supposed to raise.
+	for _, res := range []struct {
+		name string
+		r    *serve.Result
+	}{{"baseline", rr.Baseline}, {"faulted", rr.Faulted}} {
+		if n, ok := res.r.Metrics.Counters["serve.attest.post_revoke_completions"]; ok && n != 0 {
+			v = append(v, fmt.Sprintf("%s: %d completions landed on revoked partitions, want 0",
+				res.name, n))
+		}
+	}
+	hasStorm, hasStale := false, false
+	for _, f := range rr.Schedule.Faults {
+		switch f.Kind {
+		case KindAttestStorm:
+			hasStorm = true
+		case KindStaleMeasurement:
+			hasStale = true
+			victim := fmt.Sprintf("n%d/gpu-part%d", f.Node, f.Partition)
+			found := false
+			for _, fs := range rr.Faulted.Failures {
+				if fs.Partition == victim && fs.Reason == spm.FailRevoked && fs.Quarantined {
+					found = true
+					break
+				}
+			}
+			if !found {
+				v = append(v, fmt.Sprintf(
+					"stale measurement on %s never produced a revoked quarantine", victim))
+			}
+		}
+	}
 	// Survivors — tenants homed away from every faulted node. Their arrival
 	// process never depends on faults, so Offered must always match. With no
 	// crash in the schedule nothing re-places onto their nodes either, so
 	// the full single-node contract applies: identical accounting, p95
 	// within tolerance. After a crash the rehomed load lands on survivor
-	// nodes legitimately, so only the arrival check holds.
-	hasCrash := len(crashNodes) > 0
+	// nodes legitimately, so only the arrival check holds — and the same
+	// relaxation applies to the attestation faults: a storm hits every
+	// tenant's admission path (mass re-attestation), and a revocation can
+	// rehome its victims' tenants onto survivor nodes.
+	hasCrash := len(crashNodes) > 0 || hasStorm || hasStale
 	for ti := range rr.Faulted.Tenants {
 		ft := &rr.Faulted.Tenants[ti]
 		if faultNodes[ft.Home] || ti >= len(rr.Baseline.Tenants) {
@@ -297,12 +398,12 @@ func RunNodeOne(seed int64, o Options) (*NodeRunReport, error) {
 	}
 	mRuns.Inc()
 	rr := &NodeRunReport{Seed: seed, Opts: o, Schedule: CompileCluster(seed, o)}
-	base, err := serve.Run(clusterServeConfig(seed, o, nil))
+	base, err := serve.Run(clusterServeConfig(seed, o, nil, nil))
 	if err != nil {
 		return nil, fmt.Errorf("chaos: cluster baseline run (seed %d): %w", seed, err)
 	}
 	rr.Baseline = base
-	faulted, err := serve.Run(clusterServeConfig(seed, o, rr.Schedule.nodeFaults()))
+	faulted, err := serve.Run(clusterServeConfig(seed, o, rr.Schedule.nodeFaults(), rr.Schedule.attestFaults()))
 	if err != nil {
 		return nil, fmt.Errorf("chaos: cluster faulted run (seed %d): %w", seed, err)
 	}

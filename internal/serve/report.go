@@ -172,6 +172,9 @@ func (r *Result) Report() string {
 	}
 	for _, f := range r.Failures {
 		switch {
+		case f.Quarantined && f.Reason == spm.FailRevoked:
+			fmt.Fprintf(&b, "failover: %s failed at %s (%s), quarantined by measurement revocation\n",
+				f.Partition, sim.Duration(f.FailedAt), f.Reason)
 		case f.Quarantined:
 			fmt.Fprintf(&b, "failover: %s failed at %s (%s), quarantined by crash-loop policy\n",
 				f.Partition, sim.Duration(f.FailedAt), f.Reason)
@@ -185,8 +188,14 @@ func (r *Result) Report() string {
 	}
 	if len(r.Failures) > 0 {
 		byReason := r.FailuresByReason()
-		fmt.Fprintf(&b, "failures by reason: requested=%d panic=%d hang=%d\n",
+		fmt.Fprintf(&b, "failures by reason: requested=%d panic=%d hang=%d",
 			byReason[spm.FailRequested], byReason[spm.FailPanic], byReason[spm.FailHang])
+		if n := byReason[spm.FailRevoked]; n > 0 {
+			// Appended only when present, so pre-attestation reports stay
+			// byte-identical.
+			fmt.Fprintf(&b, " revoked=%d", n)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

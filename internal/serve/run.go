@@ -24,6 +24,7 @@ func (srv *Server) Serve(p *sim.Proc) (*Result, error) {
 	if srv.cfg.FailAt > 0 {
 		srv.startFailInjector()
 	}
+	srv.atStart(p)
 	p.Sleep(srv.cfg.Window)
 	for srv.completedTotal < srv.admittedTotal {
 		srv.drainCond.Wait(p)

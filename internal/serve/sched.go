@@ -95,6 +95,19 @@ func (srv *Server) dispatch(p *sim.Proc, t *tenant) {
 			t.held = 0
 			continue
 		}
+		// Attestation gate (attestor.go): resume on a live session ticket
+		// (one MAC) or attest cold through the verification cache, sleeping
+		// the delay on the dispatcher; a revoked partition sheds the batch
+		// with the typed error instead of dispatching untrusted work.
+		if d, aerr := srv.attestGate(t, rep, p.Now()); aerr != nil {
+			for _, r := range b.reqs {
+				srv.complete(p, t, r, aerr)
+			}
+			t.held = 0
+			continue
+		} else if d > 0 {
+			p.Sleep(d)
+		}
 		srv.markBatch(b, otrace.StageReplica, p.Now())
 		rep.enqueue(b)
 		t.held = 0

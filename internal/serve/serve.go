@@ -243,6 +243,30 @@ type Config struct {
 	// node-crash, net-partition, slow-link. The chaos harness compiles its
 	// cluster schedules into this.
 	NodeFaults []cluster.Fault
+
+	// AttestTickets arms the attestation admission gate (attestor.go,
+	// DESIGN.md §15): every batch dispatch is gated on the tenant holding a
+	// valid session ticket for the target partition's measurement. A live
+	// ticket resumes for one MAC check; a cold session pays the full quote
+	// verification (through the per-epoch verification cache) and mints a
+	// ticket. Off (the default), admission is byte-identical to earlier
+	// revisions.
+	AttestTickets bool
+	// AttestTicketTTL is the virtual-time ticket lifetime (default 5ms).
+	AttestTicketTTL sim.Duration
+	// AttestCacheCap bounds the live-ticket LRU (default 1024).
+	AttestCacheCap int
+	// AttestReprobe, when > 0, starts the continuous re-measurement prober:
+	// every AttestReprobe of virtual time each pooled partition's current
+	// measurement is compared against the boot-pinned value, and a mismatch
+	// revokes the partition (tickets purged, in-flight work shed with the
+	// typed *attest.RevokedError, partition drained into quarantine).
+	// Requires AttestTickets.
+	AttestReprobe sim.Duration
+	// AttestFaults schedules attestation faults (attest-storm ticket
+	// flushes, stale-measurement tampering) — the chaos harness compiles
+	// its attestation schedules into this. Requires AttestTickets.
+	AttestFaults []AttestFault
 }
 
 func (c *Config) defaults() {
@@ -299,6 +323,14 @@ func (c *Config) defaults() {
 		}
 		if c.HashBound <= 0 {
 			c.HashBound = 1.25
+		}
+	}
+	if c.AttestTickets {
+		if c.AttestTicketTTL <= 0 {
+			c.AttestTicketTTL = 5 * sim.Millisecond
+		}
+		if c.AttestCacheCap <= 0 {
+			c.AttestCacheCap = 1024
 		}
 	}
 }
@@ -430,9 +462,11 @@ type Server struct {
 	traces []otrace.RequestTrace
 
 	// sh is the sharded data plane (nil on the classic path); cl is the
-	// cluster placement tier (nil on single-node runs).
+	// cluster placement tier (nil on single-node runs); at is the
+	// attestation admission gate (nil unless Config.AttestTickets).
 	sh *shState
 	cl *clState
+	at *attState
 }
 
 // serveKernel is the batchable inference kernel: its cost is carried in the
@@ -497,6 +531,9 @@ func NewCluster(p *sim.Proc, plats []*core.Platform, cfg Config) (*Server, error
 	if err := validateSharded(cfg); err != nil {
 		return nil, err
 	}
+	if err := validateAttest(cfg); err != nil {
+		return nil, err
+	}
 	// The pool's rodinia kernels live in the global GPU registry alongside
 	// the std kernels BuildPlatform installs (Register replaces, so this
 	// is idempotent across servers in one process).
@@ -525,6 +562,12 @@ func NewCluster(p *sim.Proc, plats []*core.Platform, cfg Config) (*Server, error
 		// Partition the kernel and anchor the cross-shard ports before any
 		// replica connects: executor placement reads the partition's shard.
 		srv.shBoot()
+	}
+	if cfg.AttestTickets {
+		// Pin every partition's boot measurement and build the ticket /
+		// verification caches before any load exists, so the attestation
+		// timeline is identical between baseline and faulted runs.
+		srv.atBoot()
 	}
 	// Partition health supervision: arm heartbeats on every pooled
 	// partition and start the SPM watchdog before any load exists, so the

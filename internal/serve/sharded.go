@@ -53,6 +53,12 @@ package serve
 // cancelled (their pending lane/completion events become no-ops) and their
 // requests requeued to the tenant backlog, a recovery proc waits out the
 // SPM restart and reconnects for real, then the backlog re-dispatches.
+// Attestation revocations (attestor.go) follow the same discipline: the
+// re-measurement prober and the attestation fault procs sequentialize the
+// kernel before mutating global state, and a revocation sheds the revoked
+// replica's in-flight batches (typed *attest.RevokedError, never requeued —
+// results from a partition with a stale measurement are untrusted) before
+// draining the partition through the quarantine path.
 
 import (
 	"fmt"
@@ -73,6 +79,8 @@ const (
 	lidShardAnchor  uint64 = 0x200   // + shard id (device shards)
 	lidNodeFault    uint64 = 0x300   // + node index (cluster fault procs)
 	lidGateway      uint64 = 0x400   // the cluster gateway anchor (host shard)
+	lidAttestProber uint64 = 0x480   // the continuous re-measurement prober
+	lidAttestFault  uint64 = 0x500   // + fault index (attestation fault procs)
 	lidClosedLoop   uint64 = 0x10000 // * (tenant index + 1) + client + 1
 )
 
@@ -258,6 +266,7 @@ func (srv *Server) shServe(p *sim.Proc) (*Result, error) {
 	if srv.cl != nil {
 		srv.clArmFaults(p)
 	}
+	srv.atStart(p)
 	if srv.cfg.Parallel {
 		srv.pl.K.Parallelize()
 	}
@@ -470,10 +479,21 @@ func (srv *Server) shDispatch(now sim.Time, t *tenant, b *batch) {
 		}
 		return
 	}
+	// Attestation gate: a live ticket resumes for one MAC, a cold session
+	// pays the (cached, coalesced) quote verification; either way the delay
+	// folds into the host-side submit cost. A revoked partition sheds the
+	// batch with the typed error instead of dispatching untrusted work.
+	attNS, aerr := srv.attestGate(t, rep, now)
+	if aerr != nil {
+		for _, r := range b.reqs {
+			srv.shFinish(t, r, now, aerr)
+		}
+		return
+	}
 	b.rep = rep
 	b.lane = rep.nextLane % len(rep.lanes)
 	rep.nextLane++
-	b.submitNS = srv.pl.Costs.SpanCheck + srv.pl.Costs.RingPush
+	b.submitNS = attNS + srv.pl.Costs.SpanCheck + srv.pl.Costs.RingPush
 	if srv.cl != nil {
 		// Fabric transfer: serialization + bandwidth (+ slow-link penalty)
 		// for the batch payload; the base propagation delay rides the port
@@ -555,6 +575,15 @@ func (srv *Server) shLaneArrive(rep *replica, at sim.Time, b *batch) {
 func (srv *Server) shDone(at sim.Time, b *batch) {
 	if b.cancelled {
 		return
+	}
+	if a := srv.at; a != nil && b.rep != nil {
+		// Invariant counter: a completion landing after its partition's
+		// revocation would mean untrusted results leaked past the drain.
+		// Revocation cancels everything in flight, so this must stay 0 —
+		// the chaos harness asserts it.
+		if revAt, ok := a.revoked[[2]int{b.rep.node, b.rep.partIdx}]; ok && at >= revAt {
+			a.ctrPostRevoke.Inc()
+		}
 	}
 	t := b.t
 	b.rep.outstanding -= len(b.reqs)

@@ -22,6 +22,7 @@ var (
 	mFailRequested    = metrics.Default.Counter("spm.partitions.failed.requested")
 	mFailPanic        = metrics.Default.Counter("spm.partitions.failed.panic")
 	mFailHang         = metrics.Default.Counter("spm.partitions.failed.hang")
+	mFailRevoked      = metrics.Default.Counter("spm.partitions.failed.revoked")
 	mPartsQuarantined = metrics.Default.Counter("spm.partitions.quarantined")
 	mPartsReleased    = metrics.Default.Counter("spm.partitions.released")
 
@@ -45,5 +46,7 @@ func countFailReason(r FailReason) {
 		mFailPanic.Inc()
 	case FailHang:
 		mFailHang.Inc()
+	case FailRevoked:
+		mFailRevoked.Inc()
 	}
 }

@@ -23,6 +23,10 @@ const (
 	FailPanic
 	// FailHang: the SPM watchdog found the partition unresponsive.
 	FailHang
+	// FailRevoked: continuous re-measurement found the partition's
+	// measurement stale or mismatched and revoked its attestation; the
+	// partition drains straight into quarantine (never auto-restarts).
+	FailRevoked
 )
 
 // String names the failure reason.
@@ -34,6 +38,8 @@ func (r FailReason) String() string {
 		return "panic"
 	case FailHang:
 		return "hang"
+	case FailRevoked:
+		return "revoked"
 	}
 	return "unknown"
 }
@@ -114,9 +120,10 @@ func (s *SPM) Fail(p *Partition, reason FailReason) *FailureRecord {
 	rec := &FailureRecord{Partition: p.Name, Reason: reason, FailedAt: failedAt}
 	sv := s.SupervisionConfig()
 	recent := s.recordFailure(p, failedAt, reason)
-	if sv.QuarantineAfter > 0 && recent >= sv.QuarantineAfter {
+	if p.forceQuarantine || (sv.QuarantineAfter > 0 && recent >= sv.QuarantineAfter) {
 		rec.Quarantined = true
 		p.quarantine = true
+		p.forceQuarantine = false
 	} else {
 		rec.Backoff = restartBackoff(sv, recent)
 	}
@@ -241,5 +248,36 @@ func (s *SPM) UpdateMOS(p *Partition, newImage []byte) *FailureRecord {
 		p.pendingImage = nil
 	}
 	return rec
+}
+
+// Revoke drains p through the proceed-trap machinery straight into
+// quarantine: the same step-① sharer invalidation and scrub a FailHang
+// gets, but with the crash-loop counting bypassed — a revoked measurement
+// is never a transient, so the partition parks in PartQuarantined
+// regardless of its failure history and stays there until an operator
+// re-provisions it (ReleaseQuarantine). This is the recovery half of
+// continuous re-measurement (DESIGN.md §15): the serving plane calls it
+// when a background probe finds the partition's measurement stale or
+// mismatched, and the quarantine propagates to placement exactly like a
+// hang does today.
+func (s *SPM) Revoke(p *Partition) *FailureRecord {
+	p.forceQuarantine = true
+	rec := s.Fail(p, FailRevoked)
+	if rec == nil {
+		p.forceQuarantine = false
+	}
+	return rec
+}
+
+// TamperMeasurement flips one word of p's recorded mOS measurement and
+// returns the tampered value. It is the stale-measurement fault-injection
+// surface: like SetAttestFault it is ordinary control flow (no test-only
+// build tags), and everything downstream — the re-measurement probe, the
+// ticket revocation, the quarantine drain — is the production path.
+func (s *SPM) TamperMeasurement(p *Partition) attest.Measurement {
+	for i := 0; i < 8; i++ {
+		p.mosHash[i] ^= 0xa5
+	}
+	return p.mosHash
 }
 

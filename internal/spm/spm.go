@@ -116,8 +116,11 @@ type Partition struct {
 
 	// Crash-loop supervision state: panic/hang failure instants inside
 	// the sliding window, and whether the partition is quarantined.
-	failTimes  []sim.Time
-	quarantine bool
+	// forceQuarantine makes the next Fail quarantine unconditionally —
+	// the measurement-revocation path (Revoke), which never restarts.
+	failTimes       []sim.Time
+	quarantine      bool
+	forceQuarantine bool
 
 	// onRestart is installed by the mOS layer to re-initialize services
 	// after recovery completes.
