@@ -75,13 +75,15 @@ doc-lint:
 # watchdog, crash loops ending in quarantine), plus a 2-node cluster soak
 # (node crashes, net-partitions, slow links over the fabric), plus an
 # attestation soak (ticket storms and stale-measurement revocations against
-# the admission gate), every report replay-verified byte-for-byte. The full
-# soak is `go run ./cmd/cronus-chaos`.
+# the admission gate), plus a migration soak (planned migrations interrupted
+# mid-checkpoint, forced autoscaler oscillations, drain races), every report
+# replay-verified byte-for-byte. The full soak is `go run ./cmd/cronus-chaos`.
 chaos:
 	$(GO) run ./cmd/cronus-chaos -seeds 3 -verify
 	$(GO) run ./cmd/cronus-chaos -seeds 2 -kinds persistent-hang,crash-loop -faults 2 -verify
 	$(GO) run ./cmd/cronus-chaos -nodes 2 -partitions 4 -tenants 4 -seeds 3 -verify
 	$(GO) run ./cmd/cronus-chaos -nodes 2 -partitions 4 -tenants 4 -kinds attest-storm,stale-measurement -seeds 3 -verify
+	$(GO) run ./cmd/cronus-chaos -nodes 2 -partitions 4 -tenants 4 -kinds migrate-interrupt,scale-storm,drain-race -seeds 3 -verify
 
 # Causal-tracing guards: the export-determinism and attribution-conservation
 # tests, plus the zero-alloc disabled-path benchmarks (their assertions run
@@ -106,6 +108,7 @@ ci:
 	$(GO) run ./cmd/cronus-chaos -seeds 2 -kinds persistent-hang,crash-loop -faults 2 -verify
 	$(GO) run ./cmd/cronus-chaos -nodes 2 -partitions 4 -tenants 4 -seeds 3 -verify
 	$(GO) run ./cmd/cronus-chaos -nodes 2 -partitions 4 -tenants 4 -kinds attest-storm,stale-measurement -seeds 3 -verify
+	$(GO) run ./cmd/cronus-chaos -nodes 2 -partitions 4 -tenants 4 -kinds migrate-interrupt,scale-storm,drain-race -seeds 3 -verify
 	$(MAKE) bench-gate BENCH_THRESHOLD=1.0
 
 # Pretty-printed tables for all experiments.

@@ -26,6 +26,7 @@
 //	cronus-chaos -nodes 2 -partitions 4 -tenants 4    # node-level cluster soak
 //	cronus-chaos -nodes 2 -partitions 4 -kinds node-crash -verify
 //	cronus-chaos -nodes 2 -partitions 4 -tenants 4 -kinds attest-storm,stale-measurement
+//	cronus-chaos -nodes 2 -partitions 4 -tenants 4 -kinds migrate-interrupt,scale-storm,drain-race -verify
 //
 // With -nodes >= 2 the campaign shifts to the multi-node fabric: every seed
 // runs a cluster serving plane (sharded data plane spanning the nodes), the
@@ -37,8 +38,14 @@
 // continuous re-measurement prober on in both the baseline and the faulted
 // run, and adds the attestation invariants — typed *attest.RevokedError
 // sheds only, the revoked partition quarantined with reason "revoked", and
-// zero completions after a revocation. -partitions must divide evenly over
-// -nodes; -trace only applies to single-node campaigns.
+// zero completions after a revocation. The migration kinds (migrate-interrupt,
+// scale-storm, drain-race) exercise the elastic-capacity layer: a planned
+// live migration interrupted mid-checkpoint must degrade to crash-failover
+// with nothing lost or duplicated, a forced autoscaler oscillation must leave
+// the baseline controller (armed identically, stormless) untouched, and a
+// batch raced onto a quiescing source must still resolve exactly once.
+// -partitions must divide evenly over -nodes; -trace only applies to
+// single-node campaigns.
 package main
 
 import (
@@ -57,7 +64,7 @@ func main() {
 	partitions := flag.Int("partitions", 2, "GPU partitions in the pool")
 	windowMS := flag.Int("window-ms", 10, "load window per run, virtual ms")
 	faults := flag.Int("faults", 3, "faults compiled per schedule")
-	kinds := flag.String("kinds", "", "comma-separated fault kinds (default all): crash,ring-corrupt,device-hang,attest-fail,persistent-hang,crash-loop; with -nodes >= 2: node-crash,net-partition,slow-link,attest-storm,stale-measurement")
+	kinds := flag.String("kinds", "", "comma-separated fault kinds (default all): crash,ring-corrupt,device-hang,attest-fail,persistent-hang,crash-loop; with -nodes >= 2: node-crash,net-partition,slow-link,attest-storm,stale-measurement,migrate-interrupt,scale-storm,drain-race")
 	nodes := flag.Int("nodes", 0, "fabric nodes (0 = single-node chaos; >= 2 soaks the cluster plane with node-level faults)")
 	verify := flag.Bool("verify", false, "re-run every seed and byte-compare the reports (replay contract)")
 	verbose := flag.Bool("v", false, "print the full report of every seed, not just failures")

@@ -33,6 +33,8 @@ var defaultDirs = []string{
 	"internal/chaos",
 	"internal/cluster",
 	"internal/attest",
+	"internal/elastic",
+	"internal/dnn",
 	"internal/mos",
 	"internal/trace",
 	"internal/metrics",

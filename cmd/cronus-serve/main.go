@@ -22,6 +22,9 @@
 //	cronus-serve -nodes 2 -partitions 8 -shards 8 -node-crash-ms 11  # ... with a node crash
 //	cronus-serve -attest-tickets                  # attestation admission gate
 //	cronus-serve -attest-tickets -attest-reprobe-us 500      # ... + re-measurement prober
+//	cronus-serve -shards 4 -partitions 4 -migrate-at-ms 10 -migrate-from 0/1 -migrate-to 0/0
+//	cronus-serve -shards 4 -partitions 4 -migrate-at-ms 10 -migrate-interrupt  # die mid-checkpoint
+//	cronus-serve -shards 4 -partitions 4 -autoscale          # load-driven elastic capacity
 //
 // -shards 0 (the default) and -shards 1 run the classic sequential plane
 // byte-identically. With -shards >= 2 the run moves to the sharded data
@@ -33,6 +36,15 @@
 // multi-node fabric: shards and partitions must also divide evenly across
 // the nodes, tenants are homed by consistent hashing, and -link-latency-us /
 // -link-gbps price the inter-node transport.
+//
+// The elastic-capacity flags also require the sharded plane. -migrate-at-ms
+// schedules one planned live migration (quiesce, checkpoint, transfer, replay,
+// release) from -migrate-from to -migrate-to, each a node/partition pair;
+// -migrate-interrupt kills the source mid-checkpoint so the plane must degrade
+// to crash-failover, and -migrate-race force-dispatches one batch onto the
+// quiescing source. -autoscale arms the load-driven autoscaler (queue-depth /
+// shed-rate watermarks with cooldown hysteresis); the report gains the elastic
+// action counters and event log either way.
 package main
 
 import (
@@ -41,6 +53,7 @@ import (
 	"os"
 
 	"cronus/internal/cluster"
+	"cronus/internal/elastic"
 	"cronus/internal/otrace"
 	"cronus/internal/serve"
 	"cronus/internal/sim"
@@ -95,7 +108,30 @@ func main() {
 		"continuous re-measurement probe interval, virtual µs (0 = prober off; requires -attest-tickets)")
 	attCache := flag.Int("attest-cache", 0,
 		"session-ticket cache capacity (0 = default 1024; requires -attest-tickets)")
+	migrateAtMS := flag.Int("migrate-at-ms", 0,
+		"start a planned live migration at this virtual ms (0 = none; requires -shards >= 2)")
+	migrateFrom := flag.String("migrate-from", "0/1",
+		"migration source endpoint as node/partition (requires -migrate-at-ms)")
+	migrateTo := flag.String("migrate-to", "0/0",
+		"migration destination endpoint as node/partition (requires -migrate-at-ms)")
+	migrateInterrupt := flag.Bool("migrate-interrupt", false,
+		"kill the migration source mid-checkpoint: the plane must degrade to crash-failover (requires -migrate-at-ms)")
+	migrateRace := flag.Bool("migrate-race", false,
+		"force-dispatch one batch onto the quiescing source (requires -migrate-at-ms)")
+	autoscale := flag.Bool("autoscale", false,
+		"arm the load-driven autoscaler: watermark-driven scale-up/down with boot, attest and scrub costs (requires -shards >= 2)")
+	autoscaleIntervalUS := flag.Int("autoscale-interval-us", 0,
+		"autoscaler control tick, virtual µs (0 = default 250; requires -autoscale)")
 	flag.Parse()
+
+	if *migrateAtMS <= 0 && (*migrateInterrupt || *migrateRace) {
+		fmt.Fprintln(os.Stderr, "cronus-serve: -migrate-interrupt/-migrate-race require -migrate-at-ms")
+		os.Exit(2)
+	}
+	if !*autoscale && *autoscaleIntervalUS > 0 {
+		fmt.Fprintln(os.Stderr, "cronus-serve: -autoscale-interval-us requires -autoscale")
+		os.Exit(2)
+	}
 
 	if !*attTickets && (*attTTLUS > 0 || *attReprobeUS > 0 || *attCache > 0) {
 		fmt.Fprintln(os.Stderr, "cronus-serve: -attest-ticket-ttl-us/-attest-reprobe-us/-attest-cache require -attest-tickets")
@@ -148,6 +184,22 @@ func main() {
 		if *attCache > 0 {
 			cfg.AttestCacheCap = *attCache
 		}
+	}
+	if *migrateAtMS > 0 {
+		cfg.Migrations = append(cfg.Migrations, serve.Migration{
+			At:        sim.Duration(*migrateAtMS) * sim.Millisecond,
+			From:      parseEndpoint("-migrate-from", *migrateFrom),
+			To:        parseEndpoint("-migrate-to", *migrateTo),
+			Interrupt: *migrateInterrupt,
+			Race:      *migrateRace,
+		})
+	}
+	if *autoscale {
+		ac := elastic.Config{}
+		if *autoscaleIntervalUS > 0 {
+			ac.Interval = sim.Duration(*autoscaleIntervalUS) * sim.Microsecond
+		}
+		cfg.Autoscale = &ac
 	}
 	if *traceOut != "" {
 		cfg.Trace = true
@@ -249,4 +301,15 @@ func main() {
 	} else {
 		os.Exit(1)
 	}
+}
+
+// parseEndpoint parses a node/partition pair from a migration endpoint flag.
+func parseEndpoint(flagName, s string) elastic.Endpoint {
+	var e elastic.Endpoint
+	if _, err := fmt.Sscanf(s, "%d/%d", &e.Node, &e.Part); err != nil {
+		fmt.Fprintf(os.Stderr, "cronus-serve: %s: want node/partition (e.g. 0/1), got %q\n",
+			flagName, s)
+		os.Exit(2)
+	}
+	return e
 }

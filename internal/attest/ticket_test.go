@@ -51,6 +51,35 @@ func TestTicketTTLBoundaries(t *testing.T) {
 	}
 }
 
+// TestTicketSurvivesSameMeasurementMove pins the property planned live
+// migration relies on: tickets are keyed by (tenant, measurement), not by
+// partition, so moving a tenant's enclave onto another partition booted from
+// the same mOS image resumes on the existing ticket — no cold quote
+// verification — while a move onto differently-measured firmware misses.
+func TestTicketSurvivesSameMeasurementMove(t *testing.T) {
+	c, reg := testCache(8, sim.Second)
+	meas := Measure([]byte("mos-image"))
+	c.Mint("tenant-a", meas, 1, 0)
+	// The migration destination boots the same image: same measurement, and
+	// the partition identity is nowhere in the key — the ticket holds.
+	hit, err := c.Resume("tenant-a", meas, 1, 100)
+	if err != nil || !hit {
+		t.Fatalf("post-migration Resume (same measurement) = %v, %v, want hit", hit, err)
+	}
+	if n := counter(t, reg, "attest.tickets.hits"); n != 1 {
+		t.Fatalf("ticket hits = %d, want 1", n)
+	}
+	// A destination with different firmware is a different session entirely.
+	other := Measure([]byte("mos-image-v2"))
+	hit, err = c.Resume("tenant-a", other, 1, 100)
+	if err != nil || hit {
+		t.Fatalf("Resume on a different measurement = %v, %v, want cold miss", hit, err)
+	}
+	if n := counter(t, reg, "attest.tickets.misses"); n != 1 {
+		t.Fatalf("ticket misses = %d, want 1", n)
+	}
+}
+
 func TestTicketLRUCapacityPressure(t *testing.T) {
 	c, reg := testCache(2, sim.Duration(1)*sim.Second)
 	m1, m2, m3 := Measure([]byte("a")), Measure([]byte("b")), Measure([]byte("c"))

@@ -107,9 +107,37 @@ const (
 	KindStaleMeasurement Kind = "stale-measurement"
 )
 
+// Migration fault kinds exercise the serving plane's elastic-capacity layer
+// (serve.Config.Migrations / ScaleStorms / Autoscale): planned live migration
+// and the load-driven autoscaler under duress. Like the node and attestation
+// kinds they are cluster-campaign faults riding the serving config, and like
+// the attestation kinds they change the config symmetrically where needed —
+// a scale-storm in the mix arms an inert autoscaler in the baseline run too,
+// so the two runs stay comparable.
+const (
+	// KindMigrateInterrupt starts a planned cross-node live migration and
+	// kills the source mid-checkpoint: the plane must abandon the migration
+	// and degrade to the ordinary crash-failover path with every in-flight
+	// request replayed exactly once — nothing lost, nothing duplicated.
+	KindMigrateInterrupt Kind = "migrate-interrupt"
+	// KindScaleStorm forces the autoscaler to oscillate for a window: every
+	// control tick alternates scale-down/scale-up regardless of load, and the
+	// plane must converge back to full capacity once the window closes.
+	KindScaleStorm Kind = "scale-storm"
+	// KindDrainRace runs a planned migration and force-dispatches one batch
+	// onto the quiescing source after placement stopped picking it — the race
+	// between an admission decision and the quiesce. The racing batch must
+	// still resolve exactly once.
+	KindDrainRace Kind = "drain-race"
+)
+
 // AttestKinds is the attestation fault mix for cluster schedules that opt in
 // via Options.Kinds (they are never drawn by default).
 var AttestKinds = []Kind{KindAttestStorm, KindStaleMeasurement}
+
+// MigrationKinds is the elastic-capacity fault mix for cluster schedules that
+// opt in via Options.Kinds (they are never drawn by default).
+var MigrationKinds = []Kind{KindMigrateInterrupt, KindScaleStorm, KindDrainRace}
 
 // AllKinds is the default fault mix for compiled single-node schedules.
 var AllKinds = []Kind{KindCrash, KindRingCorrupt, KindDeviceHang, KindAttestFail,
@@ -118,21 +146,29 @@ var AllKinds = []Kind{KindCrash, KindRingCorrupt, KindDeviceHang, KindAttestFail
 // NodeKinds is the default fault mix for cluster schedules (CompileCluster).
 var NodeKinds = []Kind{KindNodeCrash, KindNetPartition, KindSlowLink}
 
+// KnownKinds is every parseable fault kind in canonical order: the
+// partition-level mix, then the node-level, attestation and migration mixes.
+// ParseKinds validates against exactly this list and kindNames renders it, so
+// error and usage text can never drift from what the parser accepts.
+func KnownKinds() []Kind {
+	kinds := make([]Kind, 0, len(AllKinds)+len(NodeKinds)+len(AttestKinds)+len(MigrationKinds))
+	kinds = append(kinds, AllKinds...)
+	kinds = append(kinds, NodeKinds...)
+	kinds = append(kinds, AttestKinds...)
+	kinds = append(kinds, MigrationKinds...)
+	return kinds
+}
+
 // ParseKinds parses a comma-separated fault-kind list (the cronus-chaos
-// -kinds flag) against the known kinds — partition-level and node-level
-// alike — rejecting unknown names.
+// -kinds flag) against the known kinds — partition-level, node-level,
+// attestation and migration alike — rejecting unknown names.
 func ParseKinds(s string) ([]Kind, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil
 	}
-	known := make(map[Kind]bool, len(AllKinds)+len(NodeKinds)+len(AttestKinds))
-	for _, k := range AllKinds {
-		known[k] = true
-	}
-	for _, k := range NodeKinds {
-		known[k] = true
-	}
-	for _, k := range AttestKinds {
+	all := KnownKinds()
+	known := make(map[Kind]bool, len(all))
+	for _, k := range all {
 		known[k] = true
 	}
 	var kinds []Kind
@@ -148,14 +184,9 @@ func ParseKinds(s string) ([]Kind, error) {
 
 // kindNames renders every known kind for error and usage text.
 func kindNames() string {
-	names := make([]string, 0, len(AllKinds)+len(NodeKinds)+len(AttestKinds))
-	for _, k := range AllKinds {
-		names = append(names, string(k))
-	}
-	for _, k := range NodeKinds {
-		names = append(names, string(k))
-	}
-	for _, k := range AttestKinds {
+	all := KnownKinds()
+	names := make([]string, 0, len(all))
+	for _, k := range all {
 		names = append(names, string(k))
 	}
 	return strings.Join(names, ",")
@@ -191,10 +222,16 @@ type Fault struct {
 	// Node is the target fabric node of a node-level fault (cluster
 	// campaigns only).
 	Node int
-	// Until closes a net-partition or slow-link window opened at After.
+	// Until closes a net-partition, slow-link or scale-storm window opened
+	// at After.
 	Until sim.Duration
 	// Mult is a slow-link's latency multiplier.
 	Mult float64
+	// ToNode and ToPart are a migration fault's destination endpoint
+	// (Node/Partition name the source).
+	ToNode int
+	// ToPart is the destination partition index of a migration fault.
+	ToPart int
 }
 
 // String renders the fault and its trigger deterministically.
@@ -226,6 +263,14 @@ func (f *Fault) String() string {
 	case KindStaleMeasurement:
 		return fmt.Sprintf("stale-measurement node=n%d partition=gpu-part%d after=%v",
 			f.Node, f.Partition, f.After)
+	case KindMigrateInterrupt:
+		return fmt.Sprintf("migrate-interrupt n%d/gpu-part%d -> n%d/gpu-part%d after=%v",
+			f.Node, f.Partition, f.ToNode, f.ToPart, f.After)
+	case KindScaleStorm:
+		return fmt.Sprintf("scale-storm  after=%v until=%v", f.After, f.Until)
+	case KindDrainRace:
+		return fmt.Sprintf("drain-race   n%d/gpu-part%d -> n%d/gpu-part%d after=%v",
+			f.Node, f.Partition, f.ToNode, f.ToPart, f.After)
 	}
 	return string(f.Kind)
 }

@@ -157,6 +157,46 @@ func TestParseKinds(t *testing.T) {
 	}
 }
 
+// TestKnownKindsPinned pins the complete fault-kind vocabulary: every kind
+// below must parse, no other kind may exist, and the parser's error message
+// must enumerate exactly this list — so usage text, error text and the parser
+// can never drift apart.
+func TestKnownKindsPinned(t *testing.T) {
+	want := []Kind{
+		KindCrash, KindRingCorrupt, KindDeviceHang, KindAttestFail,
+		KindPersistentHang, KindCrashLoop,
+		KindNodeCrash, KindNetPartition, KindSlowLink,
+		KindAttestStorm, KindStaleMeasurement,
+		KindMigrateInterrupt, KindScaleStorm, KindDrainRace,
+	}
+	got := KnownKinds()
+	if len(got) != len(want) {
+		t.Fatalf("KnownKinds has %d kinds, want %d: %v", len(got), len(want), got)
+	}
+	for i, k := range want {
+		t.Run(string(k), func(t *testing.T) {
+			if got[i] != k {
+				t.Fatalf("KnownKinds[%d] = %q, want %q", i, got[i], k)
+			}
+			parsed, err := ParseKinds(string(k))
+			if err != nil || len(parsed) != 1 || parsed[0] != k {
+				t.Fatalf("ParseKinds(%q) = %v, %v", k, parsed, err)
+			}
+		})
+	}
+	_, err := ParseKinds("no-such-kind")
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	names := make([]string, len(want))
+	for i, k := range want {
+		names[i] = string(k)
+	}
+	if !strings.Contains(err.Error(), strings.Join(names, ",")) {
+		t.Fatalf("error message does not enumerate every known kind:\n%v", err)
+	}
+}
+
 // TestCrashLoopCompileDegrades pins the crash-loop draw guards: at most one
 // crash-loop per schedule, and none on a one-partition pool (no survivors to
 // re-place onto) — excess draws degrade to plain crashes.

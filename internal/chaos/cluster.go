@@ -26,6 +26,7 @@ import (
 
 	"cronus/internal/attest"
 	"cronus/internal/cluster"
+	"cronus/internal/elastic"
 	"cronus/internal/serve"
 	"cronus/internal/sim"
 	"cronus/internal/spm"
@@ -33,15 +34,16 @@ import (
 	"cronus/internal/tvm"
 )
 
-// nodeKindMix filters a kind list down to the cluster-capable kinds (node
-// faults and attestation faults), falling back to NodeKinds when the list has
-// none (or is the single-node default).
+// nodeKindMix filters a kind list down to the cluster-capable kinds (node,
+// attestation and migration faults), falling back to NodeKinds when the list
+// has none (or is the single-node default).
 func nodeKindMix(kinds []Kind) []Kind {
 	var mix []Kind
 	for _, k := range kinds {
 		switch k {
 		case KindNodeCrash, KindNetPartition, KindSlowLink,
-			KindAttestStorm, KindStaleMeasurement:
+			KindAttestStorm, KindStaleMeasurement,
+			KindMigrateInterrupt, KindScaleStorm, KindDrainRace:
 			mix = append(mix, k)
 		}
 	}
@@ -63,13 +65,32 @@ func hasAttestKinds(kinds []Kind) bool {
 	return false
 }
 
+// hasStormKind reports whether the (cluster-filtered) kind mix can draw a
+// scale-storm — which decides whether the serving configs of a seed arm the
+// autoscaler. Like the attestation gate it arms in baseline and faulted runs
+// alike (inert watermarks, so without a storm window it never acts) to keep
+// the two comparable.
+func hasStormKind(kinds []Kind) bool {
+	for _, k := range nodeKindMix(kinds) {
+		if k == KindScaleStorm {
+			return true
+		}
+	}
+	return false
+}
+
 // CompileCluster derives a node-fault schedule from the seed, domain-
 // separated from Compile so the same seed yields unrelated single-node and
 // cluster plans. Fault instants land in the middle three fifths of the
-// window; partition and slow-link windows last between a tenth and three
-// tenths of it. At most Nodes-1 distinct nodes crash — crashing the last
-// survivor (or the same node twice) would leave nothing to fail over to, so
-// such draws degrade to a heal-able net-partition on the same node.
+// window; partition, slow-link and scale-storm windows last between a tenth
+// and three tenths of it. At most Nodes-1 distinct nodes crash — crashing the
+// last survivor (or the same node twice) would leave nothing to fail over to,
+// so such draws degrade to a heal-able net-partition on the same node.
+// Migration faults draw a source endpoint and a destination: cross-node on
+// the same partition index for migrate-interrupt, the next partition on the
+// same node for drain-race (cross-node when the node has only one). A second
+// migration from an already-drawn source would find it released and be a
+// no-op, so duplicate draws degrade to a scale-storm.
 func CompileCluster(seed int64, opts Options) *Schedule {
 	opts.defaults()
 	rng := rand.New(rand.NewSource(seed ^ 0x6e6f6465)) // domain-separate from Compile
@@ -81,10 +102,28 @@ func CompileCluster(seed int64, opts Options) *Schedule {
 	crashed := map[int]bool{}
 	ppn := opts.Partitions / opts.Nodes
 	staled := map[[2]int]bool{}
+	migrated := map[[2]int]bool{}
 	for n := 0; n < opts.Faults; n++ {
 		f := &Fault{Kind: mix[rng.Intn(len(mix))], Node: rng.Intn(opts.Nodes)}
 		if f.Kind == KindNodeCrash && (len(crashed) >= opts.Nodes-1 || crashed[f.Node]) {
 			f.Kind = KindNetPartition
+		}
+		if f.Kind == KindMigrateInterrupt || f.Kind == KindDrainRace {
+			f.Partition = rng.Intn(ppn)
+			if migrated[[2]int{f.Node, f.Partition}] {
+				// The source was already drawn: a second migration from it
+				// would find the partition released (or just-failed) and skip.
+				// Degrade the draw to a scale-storm so the seed still injects.
+				f.Kind = KindScaleStorm
+				f.Node, f.Partition = 0, 0
+			} else {
+				migrated[[2]int{f.Node, f.Partition}] = true
+				if f.Kind == KindDrainRace && ppn >= 2 {
+					f.ToNode, f.ToPart = f.Node, (f.Partition+1)%ppn
+				} else {
+					f.ToNode, f.ToPart = (f.Node+1)%opts.Nodes, f.Partition
+				}
+			}
 		}
 		if f.Kind == KindStaleMeasurement {
 			f.Partition = rng.Intn(ppn)
@@ -109,6 +148,9 @@ func CompileCluster(seed int64, opts Options) *Schedule {
 			}
 		case KindAttestStorm:
 			f.Node = 0 // a storm hits the gateway-wide ticket cache, not a node
+		case KindScaleStorm:
+			f.Node = 0 // a storm hits the plane-wide autoscaler, not a node
+			f.Until = f.After + opts.Window/10 + sim.Duration(rng.Int63n(int64(opts.Window/5)))
 		}
 		s.Faults = append(s.Faults, f)
 	}
@@ -149,14 +191,48 @@ func (s *Schedule) attestFaults() []serve.AttestFault {
 	return fs
 }
 
+// migrations lowers the schedule's migration faults to the serving plane's
+// planned-migration hooks.
+func (s *Schedule) migrations() []serve.Migration {
+	var ms []serve.Migration
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case KindMigrateInterrupt:
+			ms = append(ms, serve.Migration{At: f.After,
+				From:      elastic.Endpoint{Node: f.Node, Part: f.Partition},
+				To:        elastic.Endpoint{Node: f.ToNode, Part: f.ToPart},
+				Interrupt: true})
+		case KindDrainRace:
+			ms = append(ms, serve.Migration{At: f.After,
+				From: elastic.Endpoint{Node: f.Node, Part: f.Partition},
+				To:   elastic.Endpoint{Node: f.ToNode, Part: f.ToPart},
+				Race: true})
+		}
+	}
+	return ms
+}
+
+// scaleStorms lowers the schedule's scale-storm windows to the serving
+// plane's forced-oscillation hooks.
+func (s *Schedule) scaleStorms() []serve.ScaleStorm {
+	var ws []serve.ScaleStorm
+	for _, f := range s.Faults {
+		if f.Kind == KindScaleStorm {
+			ws = append(ws, serve.ScaleStorm{At: f.After, Until: f.Until})
+		}
+	}
+	return ws
+}
+
 // clusterServeConfig is the serving load a cluster seed runs against: the
 // sharded data plane spanning Options.Nodes fabric nodes, one shard per
 // partition, round-robin placement inside each home group, and HashBound 1.0
 // so the boot assignment spreads tenants evenly — every node gets victims
 // and survivors. Supervision, tracing and the SLO engine stay off: the
 // sharded plane models inference serving only and rejects them by
-// validation.
-func clusterServeConfig(seed int64, o Options, faults []cluster.Fault, afs []serve.AttestFault) serve.Config {
+// validation. The schedule s is nil for the baseline run; the faulted run
+// lowers it onto the config's fault hooks.
+func clusterServeConfig(seed int64, o Options, s *Schedule) serve.Config {
 	cfg := serve.Config{
 		Seed:           seed,
 		Window:         o.Window,
@@ -172,8 +248,23 @@ func clusterServeConfig(seed int64, o Options, faults []cluster.Fault, afs []ser
 		Shards:         o.Partitions,
 		Nodes:          o.Nodes,
 		HashBound:      1.0,
-		NodeFaults:     faults,
-		AttestFaults:   afs,
+	}
+	if s != nil {
+		cfg.NodeFaults = s.nodeFaults()
+		cfg.AttestFaults = s.attestFaults()
+		cfg.Migrations = s.migrations()
+		cfg.ScaleStorms = s.scaleStorms()
+	}
+	if hasStormKind(o.Kinds) {
+		// The autoscaler arms in baseline and faulted runs alike, with
+		// watermarks it can never hit on its own: only a compiled scale-storm
+		// window makes it act, so the baseline run stays a true control.
+		cfg.Autoscale = &elastic.Config{
+			Interval:  100 * sim.Microsecond,
+			HighDepth: 1 << 30,
+			LowDepth:  -1,
+			HighShed:  2,
+		}
 	}
 	if hasAttestKinds(o.Kinds) {
 		// The gate arms in baseline and faulted runs alike (same config
@@ -263,6 +354,13 @@ func (s *Schedule) faultNodes() (all, crashes map[int]bool) {
 			// A revocation quarantines part of the node's pool: tenants homed
 			// there shift load (possibly rehoming), so the node is faulted.
 			all[f.Node] = true
+		case KindMigrateInterrupt, KindDrainRace:
+			// A migration perturbs both ends: the source drains (or crashes,
+			// interrupted) and the destination absorbs the moved load and the
+			// fabric transfer. Scale-storms are plane-wide and handled by the
+			// survivor-check relaxation instead.
+			all[f.Node] = true
+			all[f.ToNode] = true
 		}
 	}
 	return all, crashes
@@ -325,11 +423,15 @@ func (rr *NodeRunReport) checkNodeInvariants() []string {
 				res.name, n))
 		}
 	}
-	hasStorm, hasStale := false, false
+	hasStorm, hasStale, hasScaleStorm := false, false, false
 	for _, f := range rr.Schedule.Faults {
 		switch f.Kind {
 		case KindAttestStorm:
 			hasStorm = true
+		case KindScaleStorm:
+			hasScaleStorm = true
+		case KindMigrateInterrupt, KindDrainRace:
+			v = append(v, rr.checkMigrationFault(f)...)
 		case KindStaleMeasurement:
 			hasStale = true
 			victim := fmt.Sprintf("n%d/gpu-part%d", f.Node, f.Partition)
@@ -346,16 +448,34 @@ func (rr *NodeRunReport) checkNodeInvariants() []string {
 			}
 		}
 	}
+	// Elastic invariants. A scale-storm arms the autoscaler in both runs; the
+	// faulted run must have the layer up, and the baseline controller — armed
+	// with inert watermarks and no storm windows — must never have acted,
+	// proving the oscillation came from the fault and nothing else.
+	if hasScaleStorm {
+		if rr.Faulted.Elastic == nil {
+			v = append(v, "scale-storm armed but the faulted run has no elastic layer")
+		}
+		if be := rr.Baseline.Elastic; be == nil {
+			v = append(v, "scale-storm in the mix but the baseline run has no elastic layer")
+		} else if be.ScaleUps != 0 || be.ScaleDowns != 0 || be.Migrations != 0 {
+			v = append(v, fmt.Sprintf(
+				"baseline autoscaler acted without a storm (ups=%d downs=%d migrations=%d)",
+				be.ScaleUps, be.ScaleDowns, be.Migrations))
+		}
+	}
 	// Survivors — tenants homed away from every faulted node. Their arrival
 	// process never depends on faults, so Offered must always match. With no
 	// crash in the schedule nothing re-places onto their nodes either, so
 	// the full single-node contract applies: identical accounting, p95
 	// within tolerance. After a crash the rehomed load lands on survivor
 	// nodes legitimately, so only the arrival check holds — and the same
-	// relaxation applies to the attestation faults: a storm hits every
-	// tenant's admission path (mass re-attestation), and a revocation can
-	// rehome its victims' tenants onto survivor nodes.
-	hasCrash := len(crashNodes) > 0 || hasStorm || hasStale
+	// relaxation applies to the attestation faults (a storm hits every
+	// tenant's admission path, a revocation can rehome its victims' tenants
+	// onto survivor nodes) and to scale-storms, whose forced capacity
+	// oscillation is plane-wide by design. Planned migrations stay strict:
+	// they perturb only their two endpoints, both marked faulted.
+	hasCrash := len(crashNodes) > 0 || hasStorm || hasStale || hasScaleStorm
 	for ti := range rr.Faulted.Tenants {
 		ft := &rr.Faulted.Tenants[ti]
 		if faultNodes[ft.Home] || ti >= len(rr.Baseline.Tenants) {
@@ -383,6 +503,67 @@ func (rr *NodeRunReport) checkNodeInvariants() []string {
 	return v
 }
 
+// elasticEvent reports whether the run's elastic event log contains substr.
+func elasticEvent(r *serve.Result, substr string) bool {
+	if r.Elastic == nil {
+		return false
+	}
+	for _, e := range r.Elastic.Events {
+		if strings.Contains(e, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMigrationFault audits one armed migration fault against the faulted
+// run's elastic event log. The migration must at least have been attempted
+// (elMigrate always logs a quiesce or a skip for its source). A skip is
+// legitimate — an earlier fault can take either endpoint out of service — but
+// an attempted migrate-interrupt must show the crash-failover fallback (the
+// interrupt event plus a recorded panic on the source), and an attempted
+// drain-race must show the race injected and the migration still completing.
+func (rr *NodeRunReport) checkMigrationFault(f *Fault) []string {
+	var v []string
+	label := fmt.Sprintf("migration n%d/gpu-part%d -> n%d/gpu-part%d",
+		f.Node, f.Partition, f.ToNode, f.ToPart)
+	if !elasticEvent(rr.Faulted, label) {
+		return []string{fmt.Sprintf("%s armed but the elastic layer never attempted it", f.Kind)}
+	}
+	if elasticEvent(rr.Faulted, label+" skipped") {
+		return nil
+	}
+	switch f.Kind {
+	case KindMigrateInterrupt:
+		if !elasticEvent(rr.Faulted, label+" interrupted") {
+			v = append(v, fmt.Sprintf("migrate-interrupt on n%d/gpu-part%d ran but never interrupted",
+				f.Node, f.Partition))
+		}
+		src := fmt.Sprintf("n%d/gpu-part%d", f.Node, f.Partition)
+		found := false
+		for _, fs := range rr.Faulted.Failures {
+			if fs.Partition == src && fs.Reason == spm.FailPanic {
+				found = true
+				break
+			}
+		}
+		if !found {
+			v = append(v, fmt.Sprintf(
+				"migrate-interrupt on %s never fell back to crash-failover (no panic recorded)", src))
+		}
+	case KindDrainRace:
+		if !elasticEvent(rr.Faulted, "drain-race") {
+			v = append(v, fmt.Sprintf("drain-race on n%d/gpu-part%d ran but never injected the race",
+				f.Node, f.Partition))
+		}
+		if !elasticEvent(rr.Faulted, label+" completed") {
+			v = append(v, fmt.Sprintf("drain-race migration n%d/gpu-part%d never completed",
+				f.Node, f.Partition))
+		}
+	}
+	return v
+}
+
 // RunNodeOne compiles the seed's node-fault schedule and executes it: a
 // fault-free baseline cluster run, the faulted run over the identical
 // config, then every invariant check. The returned report is fully
@@ -398,12 +579,12 @@ func RunNodeOne(seed int64, o Options) (*NodeRunReport, error) {
 	}
 	mRuns.Inc()
 	rr := &NodeRunReport{Seed: seed, Opts: o, Schedule: CompileCluster(seed, o)}
-	base, err := serve.Run(clusterServeConfig(seed, o, nil, nil))
+	base, err := serve.Run(clusterServeConfig(seed, o, nil))
 	if err != nil {
 		return nil, fmt.Errorf("chaos: cluster baseline run (seed %d): %w", seed, err)
 	}
 	rr.Baseline = base
-	faulted, err := serve.Run(clusterServeConfig(seed, o, rr.Schedule.nodeFaults(), rr.Schedule.attestFaults()))
+	faulted, err := serve.Run(clusterServeConfig(seed, o, rr.Schedule))
 	if err != nil {
 		return nil, fmt.Errorf("chaos: cluster faulted run (seed %d): %w", seed, err)
 	}

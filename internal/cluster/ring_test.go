@@ -124,6 +124,74 @@ func TestRingMinimalMovementLeave(t *testing.T) {
 	}
 }
 
+// TestRingRebalanceScaleCycle models an autoscaler scale-down/scale-up cycle
+// on one node: taking the node out moves only its own keys (the survivors
+// never shuffle among themselves), and bringing it back restores the original
+// assignment exactly — zero residual movement after a full cycle, so elastic
+// capacity changes cannot slowly churn tenant homes.
+func TestRingRebalanceScaleCycle(t *testing.T) {
+	keys := ringKeys(1000)
+	r, _ := NewRing(4, 64, 17)
+	before := r.Assign(keys, 0)
+	for down := 0; down < 4; down++ {
+		alive := []bool{true, true, true, true}
+		alive[down] = false
+		moved := 0
+		for i, k := range keys {
+			n := r.Home(k, alive, nil, 0)
+			if before[i] == down {
+				if n == down || n < 0 {
+					t.Fatalf("key %d still homed on scaled-down node %d", i, n)
+				}
+				moved++
+			} else if n != before[i] {
+				t.Fatalf("node %d scale-down moved unrelated key %d: %d→%d",
+					down, i, before[i], n)
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("node %d owned no keys — distribution degenerate", down)
+		}
+		// Scale back up: every key must return to its original home.
+		for i, k := range keys {
+			if n := r.Home(k, []bool{true, true, true, true}, nil, 0); n != before[i] {
+				t.Fatalf("key %d did not return home after node %d scale cycle: %d→%d",
+					i, down, before[i], n)
+			}
+		}
+	}
+}
+
+// TestRingRebalanceCapacityBound models a capacity change through the
+// bounded-load walk: saturating one node's load (its partitions migrated
+// away, so it accepts no more tenants) overflows only the keys whose arc
+// lands on it — every key homed elsewhere keeps its node, the minimal-
+// movement property under capacity change rather than death.
+func TestRingRebalanceCapacityBound(t *testing.T) {
+	keys := ringKeys(1000)
+	r, _ := NewRing(4, 64, 19)
+	before := r.Assign(keys, 0)
+	const full = 2 // the node whose capacity scaled to zero
+	loads := make([]int, 4)
+	loads[full] = 1000 // at any positive bound this node is over it
+	moved := 0
+	for i, k := range keys {
+		n := r.Home(k, nil, loads, 1)
+		if before[i] == full {
+			if n == full {
+				t.Fatalf("key %d stayed on the saturated node", i)
+			}
+			moved++
+		} else if n != before[i] {
+			t.Fatalf("saturating node %d moved unrelated key %d: %d→%d",
+				full, i, before[i], n)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("saturated node owned no keys — distribution degenerate")
+	}
+}
+
 // TestRingAllDead returns -1 only when no node is alive.
 func TestRingAllDead(t *testing.T) {
 	r, _ := NewRing(3, 8, 1)

@@ -56,23 +56,27 @@ func (t *tenant) inSystem() int {
 }
 
 // capacity reports the tenant's usable and total replica slots for the
-// degraded-admission bound. Only quarantined replicas count as lost:
-// transient failovers recover in bounded time and must not perturb
-// admission (survivor accounting under a one-shot fault stays identical to
-// the baseline). Under DeviceAffinity the tenant only ever uses its pinned
-// replica, so capacity is that single slot — unless the pin is quarantined
-// and the scheduler is falling back to spreading over the survivors.
+// degraded-admission bound. Only retired replicas (quarantined or released
+// by an elastic scale-down) count as lost: transient failovers recover in
+// bounded time and must not perturb admission (survivor accounting under a
+// one-shot fault stays identical to the baseline), and a draining replica
+// still finishes its in-flight work. Released capacity shrinking the bound
+// is also the autoscaler's feedback path — scale down too far and the shed
+// rate climbs, which is exactly the signal that scales back up. Under
+// DeviceAffinity the tenant only ever uses its pinned replica, so capacity
+// is that single slot — unless the pin has retired and the scheduler is
+// falling back to spreading over the survivors.
 func (srv *Server) capacity(t *tenant) (usable, total int) {
 	reps := srv.placementSet(t)
 	if len(reps) == 0 {
 		return 0, 0
 	}
-	if srv.cfg.Policy == DeviceAffinity && !reps[t.idx%len(reps)].quarantined {
+	if srv.cfg.Policy == DeviceAffinity && !reps[t.idx%len(reps)].retired() {
 		return 1, 1
 	}
 	total = len(reps)
 	for _, rep := range reps {
-		if !rep.quarantined {
+		if !rep.retired() {
 			usable++
 		}
 	}

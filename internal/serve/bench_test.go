@@ -123,14 +123,28 @@ func BenchmarkServeLoadScaleOut(b *testing.B) {
 // so the vreq/s aggregate is the two-node scale-out of the four-partition
 // ScaleOut row — inter-node transfer costs included.
 func BenchmarkServeLoadMultiNode(b *testing.B) {
+	benchMultiNode(b, 2)
+}
+
+// BenchmarkServeLoadMultiNode4 pushes the scale-out row to four nodes: sixteen
+// tenants over sixteen partitions and sixteen kernel shards, four per node —
+// the -nodes 4 -partitions 16 -shards 16 configuration. Together with the
+// two-node row it shows how the aggregate scales as the fabric doubles.
+func BenchmarkServeLoadMultiNode4(b *testing.B) {
+	benchMultiNode(b, 4)
+}
+
+// benchMultiNode runs the fabric scale-out row over `nodes` nodes with four
+// partitions, four shards and four pinned tenants per node.
+func benchMultiNode(b *testing.B, nodes int) {
 	cfg := benchConfig(4)
-	cfg.Nodes = 2
-	cfg.Shards = 8
-	cfg.GPUPartitions = 8
+	cfg.Nodes = nodes
+	cfg.Shards = 4 * nodes
+	cfg.GPUPartitions = 4 * nodes
 	cfg.Policy = serve.DeviceAffinity
 	cfg.HashBound = 1.0
 	cfg.Tenants = nil
-	for ti := 0; ti < 8; ti++ {
+	for ti := 0; ti < 4*nodes; ti++ {
 		cfg.Tenants = append(cfg.Tenants, serve.TenantSpec{
 			Name: fmt.Sprintf("load%d", ti), Arrival: serve.FixedRate, Rate: 90000, QueueCap: 64,
 			Mix: []serve.WorkClass{{Name: "resnet50", Graph: tvm.ResNet50()}},

@@ -260,13 +260,14 @@ func (srv *Server) clCrashNode(p *sim.Proc, n int) {
 }
 
 // clHomeUnusable reports whether every replica in the tenant's home
-// partition group is quarantined — the trigger for cross-node failover.
-// Replicas that are merely down (transient proceed-trap recovery) do not
-// count: those heal in bounded time and rehoming on them would make
+// partition group has retired (quarantined, or released by an elastic
+// migration/scale-down) — the trigger for cross-node failover. Replicas
+// that are merely down (transient proceed-trap recovery) do not count:
+// those heal in bounded time and rehoming on them would make
 // single-partition failovers diverge from the single-node plane.
 func (srv *Server) clHomeUnusable(t *tenant) bool {
 	for _, rep := range srv.placementSet(t) {
-		if !rep.quarantined {
+		if !rep.retired() {
 			return false
 		}
 	}
@@ -274,10 +275,10 @@ func (srv *Server) clHomeUnusable(t *tenant) bool {
 }
 
 // clRehome re-hashes a tenant onto a surviving node: the clockwise walk
-// skips dead nodes and nodes where the tenant's pool is fully quarantined,
-// with the bounded-load cap recomputed over the survivors. On success the
-// backlog flushes to the new home. Returns false when no eligible node
-// remains.
+// skips dead nodes and nodes where the tenant's pool has fully retired
+// (quarantined or released), with the bounded-load cap recomputed over the
+// survivors. On success the backlog flushes to the new home. Returns false
+// when no eligible node remains.
 func (srv *Server) clRehome(now sim.Time, t *tenant, why string) bool {
 	cl := srv.cl
 	eligible := make([]bool, cl.nodes)
@@ -287,7 +288,7 @@ func (srv *Server) clRehome(now sim.Time, t *tenant, why string) bool {
 			continue
 		}
 		for _, rep := range t.reps[n*cl.ppn : (n+1)*cl.ppn] {
-			if !rep.quarantined {
+			if !rep.retired() {
 				eligible[n] = true
 				nEligible++
 				break

@@ -1,0 +1,550 @@
+package serve
+
+// The elastic-capacity layer (DESIGN.md §16): planned live migration and the
+// load-driven autoscaler, both built on the sharded plane's existing
+// exactly-once machinery rather than beside it.
+//
+// Planned migration generalizes the proceed-trap failover into a graceful
+// path. The state machine is quiesce → checkpoint → transfer → replay →
+// release: the source partition's replicas stop taking new placements but
+// finish what they hold (quiesce), the mEnclave state snapshots at the
+// host-memcpy rate like a dnn.Trainer checkpoint (checkpoint), the snapshot
+// crosses the cluster fabric priced through TransferNS — or the local DMA
+// engine on a same-node move (transfer), anything still in flight at the
+// drain deadline is cancelled and requeued through shCancelInflight exactly
+// once (replay), and only then does the source release (release). Because
+// every partition boots the same mOS image, the destination carries the same
+// measurement as the source: the tenant's attestation tickets stay valid
+// across the move and re-admission costs one MAC resume, not a cold quote
+// verification.
+//
+// The autoscaler is a control loop over signals the plane already exports —
+// total queue depth, cumulative shed rate, worst tenant p95 and the SLO
+// burn-rate — with watermark hysteresis and a cooldown (internal/elastic).
+// Scale-down rides the migration primitive and then scrubs the vacated
+// partition; scale-up re-boots a released partition, charging mOS boot plus
+// re-attestation in virtual time before the capacity is usable. Released
+// capacity shrinks the admission bound (capacity() counts it as lost), so
+// the loop's own actions feed back into the signals it watches: it can
+// oscillate, overshoot and be tuned like a real controller, and the
+// scale-storm chaos kind forces exactly that oscillation.
+//
+// Fault discipline matches the rest of the sharded plane: every migration
+// proc and every autoscaler action sequentializes the kernel before touching
+// shared state (a no-op on sequential runs), so the mutations interleave
+// deterministically with the data plane.
+
+import (
+	"fmt"
+
+	"cronus/internal/elastic"
+	"cronus/internal/metrics"
+	"cronus/internal/sim"
+	"cronus/internal/spm"
+)
+
+// Migration schedules one planned live migration: at offset At from serving
+// start, move the serving capacity of the From partition onto To. Interrupt
+// makes the source die mid-checkpoint instead (the migrate-interrupt chaos
+// kind: the plane must fall back to crash-failover with nothing lost or
+// duplicated); Race force-dispatches one in-flight batch onto the quiescing
+// source (the drain-race chaos kind: the racing batch must still resolve
+// exactly once).
+type Migration struct {
+	At        sim.Duration
+	From      elastic.Endpoint
+	To        elastic.Endpoint
+	Interrupt bool
+	Race      bool
+}
+
+// ScaleStorm schedules one forced autoscaler oscillation window [At, Until)
+// (offsets from serving start): every control tick inside it alternates
+// scale-down/scale-up regardless of load — the scale-storm chaos kind.
+type ScaleStorm struct {
+	At    sim.Duration
+	Until sim.Duration
+}
+
+// validateElastic rejects elastic configurations the plane cannot model.
+func validateElastic(cfg Config) error {
+	if len(cfg.Migrations) == 0 && cfg.Autoscale == nil && len(cfg.ScaleStorms) == 0 {
+		return nil
+	}
+	if cfg.Shards < 2 {
+		return fmt.Errorf("serve: Migrations/Autoscale require the sharded data plane (Shards >= 2)")
+	}
+	if len(cfg.ScaleStorms) > 0 && cfg.Autoscale == nil {
+		return fmt.Errorf("serve: ScaleStorms require Autoscale")
+	}
+	nodes := cfg.Nodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	ppn := cfg.GPUPartitions / nodes
+	for i, m := range cfg.Migrations {
+		switch {
+		case m.At <= 0:
+			return fmt.Errorf("serve: Migrations[%d] needs At > 0", i)
+		case m.From.Node < 0 || m.From.Node >= nodes || m.To.Node < 0 || m.To.Node >= nodes:
+			return fmt.Errorf("serve: Migrations[%d] endpoints out of node range [0,%d)", i, nodes)
+		case m.From.Part < 0 || m.From.Part >= ppn || m.To.Part < 0 || m.To.Part >= ppn:
+			return fmt.Errorf("serve: Migrations[%d] endpoints out of partition range [0,%d)", i, ppn)
+		case m.From == m.To:
+			return fmt.Errorf("serve: Migrations[%d] migrates %s onto itself", i, m.From)
+		}
+	}
+	for i, w := range cfg.ScaleStorms {
+		if w.At <= 0 || w.Until <= w.At {
+			return fmt.Errorf("serve: ScaleStorms[%d] needs 0 < At < Until", i)
+		}
+	}
+	return nil
+}
+
+// elState is the elastic-capacity layer's server-side state. Only
+// sequentialized procs (migration injectors, the autoscaler loop) mutate it.
+type elState struct {
+	ctl *elastic.Controller
+
+	// released/booting track partition lifecycle by global partition index
+	// (node·ppn + partition); the per-replica released flags mirror it.
+	released []bool
+	booting  []bool
+
+	// busy serializes capacity actions: one migration at a time.
+	busy bool
+
+	migrations  uint64
+	interrupted uint64
+	races       uint64
+	ups         uint64
+	downs       uint64
+	replayed    uint64
+
+	ctrMigrations  *metrics.Counter
+	ctrInterrupted *metrics.Counter
+	ctrRaces       *metrics.Counter
+	ctrUps         *metrics.Counter
+	ctrDowns       *metrics.Counter
+	ctrReplayed    *metrics.Counter
+
+	events []string
+}
+
+// elBoot builds the elastic layer before any load exists.
+func (srv *Server) elBoot() {
+	ctlCfg := elastic.Config{}
+	if srv.cfg.Autoscale != nil {
+		ctlCfg = *srv.cfg.Autoscale
+	}
+	srv.el = &elState{
+		ctl:            elastic.NewController(ctlCfg),
+		released:       make([]bool, srv.cfg.GPUPartitions),
+		booting:        make([]bool, srv.cfg.GPUPartitions),
+		ctrMigrations:  srv.reg.Counter("serve.elastic.migrations"),
+		ctrInterrupted: srv.reg.Counter("serve.elastic.interrupted"),
+		ctrRaces:       srv.reg.Counter("serve.elastic.drain_races"),
+		ctrUps:         srv.reg.Counter("serve.elastic.scale_ups"),
+		ctrDowns:       srv.reg.Counter("serve.elastic.scale_downs"),
+		ctrReplayed:    srv.reg.Counter("serve.elastic.replayed"),
+	}
+}
+
+// event appends one timestamped line to the elastic event log.
+func (el *elState) event(now sim.Time, msg string) {
+	el.events = append(el.events, fmt.Sprintf("%s at %s", msg, sim.Duration(now)))
+}
+
+// elPPN is the partition count per node (the whole pool on a single node).
+func (srv *Server) elPPN() int {
+	if srv.cl != nil {
+		return srv.cl.ppn
+	}
+	return srv.cfg.GPUPartitions
+}
+
+// elRepIdx maps an endpoint to its index in every tenant's replica slice.
+func (srv *Server) elRepIdx(e elastic.Endpoint) int {
+	return e.Node*srv.elPPN() + e.Part
+}
+
+// elStart arms the elastic layer from shServe: one injector proc per planned
+// migration plus the autoscaler loop, all spawned before the kernel may
+// parallelize (stable lids — part of the determinism contract). No-op when
+// the layer is unarmed.
+func (srv *Server) elStart(p *sim.Proc) {
+	if srv.el == nil {
+		return
+	}
+	start := p.Now()
+	for i, m := range srv.cfg.Migrations {
+		i, m := i, m
+		srv.pl.K.SpawnOn(0, lidMigration+uint64(i),
+			fmt.Sprintf("serve-migrate-%d", i), func(p *sim.Proc) {
+				p.Sleep(m.At)
+				p.Sequentialize()
+				srv.elMigrate(p, m)
+			})
+	}
+	if srv.cfg.Autoscale != nil {
+		for _, w := range srv.cfg.ScaleStorms {
+			srv.el.ctl.AddStorm(start+sim.Time(w.At), start+sim.Time(w.Until))
+		}
+		srv.pl.K.SpawnOn(0, lidAutoscaler, "serve-autoscaler", func(p *sim.Proc) {
+			srv.elRun(p)
+		})
+	}
+}
+
+// elSignals samples the plane's load state for one control tick.
+func (srv *Server) elSignals(now sim.Time) elastic.Signals {
+	var s elastic.Signals
+	var offered, shed uint64
+	for _, t := range srv.tenants {
+		s.QueueDepth += t.shInSystem()
+		offered += t.offered
+		shed += t.shed
+		if p95 := sim.Duration(t.latHist.Quantile(0.95)); p95 > s.P95 {
+			s.P95 = p95
+		}
+		if t.slo != nil {
+			if f := t.slo.Signal(now).Fast; f > s.BurnRate {
+				s.BurnRate = f
+			}
+		}
+	}
+	if offered > 0 {
+		s.ShedRate = float64(shed) / float64(offered)
+	}
+	return s
+}
+
+// elRun is the autoscaler loop body: sample, decide, act, every control
+// interval until the kernel stops (the same park-forever shape as the
+// re-measurement prober). Every action runs sequentialized.
+func (srv *Server) elRun(p *sim.Proc) {
+	interval := srv.el.ctl.Config().Interval
+	inStorm := false
+	for {
+		p.Sleep(interval)
+		now := p.Now()
+		storm := srv.el.ctl.StormActive(now)
+		act := srv.el.ctl.Decide(now, srv.elSignals(now))
+		if act == elastic.Hold && !(inStorm && !storm) {
+			inStorm = storm
+			continue
+		}
+		if srv.sh != nil {
+			p.Sequentialize()
+		}
+		switch act {
+		case elastic.ScaleUp:
+			srv.elScaleUp(p)
+		case elastic.ScaleDown:
+			srv.elScaleDown(p)
+		}
+		if inStorm && !storm {
+			// The storm window just closed: restore full capacity so the
+			// plane converges back to its configured pool instead of
+			// parking load behind whatever the last oscillation released.
+			srv.elRestore(p)
+		}
+		inStorm = storm
+	}
+}
+
+// elMigrate runs one migration through the state machine; config-scheduled
+// migrations and autoscaler scale-downs both land here (drain-for-upgrade,
+// consolidation and scale-down are one primitive). The source stays released
+// afterwards — on a planned run that is the drain semantics, under the
+// autoscaler the scale-up path re-boots it when load demands. Returns true
+// when the source was released, false when the migration was skipped or
+// interrupted.
+func (srv *Server) elMigrate(p *sim.Proc, m Migration) bool {
+	el := srv.el
+	now := p.Now()
+	label := fmt.Sprintf("migration %s -> %s", m.From, m.To)
+	if el.busy {
+		el.event(now, label+" skipped (another capacity action in progress)")
+		return false
+	}
+	src, dst := srv.elRepIdx(m.From), srv.elRepIdx(m.To)
+	if el.released[src] || el.booting[src] {
+		el.event(now, label+" skipped (source out of service)")
+		return false
+	}
+	if el.released[dst] || el.booting[dst] {
+		el.event(now, label+" skipped (destination out of service)")
+		return false
+	}
+	for _, t := range srv.tenants {
+		if t.reps[src].down || t.reps[src].quarantined {
+			el.event(now, label+" skipped (source failed)")
+			return false
+		}
+		if t.reps[dst].quarantined {
+			el.event(now, label+" skipped (destination quarantined)")
+			return false
+		}
+	}
+	el.busy = true
+	// Quiesce: the source takes no new placements but finishes what its
+	// lanes hold. Admission capacity is untouched — a draining partition is
+	// still doing work.
+	el.event(now, label+": quiesce")
+	for _, t := range srv.tenants {
+		t.reps[src].draining = true
+	}
+	if m.Race {
+		srv.elDrainRace(now, m, src)
+	}
+	// Checkpoint: snapshot every tenant's mEnclave on the source at the
+	// host-memcpy rate (the dnn.Trainer DtoH checkpoint path).
+	ck := srv.elCheckpointBytes()
+	ckNS := srv.pl.Costs.Memcpy(ck)
+	if m.Interrupt {
+		// The source dies halfway through the snapshot. Un-quiesce (the
+		// partition is about to be down, not draining) and hand the wreck to
+		// the ordinary crash-failover path: the SPM proceed-trap fires the
+		// failure subscription, shCancelInflight replays the in-flight work,
+		// and the partition rejoins after restart. The migration is
+		// abandoned, nothing is lost or duplicated.
+		p.Sleep(ckNS / 2)
+		for _, t := range srv.tenants {
+			t.reps[src].draining = false
+		}
+		el.interrupted++
+		el.ctrInterrupted.Inc()
+		el.busy = false
+		el.event(p.Now(), label+" interrupted: source failed mid-checkpoint")
+		srv.plats[m.From.Node].SPM.Fail(srv.plats[m.From.Node].GPUs[m.From.Part].Part, spm.FailPanic)
+		return false
+	}
+	p.Sleep(ckNS)
+	// Replay: the drain deadline. Whatever the source still holds is
+	// cancelled and requeued through the failover primitive — each request
+	// re-dispatches exactly once, on the destination, because the source is
+	// still draining and about to release.
+	replayed := 0
+	for _, t := range srv.tenants {
+		replayed += srv.shCancelInflight(t, t.reps[src])
+	}
+	el.replayed += uint64(replayed)
+	el.ctrReplayed.Add(uint64(replayed))
+	// Transfer: the snapshot crosses the fabric to another node (TransferNS
+	// prices serialization, bandwidth and slow-link windows) or rides the
+	// local DMA engine on a same-node move, then restores into the
+	// destination enclaves at the memcpy rate.
+	if srv.cl != nil && m.From.Node != m.To.Node {
+		p.Sleep(srv.cl.fab.TransferNS(m.To.Node, ck, p.Now()))
+	} else {
+		p.Sleep(srv.pl.Costs.DMA(ck))
+	}
+	p.Sleep(srv.pl.Costs.Memcpy(ck))
+	// Release: only now does the source leave service.
+	done := p.Now()
+	for _, t := range srv.tenants {
+		t.reps[src].draining = false
+		t.reps[src].released = true
+	}
+	el.released[src] = true
+	el.migrations++
+	el.ctrMigrations.Inc()
+	el.busy = false
+	el.event(done, fmt.Sprintf("%s completed (%d KiB state, %d replayed)", label, ck>>10, replayed))
+	for _, t := range srv.tenants {
+		if srv.cl != nil && t.home == m.From.Node && srv.clHomeUnusable(t) {
+			// The release emptied the tenant's home placement set: the move
+			// was effectively a node evacuation, so re-home (which also
+			// flushes the backlog to the new home).
+			if srv.clRehome(done, t, "migrated") {
+				continue
+			}
+		}
+		srv.shFlushBacklog(done, t)
+	}
+	return true
+}
+
+// elDrainRace injects the drain-race fault: one batch is force-dispatched
+// onto the quiescing source after the placement policies already stopped
+// picking it — the race between an admission decision and the quiesce. The
+// batch either completes on the source before the drain deadline or is
+// cancelled and replayed with everything else; exactly-once must hold either
+// way. Only tenants whose placement set contains the source race (on a
+// cluster that is the tenants homed on the source node — racing anyone else
+// would fabricate a split-brain the real race cannot produce).
+func (srv *Server) elDrainRace(now sim.Time, m Migration, src int) {
+	for _, t := range srv.tenants {
+		if srv.cl != nil && t.home != m.From.Node {
+			continue
+		}
+		rep := t.reps[src]
+		var b *batch
+		switch {
+		case t.shOpen != nil:
+			// Seal the open batch early (shCloseBatch's bookkeeping) and aim
+			// it at the source instead of letting the policy place it.
+			b = t.shOpen
+			t.shOpen = nil
+			t.shGen++
+			t.q.depth.Set(0)
+		case len(t.shBacklog) > 0:
+			b = t.shBacklog[0]
+			t.shBacklog = t.shBacklog[1:]
+		default:
+			continue
+		}
+		srv.el.races++
+		srv.el.ctrRaces.Inc()
+		srv.el.event(now, fmt.Sprintf("drain-race: %s batch of %d admitted onto quiescing %s",
+			t.spec.Name, len(b.reqs), m.From))
+		srv.shDispatchTo(now, t, b, rep)
+		return
+	}
+	srv.el.event(now, fmt.Sprintf("drain-race on %s: no batch available to race", m.From))
+}
+
+// elCheckpointBytes sizes one partition's migration snapshot: per tenant,
+// the mEnclave state plus the staging arena contents.
+func (srv *Server) elCheckpointBytes() int {
+	state := srv.el.ctl.Config().EnclaveStateBytes
+	total := 0
+	for _, t := range srv.tenants {
+		total += state + t.reps[0].inCap
+	}
+	return total
+}
+
+// elActive counts a node's in-service partitions (not released, not booting,
+// not quarantined) and returns the highest- and lowest-indexed ones.
+func (srv *Server) elActive(node int) (active, hi, lo int) {
+	ppn := srv.elPPN()
+	hi, lo = -1, -1
+	for pi := 0; pi < ppn; pi++ {
+		idx := node*ppn + pi
+		if srv.el.released[idx] || srv.el.booting[idx] {
+			continue
+		}
+		if srv.tenants[0].reps[idx].quarantined {
+			continue
+		}
+		active++
+		hi = pi
+		if lo < 0 {
+			lo = pi
+		}
+	}
+	return active, hi, lo
+}
+
+// elScaleDown picks the node with the most active partitions (ties: lowest
+// node), migrates its highest active partition onto its lowest, and scrubs
+// the vacated one. MinActive partitions per node always survive.
+func (srv *Server) elScaleDown(p *sim.Proc) {
+	if srv.el.busy {
+		return
+	}
+	nodes := 1
+	if srv.cl != nil {
+		nodes = srv.cl.nodes
+	}
+	best, bestActive := -1, 0
+	for n := 0; n < nodes; n++ {
+		if srv.cl != nil && !srv.cl.alive[n] {
+			continue
+		}
+		if active, _, _ := srv.elActive(n); active > bestActive {
+			best, bestActive = n, active
+		}
+	}
+	if best < 0 || bestActive <= srv.el.ctl.Config().MinActive {
+		return
+	}
+	_, hi, lo := srv.elActive(best)
+	if hi == lo {
+		return
+	}
+	m := Migration{
+		From: elastic.Endpoint{Node: best, Part: hi},
+		To:   elastic.Endpoint{Node: best, Part: lo},
+	}
+	if !srv.elMigrate(p, m) {
+		return
+	}
+	srv.el.downs++
+	srv.el.ctrDowns.Inc()
+	p.Sleep(srv.el.ctl.Config().ScrubCost)
+	srv.el.event(p.Now(), fmt.Sprintf("scale-down: %s released and scrubbed", m.From))
+}
+
+// elScaleUp re-activates the first released partition (node order, then
+// partition order), charging mOS boot plus re-attestation in virtual time
+// before the capacity is usable. The re-booted partition runs the same mOS
+// image, so its measurement matches the boot-pinned value and existing
+// tickets keep working.
+func (srv *Server) elScaleUp(p *sim.Proc) {
+	if srv.el.busy {
+		return
+	}
+	idx := -1
+	for i, rel := range srv.el.released {
+		if rel && !srv.el.booting[i] {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	el := srv.el
+	cfg := el.ctl.Config()
+	ppn := srv.elPPN()
+	ep := elastic.Endpoint{Node: idx / ppn, Part: idx % ppn}
+	el.booting[idx] = true
+	el.busy = true
+	el.event(p.Now(), fmt.Sprintf("scale-up: booting %s (boot %s + attest %s)",
+		ep, cfg.BootCost, cfg.AttestCost))
+	p.Sleep(cfg.BootCost + cfg.AttestCost)
+	for _, t := range srv.tenants {
+		t.reps[idx].released = false
+	}
+	el.released[idx] = false
+	el.booting[idx] = false
+	el.busy = false
+	el.ups++
+	el.ctrUps.Inc()
+	now := p.Now()
+	el.event(now, fmt.Sprintf("scale-up: %s in service", ep))
+	for _, t := range srv.tenants {
+		srv.shFlushBacklog(now, t)
+	}
+}
+
+// elRestore scales every released partition back into service — the
+// post-storm convergence path, so a closed oscillation window leaves the
+// plane at its configured capacity.
+func (srv *Server) elRestore(p *sim.Proc) {
+	for {
+		remaining := 0
+		for i, rel := range srv.el.released {
+			if rel && !srv.el.booting[i] {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			return
+		}
+		srv.elScaleUp(p)
+		after := 0
+		for i, rel := range srv.el.released {
+			if rel && !srv.el.booting[i] {
+				after++
+			}
+		}
+		if after >= remaining {
+			return // no progress (busy or stuck): never spin
+		}
+	}
+}

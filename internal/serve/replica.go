@@ -40,6 +40,8 @@ type replica struct {
 	outstanding int
 	down        bool
 	quarantined bool // partition crash-looped into quarantine; park until release
+	draining    bool // quiescing for a planned migration; finish in-flight, take no new work
+	released    bool // partition released by elastic scale-down/migration; out of service
 	cond        *sim.Cond
 
 	// consecTimeouts is the circuit-breaker state: consecutive attempt
@@ -68,6 +70,20 @@ func (rep *replica) plat() *core.Platform {
 // sess returns the tenant's session on the replica's node.
 func (rep *replica) sess() *core.Session {
 	return rep.t.sessions[rep.node]
+}
+
+// retired reports whether the replica's partition has left service for good
+// barring operator/autoscaler action: crash-loop quarantine or an elastic
+// release. Retired replicas count against admitted capacity and are skipped
+// by placement, rehoming eligibility and the pool-dead check alike.
+func (rep *replica) retired() bool {
+	return rep.quarantined || rep.released
+}
+
+// unplaceable reports whether the placement policy must skip the replica:
+// retired, mid-failover, or quiescing for a planned migration.
+func (rep *replica) unplaceable() bool {
+	return rep.down || rep.quarantined || rep.draining || rep.released
 }
 
 func newReplica(p *sim.Proc, srv *Server, t *tenant, node, pi int, smDemand uint64) (*replica, error) {

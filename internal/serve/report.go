@@ -99,6 +99,23 @@ type Result struct {
 	Nodes      int
 	SplitBrain uint64
 	NodeEvents []string
+
+	// Elastic is the elastic-capacity summary (nil unless migrations or
+	// autoscaling were armed).
+	Elastic *ElasticResult
+}
+
+// ElasticResult summarizes the elastic-capacity layer's run: completed and
+// interrupted migrations, injected drain races, autoscaler actions, requests
+// replayed at migration drain deadlines, and the deterministic event log.
+type ElasticResult struct {
+	Migrations  uint64
+	Interrupted uint64
+	DrainRaces  uint64
+	ScaleUps    uint64
+	ScaleDowns  uint64
+	Replayed    uint64
+	Events      []string
 }
 
 // TenantSLO is one tenant's SLO outcome at drain time.
@@ -147,6 +164,14 @@ func (r *Result) Report() string {
 		}
 		for _, ev := range r.NodeEvents {
 			fmt.Fprintf(&b, "node-event: %s\n", ev)
+		}
+	}
+	if r.Elastic != nil {
+		e := r.Elastic
+		fmt.Fprintf(&b, "elastic: migrations=%d interrupted=%d drain-races=%d scale-ups=%d scale-downs=%d replayed=%d\n",
+			e.Migrations, e.Interrupted, e.DrainRaces, e.ScaleUps, e.ScaleDowns, e.Replayed)
+		for _, ev := range e.Events {
+			fmt.Fprintf(&b, "elastic-event: %s\n", ev)
 		}
 	}
 	fmt.Fprintf(&b, "%-12s %8s %8s %6s %9s %6s %7s %7s %5s %10s %10s %10s %9s %6s\n",
@@ -308,6 +333,17 @@ func (srv *Server) result() *Result {
 		res.Nodes = srv.cl.nodes
 		res.SplitBrain = srv.cl.splitBrain
 		res.NodeEvents = append([]string(nil), srv.cl.events...)
+	}
+	if srv.el != nil {
+		res.Elastic = &ElasticResult{
+			Migrations:  srv.el.migrations,
+			Interrupted: srv.el.interrupted,
+			DrainRaces:  srv.el.races,
+			ScaleUps:    srv.el.ups,
+			ScaleDowns:  srv.el.downs,
+			Replayed:    srv.el.replayed,
+			Events:      append([]string(nil), srv.el.events...),
+		}
 	}
 	return res
 }

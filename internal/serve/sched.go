@@ -146,11 +146,13 @@ func (srv *Server) place(p *sim.Proc, t *tenant, b *batch) (*replica, error) {
 	}
 }
 
-// allQuarantined reports whether every replica of the tenant is parked on a
-// quarantined partition.
+// allQuarantined reports whether every replica of the tenant has retired from
+// service: parked on a quarantined partition or released by an elastic
+// scale-down. Neither comes back without operator (or autoscaler) action, so
+// the pool is not transiently unavailable — it is gone.
 func (srv *Server) allQuarantined(t *tenant) bool {
 	for _, rep := range t.reps {
-		if !rep.quarantined {
+		if !rep.retired() {
 			return false
 		}
 	}
@@ -169,16 +171,17 @@ func (srv *Server) placementSet(t *tenant) []*replica {
 }
 
 // pick applies the placement policy over the tenant's live replicas.
-// Quarantined replicas are skipped everywhere; a DeviceAffinity tenant
-// whose pinned partition is quarantined degrades to least-outstanding over
-// the surviving replicas (re-placing load beats refusing it — affinity is
-// a performance preference, quarantine an availability fact).
+// Quarantined, released and draining replicas are skipped everywhere; a
+// DeviceAffinity tenant whose pinned partition has retired or is quiescing
+// degrades to least-outstanding over the surviving replicas (re-placing load
+// beats refusing it — affinity is a performance preference, quarantine,
+// release and quiesce availability facts).
 func (srv *Server) pick(t *tenant) *replica {
 	reps := srv.placementSet(t)
 	switch srv.cfg.Policy {
 	case DeviceAffinity:
 		rep := reps[t.idx%len(reps)]
-		if rep.quarantined {
+		if rep.retired() || rep.draining {
 			return pickLeastOutstanding(reps)
 		}
 		if rep.down {
@@ -189,7 +192,7 @@ func (srv *Server) pick(t *tenant) *replica {
 		for i := 0; i < len(reps); i++ {
 			rep := reps[t.rrNext%len(reps)]
 			t.rrNext++
-			if !rep.down && !rep.quarantined {
+			if !rep.unplaceable() {
 				return rep
 			}
 		}
@@ -206,7 +209,7 @@ func (srv *Server) pick(t *tenant) *replica {
 func pickLeastOutstanding(reps []*replica) *replica {
 	var best *replica
 	for _, rep := range reps {
-		if rep.down || rep.quarantined {
+		if rep.unplaceable() {
 			continue
 		}
 		if best == nil || rep.outstanding < best.outstanding {

@@ -46,6 +46,7 @@ import (
 
 	"cronus/internal/cluster"
 	"cronus/internal/core"
+	"cronus/internal/elastic"
 	"cronus/internal/gpu"
 	"cronus/internal/metrics"
 	"cronus/internal/otrace"
@@ -267,6 +268,24 @@ type Config struct {
 	// flushes, stale-measurement tampering) — the chaos harness compiles
 	// its attestation schedules into this. Requires AttestTickets.
 	AttestFaults []AttestFault
+
+	// Migrations schedules planned live migrations (elastic.go, DESIGN.md
+	// §16): at each offset from serving start the source partition's lanes
+	// quiesce, the mEnclave state checkpoints, transfers (fabric-priced
+	// across nodes), and the source releases only after the in-flight work
+	// replayed exactly once on the destination. Requires the sharded plane.
+	Migrations []Migration
+	// Autoscale, when set, runs the elastic autoscaler control loop over
+	// the plane's load signals (queue depth, shed rate, p95, SLO burn
+	// rate), scaling partitions down (via the migration primitive) and back
+	// up (boot + attest charged in virtual time). Requires the sharded
+	// plane.
+	Autoscale *elastic.Config
+	// ScaleStorms schedules forced autoscaler oscillation windows (the
+	// scale-storm chaos kind): inside each window every control tick
+	// alternates scale-down/scale-up regardless of load. Requires
+	// Autoscale.
+	ScaleStorms []ScaleStorm
 }
 
 func (c *Config) defaults() {
@@ -463,10 +482,13 @@ type Server struct {
 
 	// sh is the sharded data plane (nil on the classic path); cl is the
 	// cluster placement tier (nil on single-node runs); at is the
-	// attestation admission gate (nil unless Config.AttestTickets).
+	// attestation admission gate (nil unless Config.AttestTickets); el is
+	// the elastic-capacity layer (nil unless migrations or autoscaling are
+	// armed).
 	sh *shState
 	cl *clState
 	at *attState
+	el *elState
 }
 
 // serveKernel is the batchable inference kernel: its cost is carried in the
@@ -534,6 +556,9 @@ func NewCluster(p *sim.Proc, plats []*core.Platform, cfg Config) (*Server, error
 	if err := validateAttest(cfg); err != nil {
 		return nil, err
 	}
+	if err := validateElastic(cfg); err != nil {
+		return nil, err
+	}
 	// The pool's rodinia kernels live in the global GPU registry alongside
 	// the std kernels BuildPlatform installs (Register replaces, so this
 	// is idempotent across servers in one process).
@@ -568,6 +593,11 @@ func NewCluster(p *sim.Proc, plats []*core.Platform, cfg Config) (*Server, error
 		// verification caches before any load exists, so the attestation
 		// timeline is identical between baseline and faulted runs.
 		srv.atBoot()
+	}
+	if len(cfg.Migrations) > 0 || cfg.Autoscale != nil {
+		// Elastic-capacity layer: the controller and counters exist before
+		// any load, so an armed-but-idle layer never perturbs the timeline.
+		srv.elBoot()
 	}
 	// Partition health supervision: arm heartbeats on every pooled
 	// partition and start the SPM watchdog before any load exists, so the

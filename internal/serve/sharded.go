@@ -81,6 +81,8 @@ const (
 	lidGateway      uint64 = 0x400   // the cluster gateway anchor (host shard)
 	lidAttestProber uint64 = 0x480   // the continuous re-measurement prober
 	lidAttestFault  uint64 = 0x500   // + fault index (attestation fault procs)
+	lidMigration    uint64 = 0x600   // + migration index (planned migration procs)
+	lidAutoscaler   uint64 = 0x680   // the elastic autoscaler control loop
 	lidClosedLoop   uint64 = 0x10000 // * (tenant index + 1) + client + 1
 )
 
@@ -267,6 +269,7 @@ func (srv *Server) shServe(p *sim.Proc) (*Result, error) {
 		srv.clArmFaults(p)
 	}
 	srv.atStart(p)
+	srv.elStart(p)
 	if srv.cfg.Parallel {
 		srv.pl.K.Parallelize()
 	}
@@ -470,6 +473,15 @@ func (srv *Server) shDispatch(now sim.Time, t *tenant, b *batch) {
 		t.shBacklog = append(t.shBacklog, b)
 		return
 	}
+	srv.shDispatchTo(now, t, b, rep)
+}
+
+// shDispatchTo ships one sealed batch to a chosen replica: fabric check,
+// attestation gate, submit-cost pricing, split-brain ledger, mailbox send.
+// shDispatch calls it after policy pick; the elastic drain-race injector
+// calls it directly to force a batch onto a quiescing replica the policies
+// would skip.
+func (srv *Server) shDispatchTo(now sim.Time, t *tenant, b *batch, rep *replica) {
 	if srv.cl != nil && srv.cl.fab.PartitionedAt(rep.node, now) {
 		// The gateway→node link is partitioned: the send fails with the
 		// typed fabric error instead of silently vanishing into the cut.
@@ -659,6 +671,24 @@ func (rep *replica) dropInflight(b *batch) {
 // order kept), then a recovery proc waits out the restart and reconnects.
 func (srv *Server) shReplicaDown(rep *replica) {
 	t := rep.t
+	srv.shCancelInflight(t, rep)
+	name := fmt.Sprintf("serve-failover-%s-p%d", t.spec.Name, rep.partIdx)
+	if srv.cl != nil {
+		name = fmt.Sprintf("serve-failover-%s-n%d-p%d", t.spec.Name, rep.node, rep.partIdx)
+	}
+	srv.pl.K.Spawn(name, func(p *sim.Proc) { srv.shRecover(p, rep) })
+}
+
+// shCancelInflight is the shared replay primitive of failover and planned
+// migration: every batch in flight on the replica is cancelled — its pending
+// lane and completion events become no-ops — and requeued to the front of
+// the tenant backlog as a fresh batch (composition preserved, FIFO order
+// kept), with the split-brain ledger and per-request replay accounting
+// applied. Lanes reset to idle. Returns the number of requests replayed.
+// Runs single-threaded by construction: every caller (the FailAt injector
+// path, node crashes, migrations) sequentializes the kernel first.
+func (srv *Server) shCancelInflight(t *tenant, rep *replica) int {
+	replayed := 0
 	if n := len(rep.inflightB); n > 0 {
 		requeued := make([]*batch, 0, n)
 		for _, b := range rep.inflightB {
@@ -672,6 +702,7 @@ func (srv *Server) shReplicaDown(rep *replica) {
 				r.Replays++
 				t.replayed++
 			}
+			replayed += len(b.reqs)
 			requeued = append(requeued, &batch{class: b.class, reqs: b.reqs, t: t})
 		}
 		rep.inflightB = nil
@@ -680,11 +711,7 @@ func (srv *Server) shReplicaDown(rep *replica) {
 	for i := range rep.lanes {
 		rep.lanes[i].busyUntil = 0
 	}
-	name := fmt.Sprintf("serve-failover-%s-p%d", t.spec.Name, rep.partIdx)
-	if srv.cl != nil {
-		name = fmt.Sprintf("serve-failover-%s-n%d-p%d", t.spec.Name, rep.node, rep.partIdx)
-	}
-	srv.pl.K.Spawn(name, func(p *sim.Proc) { srv.shRecover(p, rep) })
+	return replayed
 }
 
 // shRecover is the recovery proc body: wait for the SPM to finish the
